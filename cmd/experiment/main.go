@@ -1,0 +1,97 @@
+// Command experiment regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	experiment -figure 3a [-scale small|medium|paper] [-seed N] [-snapshots N]
+//	experiment -figure all [-scale medium] [-out results/]
+//
+// Each figure is printed as a text table with the same series the paper
+// plots (Correlation vs Independence). See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "", "figure id (3a,3b,3c,3d,4a..4d,5a..5d) or 'all'")
+		scale     = flag.String("scale", "small", "experiment scale: small | medium | paper")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		snapshots = flag.Int("snapshots", 0, "override snapshot count (0 = scale default)")
+		packet    = flag.Bool("packet-level", false, "simulate probe packets and loss rates instead of state-level measurement")
+		packets   = flag.Int("packets-per-path", 0, "probes per path per snapshot in packet-level mode (0 = default)")
+		outDir    = flag.String("out", "", "directory to write per-figure .tsv files (default: stdout only)")
+	)
+	flag.Parse()
+
+	if *figure == "" {
+		fmt.Fprintln(os.Stderr, "experiment: -figure is required (e.g. -figure 3c, or -figure all)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	params := experiments.Params{
+		Scale:          experiments.Scale(*scale),
+		Seed:           *seed,
+		Snapshots:      *snapshots,
+		PacketsPerPath: *packets,
+	}
+	if *packet {
+		params.Mode = netsim.PacketLevel
+	}
+
+	var ids []string
+	if *figure == "all" {
+		for _, r := range experiments.Runners {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = []string{*figure}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := experiments.Run(id, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Figure %s (%.1fs)\n", id, time.Since(start).Seconds())
+		if err := fig.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment: rendering %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("figure-%s.tsv", id))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+				os.Exit(1)
+			}
+			if err := fig.Render(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "experiment: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment: closing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}

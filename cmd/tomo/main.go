@@ -1,0 +1,160 @@
+// Command tomo runs the full tomography pipeline on a topology: it loads a
+// JSON topology (from cmd/topogen), synthesizes a congestion scenario over
+// its correlation sets, simulates end-to-end measurements, runs the selected
+// inference algorithm(s), and prints per-link true vs inferred congestion
+// probabilities.
+//
+// Usage:
+//
+//	topogen -family brite -ases 60 -paths 300 | tomo -frac 0.1 -snapshots 2000
+//	tomo -topology pl.json -algorithm both -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "-", "topology JSON file ('-' = stdin)")
+		frac      = flag.Float64("frac", 0.10, "fraction of links congested in the synthetic scenario")
+		loose     = flag.Bool("loose", false, "loose correlation (≤2 congested links per correlation set)")
+		snapshots = flag.Int("snapshots", 2000, "number of measurement snapshots")
+		seed      = flag.Int64("seed", 1, "seed for scenario and simulation")
+		algo      = flag.String("algorithm", "correlation", "algorithm: correlation | independence | both | theorem")
+		packet    = flag.Bool("packet-level", false, "simulate probe packets and loss rates")
+		summary   = flag.Bool("summary", false, "print error summary instead of the per-link table")
+		topN      = flag.Int("top", 0, "print only the N links with the highest inferred congestion probability")
+	)
+	flag.Parse()
+
+	top, err := loadTopology(*topoPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	level := scenario.HighCorrelation
+	if *loose {
+		level = scenario.LooseCorrelation
+	}
+	scn, err := scenario.FromTopology(scenario.FromTopologyConfig{
+		Topology: top, FracCongested: *frac, Level: level, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mode := netsim.StateLevel
+	if *packet {
+		mode = netsim.PacketLevel
+	}
+	rec, err := netsim.Run(netsim.Config{
+		Topology: top, Model: scn.Model, Snapshots: *snapshots, Seed: *seed + 99, Mode: mode,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	src := measure.NewEmpirical(rec)
+
+	type run struct {
+		name  string
+		probs []float64
+	}
+	var runs []run
+	wantCorr := *algo == "correlation" || *algo == "both"
+	wantIndep := *algo == "independence" || *algo == "both"
+	switch {
+	case *algo == "theorem":
+		res, err := core.Theorem(top, src, core.TheoremOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		runs = append(runs, run{"theorem", res.CongestionProb})
+	case wantCorr || wantIndep:
+		if wantCorr {
+			res, err := core.Correlation(top, src, core.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			runs = append(runs, run{"correlation", res.CongestionProb})
+		}
+		if wantIndep {
+			res, err := core.Independence(top, src, core.Options{UseAllEquations: true})
+			if err != nil {
+				fatal(err)
+			}
+			runs = append(runs, run{"independence", res.CongestionProb})
+		}
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	if *summary {
+		for _, r := range runs {
+			errs := eval.AbsErrors(scn.Truth, r.probs, scn.PotentiallyCongested)
+			fmt.Printf("%-13s mean=%.4f p90=%.4f frac<=0.1=%.1f%% (over %d potentially congested links)\n",
+				r.name, eval.Mean(errs), eval.Percentile(errs, 90),
+				100*eval.FracBelow(errs, 0.1), len(errs))
+		}
+		return
+	}
+
+	// Per-link table, optionally limited to the top-N inferred.
+	type row struct {
+		link topology.LinkID
+		vals []float64
+	}
+	rows := make([]row, top.NumLinks())
+	for k := range rows {
+		rows[k].link = topology.LinkID(k)
+		for _, r := range runs {
+			rows[k].vals = append(rows[k].vals, r.probs[k])
+		}
+	}
+	if *topN > 0 {
+		sort.Slice(rows, func(i, j int) bool { return rows[i].vals[0] > rows[j].vals[0] })
+		if len(rows) > *topN {
+			rows = rows[:*topN]
+		}
+	}
+	fmt.Printf("%-8s %-18s %-10s", "link", "name", "truth")
+	for _, r := range runs {
+		fmt.Printf(" %-13s", r.name)
+	}
+	fmt.Println()
+	for _, rw := range rows {
+		l := top.Link(rw.link)
+		fmt.Printf("%-8d %-18s %-10.4f", rw.link, l.Name, scn.Truth[rw.link])
+		for _, v := range rw.vals {
+			fmt.Printf(" %-13.4f", v)
+		}
+		fmt.Println()
+	}
+}
+
+func loadTopology(path string) (*topology.Topology, error) {
+	if path == "-" {
+		return topology.Decode(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return topology.Decode(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tomo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,315 @@
+// Package bitset provides a compact dynamic bit set used throughout the
+// tomography library to represent sets of links and sets of paths.
+//
+// Links and paths are identified by small dense integer indices, so a bit set
+// is both the fastest and the most memory-efficient representation for the
+// set algebra the algorithms need: path coverage ψ(A), unions of congested
+// links across correlation sets, and equality tests between coverage sets
+// (the heart of the Assumption-4 identifiability check).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dynamic bit set. The zero value is an empty set of capacity zero;
+// it grows on demand when bits are set. Sets are value-like: use Clone to
+// copy, and note that the assignment operator shares the underlying storage.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set with capacity for n bits preallocated.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set containing exactly the given indices.
+func FromIndices(indices ...int) *Set {
+	s := &Set{}
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+func (s *Set) ensure(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts index i into the set. It panics if i is negative.
+func (s *Set) Add(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: negative index %d", i))
+	}
+	w := i / wordBits
+	s.ensure(w)
+	s.words[w] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes index i from the set; it is a no-op if i is absent.
+func (s *Set) Remove(i int) {
+	if i < 0 {
+		return
+	}
+	w := i / wordBits
+	if w < len(s.words) {
+		s.words[w] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Contains reports whether index i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	return w < len(s.words) && s.words[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements, keeping the allocated capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith adds all elements of t to s.
+func (s *Set) UnionWith(t *Set) {
+	s.ensure(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes from s all elements not in t.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// SymmetricDifferenceWith replaces s with s XOR t (elements in exactly one
+// of the two sets). This is GF(2) row addition when sets encode 0/1 vectors.
+func (s *Set) SymmetricDifferenceWith(t *Set) {
+	s.ensure(len(t.words) - 1)
+	for i, w := range t.words {
+		s.words[i] ^= w
+	}
+}
+
+// DifferenceWith removes all elements of t from s.
+func (s *Set) DifferenceWith(t *Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Union returns a new set holding s ∪ t.
+func Union(s, t *Set) *Set {
+	u := s.Clone()
+	u.UnionWith(t)
+	return u
+}
+
+// Intersect returns a new set holding s ∩ t.
+func Intersect(s, t *Set) *Set {
+	u := s.Clone()
+	u.IntersectWith(t)
+	return u
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s ∩ t| without allocating.
+func (s *Set) IntersectionCount(t *Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) > n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsetOf reports whether every element of s is in t.
+func (s *Set) IsSubsetOf(t *Set) bool {
+	for i, w := range s.words {
+		var b uint64
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		if w&^b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order. If fn returns false
+// the iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Indices returns the elements of the set in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Key returns a string usable as a map key identifying the set's contents.
+// Two sets with equal contents always produce the same key, regardless of
+// their internal capacity.
+func (s *Set) Key() string {
+	// Trim trailing zero words so capacity differences do not matter.
+	n := len(s.words)
+	for n > 0 && s.words[n-1] == 0 {
+		n--
+	}
+	var b strings.Builder
+	b.Grow(n * 16)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%016x", s.words[i])
+	}
+	return b.String()
+}
+
+// String renders the set as "{1, 4, 7}" for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// EnumerateSubsets calls fn for every non-empty subset of the given elements,
+// in an order that guarantees subsets with fewer elements are visited before
+// their supersets is NOT guaranteed; callers needing an ordering should sort.
+// It panics if len(elements) > 30 to avoid accidental exponential blowups.
+func EnumerateSubsets(elements []int, fn func(subset *Set) bool) {
+	if len(elements) > 30 {
+		panic(fmt.Sprintf("bitset: refusing to enumerate 2^%d subsets", len(elements)))
+	}
+	n := uint(len(elements))
+	for mask := uint64(1); mask < 1<<n; mask++ {
+		s := &Set{}
+		for b := uint(0); b < n; b++ {
+			if mask&(1<<b) != 0 {
+				s.Add(elements[b])
+			}
+		}
+		if !fn(s) {
+			return
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(10)
+	if !s.IsEmpty() {
+		t.Fatal("new set not empty")
+	}
+	s.Add(3)
+	s.Add(200) // beyond initial capacity, must grow
+	if !s.Contains(3) || !s.Contains(200) {
+		t.Fatal("missing added elements")
+	}
+	if s.Contains(4) || s.Contains(199) {
+		t.Fatal("contains elements never added")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	s.Remove(3)
+	if s.Contains(3) {
+		t.Fatal("remove failed")
+	}
+	s.Remove(1000) // out of range remove is a no-op
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestContainsNegative(t *testing.T) {
+	s := New(8)
+	if s.Contains(-1) {
+		t.Fatal("Contains(-1) = true")
+	}
+	s.Remove(-5) // must not panic
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	New(0).Add(-1)
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := FromIndices(1, 2, 3, 64, 100)
+	b := FromIndices(3, 64, 200)
+
+	u := Union(a, b)
+	want := []int{1, 2, 3, 64, 100, 200}
+	if got := u.Indices(); !equalInts(got, want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+
+	i := Intersect(a, b)
+	if got := i.Indices(); !equalInts(got, []int{3, 64}) {
+		t.Fatalf("intersect = %v", got)
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Indices(); !equalInts(got, []int{1, 2, 100}) {
+		t.Fatalf("difference = %v", got)
+	}
+}
+
+func TestEqualIgnoresCapacity(t *testing.T) {
+	a := New(1000)
+	a.Add(5)
+	b := FromIndices(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("sets with equal contents but different capacity not Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := FromIndices(1, 2)
+	b := FromIndices(1, 2, 3)
+	if !a.IsSubsetOf(b) {
+		t.Fatal("a ⊆ b expected")
+	}
+	if b.IsSubsetOf(a) {
+		t.Fatal("b ⊆ a unexpected")
+	}
+	empty := New(0)
+	if !empty.IsSubsetOf(a) {
+		t.Fatal("∅ ⊆ a expected")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromIndices(10, 20)
+	b := FromIndices(20, 30)
+	c := FromIndices(31)
+	if !a.Intersects(b) {
+		t.Fatal("a ∩ b nonempty expected")
+	}
+	if b.Intersects(c) == false && b.IntersectionCount(c) != 0 {
+		t.Fatal("inconsistent Intersects / IntersectionCount")
+	}
+	if a.Intersects(c) {
+		t.Fatal("a ∩ c empty expected")
+	}
+	if got := a.IntersectionCount(b); got != 1 {
+		t.Fatalf("IntersectionCount = %d, want 1", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if got := New(0).Min(); got != -1 {
+		t.Fatalf("empty Min = %d, want -1", got)
+	}
+	if got := FromIndices(65, 3, 128).Min(); got != 3 {
+		t.Fatalf("Min = %d, want 3", got)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := FromIndices(1, 2, 3, 4, 5)
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("visited %d, want 3", count)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromIndices(1, 100)
+	s.Clear()
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("Clear did not empty the set")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(2, 0).String(); got != "{0, 2}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(0).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestEnumerateSubsets(t *testing.T) {
+	var seen []string
+	EnumerateSubsets([]int{4, 7, 9}, func(s *Set) bool {
+		seen = append(seen, s.String())
+		return true
+	})
+	if len(seen) != 7 { // 2^3 - 1 non-empty subsets
+		t.Fatalf("enumerated %d subsets, want 7", len(seen))
+	}
+	uniq := map[string]bool{}
+	for _, k := range seen {
+		if uniq[k] {
+			t.Fatalf("duplicate subset %s", k)
+		}
+		uniq[k] = true
+	}
+}
+
+func TestEnumerateSubsetsEarlyStop(t *testing.T) {
+	n := 0
+	EnumerateSubsets([]int{1, 2, 3, 4}, func(s *Set) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("enumerated %d, want early stop at 5", n)
+	}
+}
+
+func TestEnumerateSubsetsTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >30 elements")
+		}
+	}()
+	big := make([]int, 31)
+	EnumerateSubsets(big, func(*Set) bool { return true })
+}
+
+// Property: union/intersection/difference agree with a map-based reference
+// implementation on random inputs.
+func TestSetAlgebraAgainstReference(t *testing.T) {
+	f := func(aIdx, bIdx []uint8) bool {
+		ref := func(xs []uint8) map[int]bool {
+			m := map[int]bool{}
+			for _, x := range xs {
+				m[int(x)] = true
+			}
+			return m
+		}
+		ma, mb := ref(aIdx), ref(bIdx)
+		a, b := New(0), New(0)
+		for i := range ma {
+			a.Add(i)
+		}
+		for i := range mb {
+			b.Add(i)
+		}
+
+		u := Union(a, b)
+		for i := 0; i < 256; i++ {
+			if u.Contains(i) != (ma[i] || mb[i]) {
+				return false
+			}
+		}
+		in := Intersect(a, b)
+		for i := 0; i < 256; i++ {
+			if in.Contains(i) != (ma[i] && mb[i]) {
+				return false
+			}
+		}
+		d := a.Clone()
+		d.DifferenceWith(b)
+		for i := 0; i < 256; i++ {
+			if d.Contains(i) != (ma[i] && !mb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective over contents — two random sets have equal keys
+// iff they are Equal.
+func TestKeyInjective(t *testing.T) {
+	f := func(aIdx, bIdx []uint16) bool {
+		a, b := New(0), New(0)
+		for _, i := range aIdx {
+			a.Add(int(i) % 500)
+		}
+		for _, i := range bIdx {
+			b.Add(int(i) % 500)
+		}
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Indices is sorted and round-trips through FromIndices.
+func TestIndicesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64)
+		s := New(0)
+		for i := 0; i < n; i++ {
+			s.Add(rng.Intn(300))
+		}
+		idx := s.Indices()
+		if !sort.IntsAreSorted(idx) {
+			t.Fatalf("Indices not sorted: %v", idx)
+		}
+		if got := FromIndices(idx...); !got.Equal(s) {
+			t.Fatalf("round trip failed: %v vs %v", got, s)
+		}
+		if len(idx) != s.Len() {
+			t.Fatalf("len(Indices)=%d, Len()=%d", len(idx), s.Len())
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

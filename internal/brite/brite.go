@@ -1,0 +1,464 @@
+// Package brite generates paired AS-level / router-level topologies in the
+// style of the BRITE topology generator used by the paper's evaluation
+// (Section 5, "Brite topologies"). The AS-level graph is grown by
+// Barabási–Albert preferential attachment (BRITE's BA model), and each
+// directed AS-level link is backed by a sequence of router-level links: a
+// shared internal link of the source AS, a dedicated inter-AS link, and a
+// dedicated internal link of the destination AS.
+//
+// Two AS-level links are correlated exactly when their backings share a
+// router-level link, reproducing the paper's construction: "two links in the
+// AS-level topology are correlated if and only if they share at least one
+// link in the underlying router-level topology". Each AS-level link is
+// anchored at one of its endpoint ASes (chosen at random) and draws its
+// shared internal router link from that AS's pool; the other endpoint
+// contributes a dedicated internal link. Anchoring keeps every correlation
+// set inside a single administrative domain (the Section-3.3 scenario) and
+// bounds its size — unconstrained two-sided sharing would percolate into one
+// giant correlation component — while still letting a measurement path that
+// enters and leaves an AS traverse two correlated links, which is precisely
+// the situation that separates correlation-aware tomography from the
+// independence baseline.
+package brite
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Config parameterizes topology generation.
+type Config struct {
+	// ASes is the number of AS-level nodes (≥ 3).
+	ASes int
+	// EdgesPerAS is the Barabási–Albert attachment parameter m (≥ 1): each
+	// new AS connects to m existing ASes chosen preferentially by degree.
+	EdgesPerAS int
+	// GroupSize bounds how many egress AS-level links of one AS share one of
+	// its internal router links (drawn uniformly from [Min, Max] per group,
+	// defaults 2..5). Groups are exactly the correlation sets of the
+	// generated topology.
+	GroupSize [2]int
+	// Paths is the number of end-to-end measurement paths to generate.
+	Paths int
+	// MaxPathLen caps the AS-level hop count of generated paths (0 ⇒ 12).
+	MaxPathLen int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.ASes < 3 {
+		return fmt.Errorf("brite: ASes = %d, want ≥ 3", c.ASes)
+	}
+	if c.EdgesPerAS < 1 {
+		return fmt.Errorf("brite: EdgesPerAS = %d, want ≥ 1", c.EdgesPerAS)
+	}
+	if c.GroupSize[0] <= 0 {
+		c.GroupSize[0] = 2
+	}
+	if c.GroupSize[1] < c.GroupSize[0] {
+		c.GroupSize[1] = c.GroupSize[0] + 3
+	}
+	if c.Paths < 1 {
+		return fmt.Errorf("brite: Paths = %d, want ≥ 1", c.Paths)
+	}
+	if c.MaxPathLen <= 0 {
+		c.MaxPathLen = 12
+	}
+	return nil
+}
+
+// Network is a generated AS-level measurement topology together with its
+// router-level backing structure.
+type Network struct {
+	// Topology is the AS-level graph with measurement paths and the derived
+	// correlation sets (links sharing router-level links, transitively).
+	Topology *topology.Topology
+	// Backing[k] lists the router-level link indices underlying AS-level
+	// link k; indices live in [0, NumRouterLinks).
+	Backing [][]int
+	// NumRouterLinks is the size of the router-level link namespace.
+	NumRouterLinks int
+	// ASOfLink[k] is the source AS of link k (diagnostics).
+	ASOfLink []int
+	// InternalOf[r] is the AS owning router link r, or -1 for inter-AS links.
+	InternalOf []int
+}
+
+// Generate builds the paired topologies.
+func Generate(cfg Config) (*Network, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// --- AS-level undirected graph via Barabási–Albert attachment. ---
+	type edge struct{ a, b int }
+	var edges []edge
+	adj := make(map[int]map[int]bool)
+	addEdge := func(a, b int) {
+		if a == b || adj[a][b] {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[int]bool{}
+		}
+		if adj[b] == nil {
+			adj[b] = map[int]bool{}
+		}
+		adj[a][b], adj[b][a] = true, true
+		edges = append(edges, edge{a, b})
+	}
+	// Seed clique of size m+1 keeps early attachment well defined.
+	seedN := cfg.EdgesPerAS + 1
+	if seedN > cfg.ASes {
+		seedN = cfg.ASes
+	}
+	for a := 0; a < seedN; a++ {
+		for b := a + 1; b < seedN; b++ {
+			addEdge(a, b)
+		}
+	}
+	// Preferential attachment: degree-weighted sampling via the edge list
+	// (each endpoint appearance is one "degree token").
+	for v := seedN; v < cfg.ASes; v++ {
+		attached := map[int]bool{}
+		for len(attached) < cfg.EdgesPerAS {
+			var target int
+			if len(edges) == 0 {
+				target = rng.Intn(v)
+			} else {
+				e := edges[rng.Intn(len(edges))]
+				if rng.Intn(2) == 0 {
+					target = e.a
+				} else {
+					target = e.b
+				}
+			}
+			if target == v || attached[target] {
+				// Fall back to uniform to guarantee progress in tiny graphs.
+				target = rng.Intn(v)
+				if target == v || attached[target] {
+					continue
+				}
+			}
+			attached[target] = true
+			addEdge(v, target)
+		}
+	}
+
+	// --- Directed AS-level links (backings are assigned after path
+	// generation, over the links that are actually used). ---
+	type dlink struct{ src, dst int }
+	var dlinks []dlink
+	linkIndex := map[[2]int]int{} // (srcAS,dstAS) -> dlinks index
+	for _, e := range edges {
+		for _, dir := range [][2]int{{e.a, e.b}, {e.b, e.a}} {
+			linkIndex[[2]int{dir[0], dir[1]}] = len(dlinks)
+			dlinks = append(dlinks, dlink{src: dir[0], dst: dir[1]})
+		}
+	}
+
+	// --- Paths: shortest AS-level routes between random distinct AS pairs. ---
+	// BFS on the undirected adjacency; a path is the sequence of directed
+	// links along the route.
+	neighbors := make([][]int, cfg.ASes)
+	for a, m := range adj {
+		for b := range m {
+			neighbors[a] = append(neighbors[a], b)
+		}
+		sort.Ints(neighbors[a])
+	}
+	bfsPath := func(src, dst int) []int {
+		if src == dst {
+			return nil
+		}
+		prev := make([]int, cfg.ASes)
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[src] = src
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range neighbors[v] {
+				if prev[w] == -1 {
+					prev[w] = v
+					if w == dst {
+						var nodes []int
+						for x := dst; x != src; x = prev[x] {
+							nodes = append(nodes, x)
+						}
+						nodes = append(nodes, src)
+						for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+							nodes[i], nodes[j] = nodes[j], nodes[i]
+						}
+						return nodes
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+		return nil
+	}
+
+	type pathSpec struct{ links []int } // dlinks indices
+	var paths []pathSpec
+	seenPath := map[string]bool{}
+	attempts := 0
+	for len(paths) < cfg.Paths {
+		attempts++
+		if attempts > 200*cfg.Paths {
+			return nil, fmt.Errorf("brite: could not generate %d distinct paths (got %d); increase ASes", cfg.Paths, len(paths))
+		}
+		src, dst := rng.Intn(cfg.ASes), rng.Intn(cfg.ASes)
+		if src == dst {
+			continue
+		}
+		nodes := bfsPath(src, dst)
+		if nodes == nil || len(nodes)-1 > cfg.MaxPathLen {
+			continue
+		}
+		var links []int
+		key := ""
+		for i := 0; i+1 < len(nodes); i++ {
+			li := linkIndex[[2]int{nodes[i], nodes[i+1]}]
+			links = append(links, li)
+			key += fmt.Sprintf("%d,", li)
+		}
+		if seenPath[key] {
+			continue
+		}
+		seenPath[key] = true
+		paths = append(paths, pathSpec{links: links})
+	}
+
+	// --- Keep only links used by paths; rebuild compactly. ---
+	used := map[int]bool{}
+	for _, p := range paths {
+		for _, li := range p.links {
+			used[li] = true
+		}
+	}
+	order := make([]int, 0, len(used))
+	for li := range used {
+		order = append(order, li)
+	}
+	sort.Ints(order)
+
+	// --- Router-level backings over the used links. ---
+	// Each used link is anchored at one endpoint AS and partitioned, per
+	// anchor AS, into groups of bounded size; each group shares one internal
+	// router link of that AS. Every link additionally gets a dedicated
+	// inter-AS link and a dedicated internal link at its other endpoint.
+	var internalOf []int
+	nextRouter := 0
+	newRouterLink := func(as int) int {
+		id := nextRouter
+		nextRouter++
+		internalOf = append(internalOf, as)
+		return id
+	}
+	anchorOf := map[int]int{}           // dlink index -> anchor AS
+	anchored := make([][]int, cfg.ASes) // AS -> used dlink indices anchored there
+	for _, li := range order {
+		anchor := dlinks[li].src
+		if rng.Intn(2) == 1 {
+			anchor = dlinks[li].dst
+		}
+		anchorOf[li] = anchor
+		anchored[anchor] = append(anchored[anchor], li)
+	}
+	// Group the links anchored at each AS. Grouping is path-aligned: pairs
+	// of links that appear consecutively on a measurement path (entering and
+	// leaving the anchor AS) are seeded into the same group first — this is
+	// the Figure-2(a) situation, where every path through a LAN/domain
+	// traverses two of its correlated links — and the remaining anchored
+	// links fill the groups up to the size cap.
+	consecutive := map[int][][2]int{} // anchor AS -> consecutive (in,out) dlink pairs
+	for _, p := range paths {
+		for i := 0; i+1 < len(p.links); i++ {
+			a, b := p.links[i], p.links[i+1]
+			mid := dlinks[a].dst
+			if anchorOf[a] == mid && anchorOf[b] == mid {
+				consecutive[mid] = append(consecutive[mid], [2]int{a, b})
+			}
+		}
+	}
+	sharedOf := map[int]int{} // dlink index -> shared internal router link
+	for as := 0; as < cfg.ASes; as++ {
+		groupOf := map[int]int{} // dlink -> local group id
+		var groups [][]int
+		sizeCap := func() int {
+			size := cfg.GroupSize[0]
+			if d := cfg.GroupSize[1] - cfg.GroupSize[0]; d > 0 {
+				size += rng.Intn(d + 1)
+			}
+			return size
+		}
+		caps := []int{}
+		newGroup := func(members ...int) {
+			id := len(groups)
+			groups = append(groups, members)
+			caps = append(caps, sizeCap())
+			for _, m := range members {
+				groupOf[m] = id
+			}
+		}
+		// Seed with consecutive path pairs.
+		pairsHere := append([][2]int{}, consecutive[as]...)
+		rng.Shuffle(len(pairsHere), func(i, j int) { pairsHere[i], pairsHere[j] = pairsHere[j], pairsHere[i] })
+		for _, pr := range pairsHere {
+			ga, okA := groupOf[pr[0]]
+			gb, okB := groupOf[pr[1]]
+			switch {
+			case !okA && !okB:
+				newGroup(pr[0], pr[1])
+			case okA && !okB:
+				if len(groups[ga]) < caps[ga] {
+					groups[ga] = append(groups[ga], pr[1])
+					groupOf[pr[1]] = ga
+				} else {
+					newGroup(pr[1])
+				}
+			case !okA && okB:
+				if len(groups[gb]) < caps[gb] {
+					groups[gb] = append(groups[gb], pr[0])
+					groupOf[pr[0]] = gb
+				} else {
+					newGroup(pr[0])
+				}
+			}
+		}
+		// Remaining anchored links fill existing groups, then new ones.
+		rest := append([]int{}, anchored[as]...)
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		for _, li := range rest {
+			if _, ok := groupOf[li]; ok {
+				continue
+			}
+			placed := false
+			for gi := range groups {
+				if len(groups[gi]) < caps[gi] {
+					groups[gi] = append(groups[gi], li)
+					groupOf[li] = gi
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				newGroup(li)
+			}
+		}
+		for _, g := range groups {
+			r := newRouterLink(as)
+			for _, li := range g {
+				sharedOf[li] = r
+			}
+		}
+	}
+
+	remap := map[int]topology.LinkID{}
+	b := topology.NewBuilder()
+	b.AddNodes(cfg.ASes)
+	net := &Network{}
+	for _, li := range order {
+		dl := dlinks[li]
+		id := b.AddLink(topology.NodeID(dl.src), topology.NodeID(dl.dst),
+			fmt.Sprintf("as%d-as%d", dl.src, dl.dst))
+		remap[li] = id
+		inter := newRouterLink(-1)
+		internalOf[inter] = -1
+		other := dl.src
+		if anchorOf[li] == dl.src {
+			other = dl.dst
+		}
+		otherInternal := newRouterLink(other)
+		net.Backing = append(net.Backing, []int{sharedOf[li], inter, otherInternal})
+		net.ASOfLink = append(net.ASOfLink, anchorOf[li])
+	}
+	net.NumRouterLinks = nextRouter
+	net.InternalOf = internalOf
+	for pi, p := range paths {
+		links := make([]topology.LinkID, len(p.links))
+		for i, li := range p.links {
+			links[i] = remap[li]
+		}
+		b.AddPath(fmt.Sprintf("P%d", pi), links...)
+	}
+	// Correlation sets: connected components of the "shares a router link"
+	// relation over the kept links.
+	for _, group := range shareGroups(net.Backing) {
+		if len(group) > 1 {
+			ids := make([]topology.LinkID, len(group))
+			for i, k := range group {
+				ids[i] = topology.LinkID(k)
+			}
+			b.Correlate(ids...)
+		}
+	}
+	top, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("brite: generated topology invalid: %w", err)
+	}
+	net.Topology = top
+	return net, nil
+}
+
+// shareGroups unions link indices that share a backing router link.
+func shareGroups(backing [][]int) [][]int {
+	parent := make([]int, len(backing))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := map[int]int{}
+	for k, b := range backing {
+		for _, r := range b {
+			if o, ok := owner[r]; ok {
+				ra, rb := find(o), find(k)
+				if ra != rb {
+					parent[ra] = rb
+				}
+			} else {
+				owner[r] = k
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for k := range backing {
+		groups[find(k)] = append(groups[find(k)], k)
+	}
+	var out [][]int
+	for k := range backing {
+		if g, ok := groups[find(k)]; ok && g[0] == k {
+			out = append(out, g)
+			delete(groups, find(k))
+		}
+	}
+	return out
+}
+
+// SharedRouterIndex returns, for each router-level link, the AS-level links
+// whose backing contains it — the inverted index scenario builders use to
+// pick clusters of correlated links.
+func (n *Network) SharedRouterIndex() map[int][]int {
+	idx := make(map[int][]int)
+	for k, b := range n.Backing {
+		for _, r := range b {
+			idx[r] = append(idx[r], k)
+		}
+	}
+	return idx
+}

@@ -1,0 +1,181 @@
+package brite
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func defaultCfg() Config {
+	return Config{ASes: 30, EdgesPerAS: 2, Paths: 60, Seed: 1}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{ASes: 1, EdgesPerAS: 1, Paths: 1}); err == nil {
+		t.Fatal("tiny ASes accepted")
+	}
+	if _, err := Generate(Config{ASes: 10, EdgesPerAS: 0, Paths: 1}); err == nil {
+		t.Fatal("zero EdgesPerAS accepted")
+	}
+	if _, err := Generate(Config{ASes: 10, EdgesPerAS: 1, Paths: 0}); err == nil {
+		t.Fatal("zero paths accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	net, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Topology
+	if top.NumPaths() != 60 {
+		t.Fatalf("paths = %d, want 60", top.NumPaths())
+	}
+	if top.NumLinks() == 0 || top.NumLinks() != len(net.Backing) {
+		t.Fatalf("links = %d, backings = %d", top.NumLinks(), len(net.Backing))
+	}
+	// Every backing references valid router links and has the
+	// internal–inter–internal structure (3 router links).
+	for k, b := range net.Backing {
+		if len(b) != 3 {
+			t.Fatalf("link %d backing %v, want 3 router links", k, b)
+		}
+		for _, r := range b {
+			if r < 0 || r >= net.NumRouterLinks {
+				t.Fatalf("link %d references router link %d outside [0,%d)", k, r, net.NumRouterLinks)
+			}
+		}
+		if net.InternalOf[b[1]] != -1 {
+			t.Fatalf("link %d middle backing %d is not an inter-AS link", k, b[1])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Topology.NumLinks() != b.Topology.NumLinks() || a.Topology.NumPaths() != b.Topology.NumPaths() {
+		t.Fatal("same seed produced different topologies")
+	}
+	for i := range a.Backing {
+		for j := range a.Backing[i] {
+			if a.Backing[i][j] != b.Backing[i][j] {
+				t.Fatalf("backing differs at link %d", i)
+			}
+		}
+	}
+	c, err := Generate(Config{ASes: 30, EdgesPerAS: 2, Paths: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := a.Topology.NumLinks() == c.Topology.NumLinks()
+	if same {
+		diff := false
+		for i := 0; i < a.Topology.NumLinks() && !diff; i++ {
+			la, lc := a.Topology.Link(topology.LinkID(i)), c.Topology.Link(topology.LinkID(i))
+			diff = la.Src != lc.Src || la.Dst != lc.Dst
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical topologies")
+	}
+}
+
+// Correlation-set semantics: links in the same correlation set must be
+// connected through shared router links; links in different sets must share
+// no router link.
+func TestCorrelationSetsMatchSharing(t *testing.T) {
+	net, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Topology
+	share := func(a, b int) bool {
+		for _, ra := range net.Backing[a] {
+			for _, rb := range net.Backing[b] {
+				if ra == rb {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for a := 0; a < top.NumLinks(); a++ {
+		for b := a + 1; b < top.NumLinks(); b++ {
+			if share(a, b) && top.SetOf(topology.LinkID(a)) != top.SetOf(topology.LinkID(b)) {
+				t.Fatalf("links %d,%d share a router link but are in different correlation sets", a, b)
+			}
+			if !share(a, b) && top.SetOf(topology.LinkID(a)) == top.SetOf(topology.LinkID(b)) {
+				// Same set without direct sharing is fine (transitive
+				// closure) — but there must exist a connecting chain; spot
+				// check via set size > 2 is enough here, so skip.
+				_ = b
+			}
+		}
+	}
+	// There must be real correlation in the generated network.
+	multi := 0
+	for p := 0; p < top.NumSets(); p++ {
+		if top.CorrelationSet(p).Len() > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-link correlation sets generated")
+	}
+}
+
+func TestSharedRouterIndex(t *testing.T) {
+	net, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := net.SharedRouterIndex()
+	// Index must invert Backing exactly.
+	for k, b := range net.Backing {
+		for _, r := range b {
+			found := false
+			for _, kk := range idx[r] {
+				if kk == k {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("link %d missing from index of router link %d", k, r)
+			}
+		}
+	}
+	// Some router link must back multiple AS links (correlation exists).
+	shared := 0
+	for _, links := range idx {
+		if len(links) > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no shared router links")
+	}
+}
+
+func TestGenerateLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	net, err := Generate(Config{ASes: 120, EdgesPerAS: 2, Paths: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Topology.NumPaths() != 400 {
+		t.Fatalf("paths = %d", net.Topology.NumPaths())
+	}
+	if net.Topology.NumLinks() < 100 {
+		t.Fatalf("links = %d, expected a few hundred", net.Topology.NumLinks())
+	}
+}

@@ -1,0 +1,72 @@
+package congestion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+// AttackOverlay wraps a base model with a hidden global correlation pattern:
+// with probability AttackProb per snapshot, a "worm" floods every link in
+// Targets simultaneously, congesting them regardless of their base state.
+// This is the unknown-correlation scenario of the Figure-5 experiments: the
+// targeted links become correlated with one another across correlation-set
+// boundaries, and the tomography algorithm is (deliberately) not told.
+type AttackOverlay struct {
+	Base       Model
+	Targets    *bitset.Set
+	AttackProb float64
+}
+
+// NewAttackOverlay validates and builds the overlay.
+func NewAttackOverlay(base Model, targets *bitset.Set, attackProb float64) (*AttackOverlay, error) {
+	if attackProb < 0 || attackProb > 1 || math.IsNaN(attackProb) {
+		return nil, fmt.Errorf("congestion: attack probability %v out of [0,1]", attackProb)
+	}
+	bad := false
+	targets.ForEach(func(k int) bool {
+		if k >= base.NumLinks() {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad {
+		return nil, fmt.Errorf("congestion: attack targets reference links outside the base model (%d links)", base.NumLinks())
+	}
+	return &AttackOverlay{Base: base, Targets: targets.Clone(), AttackProb: attackProb}, nil
+}
+
+// NumLinks implements Model.
+func (m *AttackOverlay) NumLinks() int { return m.Base.NumLinks() }
+
+// Sample implements Model.
+func (m *AttackOverlay) Sample(rng *rand.Rand, out *bitset.Set) {
+	m.Base.Sample(rng, out)
+	if rng.Float64() < m.AttackProb {
+		out.UnionWith(m.Targets)
+	}
+}
+
+// Marginal implements Model: for a target link,
+// P(X'k=1) = q + (1−q)·P(Xk=1); otherwise unchanged.
+func (m *AttackOverlay) Marginal(link topology.LinkID) float64 {
+	p := m.Base.Marginal(link)
+	if m.Targets.Contains(int(link)) {
+		return m.AttackProb + (1-m.AttackProb)*p
+	}
+	return p
+}
+
+// ProbAllGood implements Model: if the queried set intersects the targets,
+// all-good additionally requires the attack to be off.
+func (m *AttackOverlay) ProbAllGood(links *bitset.Set) float64 {
+	p := m.Base.ProbAllGood(links)
+	if links.Intersects(m.Targets) {
+		return (1 - m.AttackProb) * p
+	}
+	return p
+}

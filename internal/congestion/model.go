@@ -1,0 +1,160 @@
+// Package congestion implements the ground-truth congestion processes used
+// by the simulator (Section 5 of the paper). A Model defines, for every
+// snapshot, the joint distribution of the link congestion indicators Xek.
+//
+// Each model exposes exact probabilities — Marginal (P(Xek = 1)) and
+// ProbAllGood (P(all links in a set are good)) — so that experiments can
+// compute true per-link congestion probabilities for error measurement, and
+// so that the exact theorem algorithm can be validated against closed-form
+// inputs. The generic SubsetDistribution helper derives the full per-set
+// state distribution P(Sᵖ = A) from ProbAllGood by inclusion–exclusion.
+//
+// Models provided:
+//
+//   - Independent: every link an independent Bernoulli (the world assumed by
+//     the paper's baseline, Nguyen–Thiran 2007).
+//   - SharedCause: per correlation set, a hidden common-cause Bernoulli plus
+//     idiosyncratic noise — the canonical "links share a physical resource"
+//     process (used for PlanetLab-style experiments).
+//   - RouterBacked: each logical link is backed by a set of independent
+//     router-level links and is congested iff any of them is (the Brite
+//     experiment construction in Section 5).
+//   - Table: explicit per-correlation-set joint distribution (tests, toys).
+//   - AttackOverlay: wraps any model with a hidden global "worm/flood"
+//     variable that congests a target set of links simultaneously — the
+//     unknown correlation pattern of the Figure-5 experiments.
+package congestion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+// Model is a joint distribution over link congestion states, sampled once
+// per snapshot. Implementations must be safe for concurrent use of the
+// probability queries; Sample is called with a caller-owned RNG.
+type Model interface {
+	// NumLinks returns the number of links the model covers.
+	NumLinks() int
+	// Sample draws the set of congested links for one snapshot into out
+	// (which is cleared first).
+	Sample(rng *rand.Rand, out *bitset.Set)
+	// Marginal returns the exact probability that the link is congested.
+	Marginal(link topology.LinkID) float64
+	// ProbAllGood returns the exact probability that every link in the set
+	// is good during a snapshot.
+	ProbAllGood(links *bitset.Set) float64
+}
+
+// Marginals returns the exact congestion probability of every link.
+func Marginals(m Model) []float64 {
+	out := make([]float64, m.NumLinks())
+	for i := range out {
+		out[i] = m.Marginal(topology.LinkID(i))
+	}
+	return out
+}
+
+// SubsetProb pairs a specific congested-link set with its probability.
+type SubsetProb struct {
+	Links *bitset.Set
+	P     float64
+}
+
+// SubsetDistribution computes the exact distribution of the congested subset
+// within the given links: P(exactly the links in A ⊆ links are congested and
+// the rest of links are good), for every A including ∅. It derives the
+// distribution from ProbAllGood by inclusion–exclusion:
+//
+//	P(S = A) = Σ_{B ⊆ A} (−1)^|B| · P(all of (links∖A) ∪ B good)
+//
+// Cost is O(3^|links|); callers must keep |links| small (≤ ~15).
+func SubsetDistribution(m Model, links []int) []SubsetProb {
+	if len(links) > 20 {
+		panic(fmt.Sprintf("congestion: SubsetDistribution over %d links is intractable", len(links)))
+	}
+	n := uint(len(links))
+	out := make([]SubsetProb, 0, 1<<n)
+	for mask := uint64(0); mask < 1<<n; mask++ {
+		a := bitset.New(0)
+		var aIdx []int
+		rest := bitset.New(0)
+		for b := uint(0); b < n; b++ {
+			if mask&(1<<b) != 0 {
+				a.Add(links[b])
+				aIdx = append(aIdx, links[b])
+			} else {
+				rest.Add(links[b])
+			}
+		}
+		p := 0.0
+		nA := uint(len(aIdx))
+		for sub := uint64(0); sub < 1<<nA; sub++ {
+			good := rest.Clone()
+			bits := 0
+			for b := uint(0); b < nA; b++ {
+				if sub&(1<<b) != 0 {
+					good.Add(aIdx[b])
+					bits++
+				}
+			}
+			term := m.ProbAllGood(good)
+			if bits%2 == 1 {
+				term = -term
+			}
+			p += term
+		}
+		if p < 0 && p > -1e-12 {
+			p = 0 // clamp numerical noise
+		}
+		out = append(out, SubsetProb{Links: a, P: p})
+	}
+	return out
+}
+
+// Independent is a Model in which every link congests independently.
+type Independent struct {
+	P []float64 // P[k] = P(Xek = 1)
+}
+
+// NewIndependent validates the probabilities and returns the model.
+func NewIndependent(p []float64) (*Independent, error) {
+	for i, v := range p {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return nil, fmt.Errorf("congestion: link %d probability %v out of [0,1]", i, v)
+		}
+	}
+	cp := make([]float64, len(p))
+	copy(cp, p)
+	return &Independent{P: cp}, nil
+}
+
+// NumLinks implements Model.
+func (m *Independent) NumLinks() int { return len(m.P) }
+
+// Sample implements Model.
+func (m *Independent) Sample(rng *rand.Rand, out *bitset.Set) {
+	out.Clear()
+	for k, p := range m.P {
+		if p > 0 && rng.Float64() < p {
+			out.Add(k)
+		}
+	}
+}
+
+// Marginal implements Model.
+func (m *Independent) Marginal(link topology.LinkID) float64 { return m.P[link] }
+
+// ProbAllGood implements Model.
+func (m *Independent) ProbAllGood(links *bitset.Set) float64 {
+	p := 1.0
+	links.ForEach(func(i int) bool {
+		p *= 1 - m.P[i]
+		return true
+	})
+	return p
+}

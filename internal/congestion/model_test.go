@@ -1,0 +1,356 @@
+package congestion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+const sampleN = 200000
+
+// sampleFreq estimates P(predicate) over sampleN snapshots.
+func sampleFreq(m Model, seed int64, pred func(s *bitset.Set) bool) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := bitset.New(m.NumLinks())
+	hits := 0
+	for i := 0; i < sampleN; i++ {
+		m.Sample(rng, s)
+		if pred(s) {
+			hits++
+		}
+	}
+	return float64(hits) / sampleN
+}
+
+func TestIndependentValidation(t *testing.T) {
+	if _, err := NewIndependent([]float64{0.5, 1.2}); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if _, err := NewIndependent([]float64{0.5, math.NaN()}); err == nil {
+		t.Fatal("NaN probability accepted")
+	}
+}
+
+func TestIndependentExactProbabilities(t *testing.T) {
+	m, err := NewIndependent([]float64{0.1, 0.5, 0.0, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Marginal(1); got != 0.5 {
+		t.Fatalf("Marginal(1) = %v", got)
+	}
+	// P(links 0,1 good) = 0.9 * 0.5
+	if got := m.ProbAllGood(bitset.FromIndices(0, 1)); math.Abs(got-0.45) > 1e-15 {
+		t.Fatalf("ProbAllGood = %v, want 0.45", got)
+	}
+	// Link 3 is always congested.
+	if got := m.ProbAllGood(bitset.FromIndices(3)); got != 0 {
+		t.Fatalf("ProbAllGood({always congested}) = %v, want 0", got)
+	}
+}
+
+func TestIndependentSampleConvergence(t *testing.T) {
+	m, _ := NewIndependent([]float64{0.2, 0.7})
+	f0 := sampleFreq(m, 1, func(s *bitset.Set) bool { return s.Contains(0) })
+	if math.Abs(f0-0.2) > 0.01 {
+		t.Fatalf("empirical P(X0) = %v, want ≈0.2", f0)
+	}
+	// Independence: P(X0 ∧ X1) ≈ P(X0)·P(X1).
+	f01 := sampleFreq(m, 2, func(s *bitset.Set) bool { return s.Contains(0) && s.Contains(1) })
+	if math.Abs(f01-0.14) > 0.01 {
+		t.Fatalf("empirical P(X0∧X1) = %v, want ≈0.14", f01)
+	}
+}
+
+func TestSharedCauseValidation(t *testing.T) {
+	if _, err := NewSharedCause([]int{0, 5}, []float64{0.5}, []float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Fatal("bad group index accepted")
+	}
+	if _, err := NewSharedCause([]int{0}, []float64{1.5}, []float64{1}, []float64{0}); err == nil {
+		t.Fatal("bad cause probability accepted")
+	}
+	if _, err := NewSharedCause([]int{0, 0}, []float64{0.5}, []float64{1}, []float64{0, 0}); err == nil {
+		t.Fatal("slice length mismatch accepted")
+	}
+}
+
+func TestSharedCauseExactProbabilities(t *testing.T) {
+	// Two links in one group, fully participating, no idiosyncratic noise:
+	// they are perfectly correlated copies of the cause.
+	m, err := NewSharedCause([]int{0, 0}, []float64{0.3}, []float64{1, 1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Marginal(0); math.Abs(got-0.3) > 1e-15 {
+		t.Fatalf("Marginal = %v, want 0.3", got)
+	}
+	// P(both good) = 1 − q = 0.7 (not (1−q)² — the whole point).
+	if got := m.ProbAllGood(bitset.FromIndices(0, 1)); math.Abs(got-0.7) > 1e-15 {
+		t.Fatalf("ProbAllGood = %v, want 0.7", got)
+	}
+}
+
+func TestSharedCauseAgainstLatentEnumeration(t *testing.T) {
+	// Brute-force the latent space (H, W0, W1, V0, V1) and compare every
+	// subset probability with SubsetDistribution.
+	group := []int{0, 0}
+	q := 0.4
+	a := []float64{0.8, 0.6}
+	b := []float64{0.1, 0.2}
+	m, err := NewSharedCause(group, []float64{q}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// want[mask] = P(congested set == mask)
+	want := make([]float64, 4)
+	for h := 0; h <= 1; h++ {
+		ph := q
+		if h == 0 {
+			ph = 1 - q
+		}
+		for w0 := 0; w0 <= 1; w0++ {
+			for w1 := 0; w1 <= 1; w1++ {
+				for v0 := 0; v0 <= 1; v0++ {
+					for v1 := 0; v1 <= 1; v1++ {
+						p := ph
+						p *= bern(a[0], w0) * bern(a[1], w1) * bern(b[0], v0) * bern(b[1], v1)
+						x0 := (h == 1 && w0 == 1) || v0 == 1
+						x1 := (h == 1 && w1 == 1) || v1 == 1
+						mask := 0
+						if x0 {
+							mask |= 1
+						}
+						if x1 {
+							mask |= 2
+						}
+						want[mask] += p
+					}
+				}
+			}
+		}
+	}
+	dist := SubsetDistribution(m, []int{0, 1})
+	for _, sp := range dist {
+		mask := 0
+		if sp.Links.Contains(0) {
+			mask |= 1
+		}
+		if sp.Links.Contains(1) {
+			mask |= 2
+		}
+		if math.Abs(sp.P-want[mask]) > 1e-12 {
+			t.Fatalf("P(S=%v) = %v, want %v", sp.Links, sp.P, want[mask])
+		}
+	}
+}
+
+func bern(p float64, v int) float64 {
+	if v == 1 {
+		return p
+	}
+	return 1 - p
+}
+
+func TestSharedCauseCrossGroupIndependence(t *testing.T) {
+	m, err := NewSharedCause([]int{0, 1}, []float64{0.5, 0.5}, []float64{1, 1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different groups: P(both good) = 0.5 * 0.5.
+	if got := m.ProbAllGood(bitset.FromIndices(0, 1)); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("cross-group ProbAllGood = %v, want 0.25", got)
+	}
+}
+
+func TestSharedCauseSampleConvergence(t *testing.T) {
+	m, _ := NewSharedCause([]int{0, 0}, []float64{0.3}, []float64{0.9, 0.9}, []float64{0.05, 0.05})
+	fBoth := sampleFreq(m, 3, func(s *bitset.Set) bool { return !s.Contains(0) && !s.Contains(1) })
+	want := m.ProbAllGood(bitset.FromIndices(0, 1))
+	if math.Abs(fBoth-want) > 0.01 {
+		t.Fatalf("empirical P(both good) = %v, exact %v", fBoth, want)
+	}
+}
+
+func TestRouterBackedValidation(t *testing.T) {
+	if _, err := NewRouterBacked([][]int{{}}, []float64{0.1}); err == nil {
+		t.Fatal("empty backing accepted")
+	}
+	if _, err := NewRouterBacked([][]int{{3}}, []float64{0.1}); err == nil {
+		t.Fatal("unknown router link accepted")
+	}
+	if _, err := NewRouterBacked([][]int{{0}}, []float64{-0.1}); err == nil {
+		t.Fatal("bad router probability accepted")
+	}
+}
+
+func TestRouterBackedExactProbabilities(t *testing.T) {
+	// Logical links: 0 backed by routers {0,1}, 1 backed by {1,2} (share 1),
+	// 2 backed by {3} (independent of both).
+	m, err := NewRouterBacked([][]int{{0, 1}, {1, 2}, {3}}, []float64{0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Marginal(0), 1-0.9*0.8; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Marginal(0) = %v, want %v", got, want)
+	}
+	// P(links 0,1 good) = (1−p0)(1−p1)(1−p2): shared router 1 counted once.
+	if got, want := m.ProbAllGood(bitset.FromIndices(0, 1)), 0.9*0.8*0.7; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ProbAllGood = %v, want %v", got, want)
+	}
+	groups := m.CorrelationGroups()
+	if len(groups) != 2 {
+		t.Fatalf("CorrelationGroups = %v, want {{0,1},{2}}", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 1 {
+		t.Fatalf("group 0 = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 2 {
+		t.Fatalf("group 1 = %v", groups[1])
+	}
+}
+
+func TestRouterBackedSampleConvergence(t *testing.T) {
+	m, _ := NewRouterBacked([][]int{{0, 1}, {1}}, []float64{0.15, 0.25})
+	f := sampleFreq(m, 4, func(s *bitset.Set) bool { return s.Contains(0) })
+	if want := m.Marginal(0); math.Abs(f-want) > 0.01 {
+		t.Fatalf("empirical %v, exact %v", f, want)
+	}
+	// Correlation check: P(X0 ∧ X1) = P(router1) + P(router0)·... exact via
+	// 1 - P(good0) - P(good1) + P(both good).
+	both := sampleFreq(m, 5, func(s *bitset.Set) bool { return s.Contains(0) && s.Contains(1) })
+	exact := 1 - m.ProbAllGood(bitset.FromIndices(0)) - m.ProbAllGood(bitset.FromIndices(1)) + m.ProbAllGood(bitset.FromIndices(0, 1))
+	if math.Abs(both-exact) > 0.01 {
+		t.Fatalf("empirical joint %v, exact %v", both, exact)
+	}
+}
+
+func TestTableValidationAndProbabilities(t *testing.T) {
+	mk := func(states []SubsetProb) (*Table, error) {
+		return NewTable(2, []GroupTable{{Links: []int{0, 1}, States: states}})
+	}
+	if _, err := mk([]SubsetProb{{Links: bitset.New(0), P: 0.5}}); err == nil {
+		t.Fatal("non-normalized table accepted")
+	}
+	if _, err := mk([]SubsetProb{
+		{Links: bitset.New(0), P: 0.5},
+		{Links: bitset.FromIndices(5), P: 0.5},
+	}); err == nil {
+		t.Fatal("out-of-group state accepted")
+	}
+	tb, err := mk([]SubsetProb{
+		{Links: bitset.New(0), P: 0.4},
+		{Links: bitset.FromIndices(0), P: 0.1},
+		{Links: bitset.FromIndices(1), P: 0.2},
+		{Links: bitset.FromIndices(0, 1), P: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Marginal(0); math.Abs(got-0.4) > 1e-15 {
+		t.Fatalf("Marginal(0) = %v, want 0.4", got)
+	}
+	if got := tb.ProbAllGood(bitset.FromIndices(0, 1)); math.Abs(got-0.4) > 1e-15 {
+		t.Fatalf("ProbAllGood = %v, want 0.4", got)
+	}
+	if got := tb.ProbAllGood(bitset.FromIndices(1)); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("ProbAllGood({1}) = %v, want 0.5", got)
+	}
+}
+
+func TestTableSampleMatchesDistribution(t *testing.T) {
+	tb, err := NewTable(2, []GroupTable{{
+		Links: []int{0, 1},
+		States: []SubsetProb{
+			{Links: bitset.New(0), P: 0.4},
+			{Links: bitset.FromIndices(0), P: 0.1},
+			{Links: bitset.FromIndices(1), P: 0.2},
+			{Links: bitset.FromIndices(0, 1), P: 0.3},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sampleFreq(tb, 6, func(s *bitset.Set) bool { return s.Contains(0) && s.Contains(1) })
+	if math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("empirical P(S={0,1}) = %v, want ≈0.3", f)
+	}
+}
+
+func TestAttackOverlay(t *testing.T) {
+	base, _ := NewIndependent([]float64{0.1, 0.1, 0.1})
+	if _, err := NewAttackOverlay(base, bitset.FromIndices(9), 0.5); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if _, err := NewAttackOverlay(base, bitset.FromIndices(0), 1.5); err == nil {
+		t.Fatal("bad attack probability accepted")
+	}
+	m, err := NewAttackOverlay(base, bitset.FromIndices(0, 1), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target marginal: q + (1−q)p = 0.2 + 0.8·0.1 = 0.28.
+	if got := m.Marginal(0); math.Abs(got-0.28) > 1e-15 {
+		t.Fatalf("target Marginal = %v, want 0.28", got)
+	}
+	if got := m.Marginal(2); math.Abs(got-0.1) > 1e-15 {
+		t.Fatalf("non-target Marginal = %v, want 0.1", got)
+	}
+	// ProbAllGood of targets: (1−q)·(0.9)².
+	if got, want := m.ProbAllGood(bitset.FromIndices(0, 1)), 0.8*0.81; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ProbAllGood(targets) = %v, want %v", got, want)
+	}
+	if got, want := m.ProbAllGood(bitset.FromIndices(2)), 0.9; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ProbAllGood(non-target) = %v, want %v", got, want)
+	}
+	// Attack induces cross-link correlation: P(X0∧X1) >> p².
+	f := sampleFreq(m, 7, func(s *bitset.Set) bool { return s.Contains(0) && s.Contains(1) })
+	exact := 1 - m.ProbAllGood(bitset.FromIndices(0)) - m.ProbAllGood(bitset.FromIndices(1)) + m.ProbAllGood(bitset.FromIndices(0, 1))
+	if math.Abs(f-exact) > 0.01 {
+		t.Fatalf("empirical joint %v, exact %v", f, exact)
+	}
+}
+
+// Property: SubsetDistribution sums to 1 and matches empirical frequencies
+// for every model family.
+func TestSubsetDistributionConsistency(t *testing.T) {
+	ind, _ := NewIndependent([]float64{0.3, 0.6})
+	sc, _ := NewSharedCause([]int{0, 0}, []float64{0.4}, []float64{0.7, 0.9}, []float64{0.05, 0.1})
+	rb, _ := NewRouterBacked([][]int{{0, 1}, {1, 2}}, []float64{0.1, 0.2, 0.3})
+	models := map[string]Model{"independent": ind, "sharedcause": sc, "routerbacked": rb}
+
+	for name, m := range models {
+		dist := SubsetDistribution(m, []int{0, 1})
+		sum := 0.0
+		for _, sp := range dist {
+			if sp.P < 0 {
+				t.Fatalf("%s: negative probability %v for %v", name, sp.P, sp.Links)
+			}
+			sum += sp.P
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: distribution sums to %v", name, sum)
+		}
+		for _, sp := range dist {
+			sp := sp
+			f := sampleFreq(m, 8, func(s *bitset.Set) bool {
+				return s.Contains(0) == sp.Links.Contains(0) && s.Contains(1) == sp.Links.Contains(1)
+			})
+			if math.Abs(f-sp.P) > 0.012 {
+				t.Fatalf("%s: empirical P(S=%v) = %v, exact %v", name, sp.Links, f, sp.P)
+			}
+		}
+	}
+}
+
+func TestMarginalsHelper(t *testing.T) {
+	m, _ := NewIndependent([]float64{0.1, 0.9})
+	got := Marginals(m)
+	if len(got) != 2 || got[0] != 0.1 || got[1] != 0.9 {
+		t.Fatalf("Marginals = %v", got)
+	}
+}
+
+var _ = topology.LinkID(0) // keep the import honest in case of refactors

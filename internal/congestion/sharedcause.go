@@ -1,0 +1,127 @@
+package congestion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+// SharedCause models links whose congestion has a common hidden cause per
+// correlation set — e.g. a shared physical link or a shared management
+// process (Section 3.3 of the paper). For link k in group g:
+//
+//	Xk = (Hg ∧ Wk) ∨ Vk
+//
+// where Hg ~ Bernoulli(CauseProb[g]) is the per-group hidden cause, Wk ~
+// Bernoulli(Participation[k]) is whether the link is hit when the cause
+// fires, and Vk ~ Bernoulli(Idio[k]) is idiosyncratic congestion. All latent
+// variables are independent, so links in different groups are independent —
+// exactly the paper's correlation-set semantics — while links within a group
+// are positively correlated through Hg.
+type SharedCause struct {
+	Group         []int     // Group[k] = correlation group of link k
+	CauseProb     []float64 // per group: P(Hg = 1)
+	Participation []float64 // per link: P(Wk = 1)
+	Idio          []float64 // per link: P(Vk = 1)
+
+	numGroups int
+	byGroup   [][]int // links of each group
+}
+
+// NewSharedCause validates and builds the model. group maps each link to a
+// group index in [0, numGroups); causeProb has one entry per group;
+// participation and idio have one entry per link.
+func NewSharedCause(group []int, causeProb, participation, idio []float64) (*SharedCause, error) {
+	n := len(group)
+	if len(participation) != n || len(idio) != n {
+		return nil, fmt.Errorf("congestion: SharedCause per-link slices disagree: %d groups entries, %d participation, %d idio",
+			n, len(participation), len(idio))
+	}
+	ng := len(causeProb)
+	byGroup := make([][]int, ng)
+	for k, g := range group {
+		if g < 0 || g >= ng {
+			return nil, fmt.Errorf("congestion: link %d has group %d, want [0,%d)", k, g, ng)
+		}
+		byGroup[g] = append(byGroup[g], k)
+	}
+	for g, q := range causeProb {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			return nil, fmt.Errorf("congestion: group %d cause probability %v out of [0,1]", g, q)
+		}
+	}
+	for k := 0; k < n; k++ {
+		if participation[k] < 0 || participation[k] > 1 || idio[k] < 0 || idio[k] > 1 {
+			return nil, fmt.Errorf("congestion: link %d participation/idio out of [0,1]", k)
+		}
+	}
+	m := &SharedCause{
+		Group:         append([]int{}, group...),
+		CauseProb:     append([]float64{}, causeProb...),
+		Participation: append([]float64{}, participation...),
+		Idio:          append([]float64{}, idio...),
+		numGroups:     ng,
+		byGroup:       byGroup,
+	}
+	return m, nil
+}
+
+// NumLinks implements Model.
+func (m *SharedCause) NumLinks() int { return len(m.Group) }
+
+// Sample implements Model.
+func (m *SharedCause) Sample(rng *rand.Rand, out *bitset.Set) {
+	out.Clear()
+	for g := 0; g < m.numGroups; g++ {
+		h := rng.Float64() < m.CauseProb[g]
+		for _, k := range m.byGroup[g] {
+			congested := rng.Float64() < m.Idio[k]
+			if !congested && h && rng.Float64() < m.Participation[k] {
+				congested = true
+			}
+			if congested {
+				out.Add(k)
+			}
+		}
+	}
+}
+
+// Marginal implements Model: P(Xk=1) = 1 − (1 − q·a)·(1 − b).
+func (m *SharedCause) Marginal(link topology.LinkID) float64 {
+	k := int(link)
+	q := m.CauseProb[m.Group[k]]
+	return 1 - (1-q*m.Participation[k])*(1-m.Idio[k])
+}
+
+// ProbAllGood implements Model. Within group g with queried links Ag:
+//
+//	P(all good) = Π (1−bk) · [ (1−q) + q·Π (1−ak) ]
+func (m *SharedCause) ProbAllGood(links *bitset.Set) float64 {
+	type acc struct {
+		idio  float64 // Π (1−bk)
+		part  float64 // Π (1−ak)
+		found bool
+	}
+	groups := map[int]*acc{}
+	links.ForEach(func(k int) bool {
+		g := m.Group[k]
+		a := groups[g]
+		if a == nil {
+			a = &acc{idio: 1, part: 1}
+			groups[g] = a
+		}
+		a.found = true
+		a.idio *= 1 - m.Idio[k]
+		a.part *= 1 - m.Participation[k]
+		return true
+	})
+	p := 1.0
+	for g, a := range groups {
+		q := m.CauseProb[g]
+		p *= a.idio * ((1 - q) + q*a.part)
+	}
+	return p
+}

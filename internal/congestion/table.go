@@ -1,0 +1,133 @@
+package congestion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+// GroupTable is the explicit joint distribution of one correlation group:
+// a probability for every possible congested subset of the group's links.
+type GroupTable struct {
+	Links []int // the group's link indices
+	// States enumerates subsets with their probabilities; probabilities must
+	// sum to 1 (the empty subset's probability may be given implicitly via
+	// Normalize). Subsets are expressed over the link indices in Links.
+	States []SubsetProb
+}
+
+// Table is a Model defined by explicit per-group joint tables. Groups are
+// mutually independent. It is primarily used in unit tests and in the toy
+// examples, where the paper's worked probabilities can be written down
+// verbatim.
+type Table struct {
+	groups   []GroupTable
+	cum      [][]float64 // per group: cumulative probabilities for sampling
+	numLinks int
+	groupOf  []int
+}
+
+// NewTable validates the group tables and builds the model. Every link index
+// in [0, numLinks) must appear in exactly one group, and each group's state
+// probabilities must sum to 1 (±1e-9) with subsets drawn from the group's
+// links.
+func NewTable(numLinks int, groups []GroupTable) (*Table, error) {
+	t := &Table{numLinks: numLinks, groupOf: make([]int, numLinks)}
+	for i := range t.groupOf {
+		t.groupOf[i] = -1
+	}
+	for gi, g := range groups {
+		memb := bitset.New(numLinks)
+		for _, k := range g.Links {
+			if k < 0 || k >= numLinks {
+				return nil, fmt.Errorf("congestion: group %d references link %d outside [0,%d)", gi, k, numLinks)
+			}
+			if t.groupOf[k] != -1 {
+				return nil, fmt.Errorf("congestion: link %d appears in two groups", k)
+			}
+			t.groupOf[k] = gi
+			memb.Add(k)
+		}
+		sum := 0.0
+		var cum []float64
+		for si, s := range g.States {
+			if s.P < 0 || math.IsNaN(s.P) {
+				return nil, fmt.Errorf("congestion: group %d state %d has probability %v", gi, si, s.P)
+			}
+			if !s.Links.IsSubsetOf(memb) {
+				return nil, fmt.Errorf("congestion: group %d state %d includes links outside the group", gi, si)
+			}
+			sum += s.P
+			cum = append(cum, sum)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("congestion: group %d probabilities sum to %v, want 1", gi, sum)
+		}
+		t.groups = append(t.groups, g)
+		t.cum = append(t.cum, cum)
+	}
+	for k, g := range t.groupOf {
+		if g == -1 {
+			return nil, fmt.Errorf("congestion: link %d belongs to no group", k)
+		}
+	}
+	return t, nil
+}
+
+// NumLinks implements Model.
+func (t *Table) NumLinks() int { return t.numLinks }
+
+// Sample implements Model: draw each group's subset independently.
+func (t *Table) Sample(rng *rand.Rand, out *bitset.Set) {
+	out.Clear()
+	for gi, g := range t.groups {
+		u := rng.Float64()
+		cum := t.cum[gi]
+		idx := sort.SearchFloat64s(cum, u)
+		if idx >= len(g.States) {
+			idx = len(g.States) - 1
+		}
+		out.UnionWith(g.States[idx].Links)
+	}
+}
+
+// Marginal implements Model.
+func (t *Table) Marginal(link topology.LinkID) float64 {
+	g := t.groups[t.groupOf[link]]
+	p := 0.0
+	for _, s := range g.States {
+		if s.Links.Contains(int(link)) {
+			p += s.P
+		}
+	}
+	return p
+}
+
+// ProbAllGood implements Model: per group, sum the probabilities of states
+// disjoint from the queried links; multiply across groups.
+func (t *Table) ProbAllGood(links *bitset.Set) float64 {
+	queried := map[int]*bitset.Set{}
+	links.ForEach(func(k int) bool {
+		gi := t.groupOf[k]
+		if queried[gi] == nil {
+			queried[gi] = bitset.New(t.numLinks)
+		}
+		queried[gi].Add(k)
+		return true
+	})
+	p := 1.0
+	for gi, q := range queried {
+		gp := 0.0
+		for _, s := range t.groups[gi].States {
+			if !s.Links.Intersects(q) {
+				gp += s.P
+			}
+		}
+		p *= gp
+	}
+	return p
+}

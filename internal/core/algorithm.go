@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/lp"
+	"repro/internal/measure"
+	"repro/internal/topology"
+)
+
+// SolverKind identifies how the final linear system was solved.
+type SolverKind string
+
+const (
+	// SolverSquare: the system reached full rank and was solved exactly.
+	SolverSquare SolverKind = "square"
+	// SolverL1: the system was underdetermined and completed by L1-norm
+	// minimization (basis pursuit with x ≤ 0), per Section 4.
+	SolverL1 SolverKind = "l1"
+	// SolverMinNorm: L1 LP failed or was too large; minimum-L2-norm
+	// completion was used instead.
+	SolverMinNorm SolverKind = "min-norm"
+	// SolverLeastSquares: overdetermined mode (UseAllEquations ablation).
+	SolverLeastSquares SolverKind = "least-squares"
+)
+
+// Result is the output of a tomography run.
+type Result struct {
+	// CongestionProb[k] is the inferred P(Xek = 1) for every link.
+	CongestionProb []float64
+	// LogGoodProb[k] is the underlying solution x_k = log P(Xek = 0).
+	LogGoodProb []float64
+	// System is the equation system that produced the result.
+	System *EquationSystem
+	// Solver reports which completion strategy ran.
+	Solver SolverKind
+}
+
+// Options tunes the practical algorithms.
+type Options struct {
+	// MinProb and MaxPairCandidates are forwarded to BuildEquations.
+	MinProb           float64
+	MaxPairCandidates int
+	// MaxLPSize bounds the number of unknowns for the exact L1 simplex; above
+	// it the min-norm completion is used (default 600).
+	MaxLPSize int
+	// UseAllEquations switches to an overdetermined formulation: gather up to
+	// 3·|E| admissible equations (not just |E| independent ones) and solve by
+	// least squares. Off by default — the paper's algorithm forms "just
+	// enough" equations. Exposed for the solver ablation benchmark.
+	UseAllEquations bool
+	// DisablePairs skips pair equations (the "pairs off" ablation).
+	DisablePairs bool
+	// ForceMinNorm skips the L1 LP for underdetermined systems and uses the
+	// minimum-L2-norm completion directly (solver ablation).
+	ForceMinNorm bool
+	// PathFilter restricts equation formation to selected paths (see
+	// BuildOptions.PathFilter).
+	PathFilter func(topology.PathID) bool
+}
+
+func (o *Options) fill() {
+	if o.MaxLPSize <= 0 {
+		o.MaxLPSize = 600
+	}
+}
+
+// Correlation runs the paper's Section-4 algorithm with the topology's own
+// correlation sets.
+func Correlation(top *topology.Topology, src measure.Source, opts Options) (*Result, error) {
+	return runLinear(top, src, nil, opts)
+}
+
+// Independence runs the Nguyen–Thiran baseline: identical machinery with
+// every link in its own correlation set, so all paths and pairs qualify and
+// products over any link set are (incorrectly, when links are correlated)
+// assumed to factorize.
+func Independence(top *topology.Topology, src measure.Source, opts Options) (*Result, error) {
+	setOf := make([]int, top.NumLinks())
+	for k := range setOf {
+		setOf[k] = k
+	}
+	return runLinear(top, src, setOf, opts)
+}
+
+func runLinear(top *topology.Topology, src measure.Source, setOf []int, opts Options) (*Result, error) {
+	opts.fill()
+	sys, err := BuildEquations(top, src, BuildOptions{
+		SetOf:             setOf,
+		MinProb:           opts.MinProb,
+		MaxPairCandidates: opts.MaxPairCandidates,
+		CollectAll:        opts.UseAllEquations,
+		DisablePairs:      opts.DisablePairs,
+		PathFilter:        opts.PathFilter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(sys.Equations) == 0 {
+		return nil, fmt.Errorf("core: no usable equations (all admissible observations had zero good-probability)")
+	}
+
+	a, y := sys.Matrix()
+	nl := top.NumLinks()
+	var x []float64
+	var kind SolverKind
+
+	switch {
+	case opts.UseAllEquations:
+		x, err = nil, linalg.ErrSingular
+		if a.Rows >= nl && sys.Rank == nl {
+			x, err = linalg.LeastSquares(a, y)
+		}
+		kind = SolverLeastSquares
+		if err != nil {
+			x, err = linalg.MinNormSolve(a, y)
+			kind = SolverMinNorm
+		}
+	case sys.Rank == nl:
+		// Full rank: the selected rows form an invertible square system.
+		x, err = linalg.SolveLU(a, y)
+		kind = SolverSquare
+		if err != nil {
+			// Numerically borderline; fall back to min-norm which handles it.
+			x, err = linalg.MinNormSolve(a, y)
+			kind = SolverMinNorm
+		}
+	default:
+		// Underdetermined: L1-residual-minimal completion under x ≤ 0
+		// (Section 4), with min-norm fallback for very large systems or LP
+		// failure.
+		if nl <= opts.MaxLPSize && !opts.ForceMinNorm {
+			x, err = lp.MinimizeL1ResidualNonPositive(a, y)
+			kind = SolverL1
+			if err != nil {
+				x, err = linalg.MinNormSolve(a, y)
+				kind = SolverMinNorm
+			}
+		} else {
+			x, err = linalg.MinNormSolve(a, y)
+			kind = SolverMinNorm
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: solving the equation system: %w", err)
+	}
+
+	res := &Result{
+		CongestionProb: make([]float64, nl),
+		LogGoodProb:    make([]float64, nl),
+		System:         sys,
+		Solver:         kind,
+	}
+	for k := 0; k < nl; k++ {
+		xv := x[k]
+		if xv > 0 {
+			xv = 0 // log-probabilities cannot be positive
+		}
+		res.LogGoodProb[k] = xv
+		p := 1 - math.Exp(xv)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		res.CongestionProb[k] = p
+	}
+	return res, nil
+}

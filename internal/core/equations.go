@@ -1,0 +1,315 @@
+// Package core implements the paper's contribution: tomography algorithms
+// that identify per-link congestion probabilities from end-to-end path
+// measurements in the presence of correlated links.
+//
+// Three algorithms are provided:
+//
+//   - Correlation — the practical algorithm of Section 4. It forms the
+//     log-linear system y = A·x over x_k = log P(Xek = 0), using only paths
+//     and pairs of paths that traverse at most one link per correlation set,
+//     and solves it (exactly when full rank, by L1-norm minimization when
+//     underdetermined).
+//   - Independence — the baseline of Nguyen & Thiran (INFOCOM 2007) as used
+//     in the paper's evaluation: the identical machinery with every link
+//     treated as its own correlation set, so every path and pair qualifies.
+//   - Theorem — the exact, exponential algorithm extracted from the proof of
+//     Theorem 1 (Appendix A): compute congestion factors αA for every
+//     correlation subset in path-coverage order, then recover all marginal
+//     and joint congestion probabilities via Lemma 3.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/linalg"
+	"repro/internal/measure"
+	"repro/internal/topology"
+)
+
+// Equation is one row of the log-linear system: Sum over Links of
+// x_k equals Y, where Y = log P(all paths involved are good).
+type Equation struct {
+	Links *bitset.Set // link set (union of the involved paths' links)
+	Y     float64     // log of the measured all-good probability
+	Paths []topology.PathID
+}
+
+// EquationSystem is the set of linearly independent equations selected by
+// the Section-4 procedure.
+type EquationSystem struct {
+	NumLinks  int
+	Equations []Equation
+	// SinglePathEqs and PairEqs count the equations from single paths (N1)
+	// and pairs of paths (N2).
+	SinglePathEqs, PairEqs int
+	// Rank is the rank of the system (== len(Equations)).
+	Rank int
+	// Covered marks the links that appear in at least one equation.
+	Covered *bitset.Set
+	// SkippedZeroProb counts admissible path (or pair) observations that had
+	// to be dropped because their measured all-good probability was ≤
+	// MinProb (log undefined / hopelessly noisy).
+	SkippedZeroProb int
+}
+
+// BuildOptions tunes equation selection.
+type BuildOptions struct {
+	// SetOf overrides the correlation structure: SetOf[k] is the correlation
+	// group of link k. Nil means the topology's own correlation sets. The
+	// Independence algorithm passes the identity partition here.
+	SetOf []int
+	// MinProb is the smallest usable measured probability; observations at
+	// or below it are skipped (default 1e-9).
+	MinProb float64
+	// MaxPairCandidates caps how many pair equations are examined (default
+	// 200000); the paper's procedure stops as soon as |E| equations are
+	// gathered anyway.
+	MaxPairCandidates int
+	// CollectAll keeps admissible equations even when they do not increase
+	// the rank, up to MaxEquations rows — the overdetermined formulation used
+	// by the least-squares ablation. Off in the paper-faithful algorithm.
+	CollectAll bool
+	// MaxEquations caps the system size when CollectAll is set (default
+	// 3·|E|).
+	MaxEquations int
+	// GF2RankThreshold: above this many links, rank tracking switches from
+	// floating-point Gram–Schmidt to GF(2) XOR elimination, which is
+	// dramatically faster and sound (GF(2)-independent ⇒ ℚ-independent) at
+	// the cost of occasionally under-collecting an equation. Default 600.
+	GF2RankThreshold int
+	// DisablePairs skips the pair-equation step (Eq. 10) entirely — the
+	// "pairs off" ablation quantifying how much the two-path observations
+	// contribute to identifiability.
+	DisablePairs bool
+	// PathFilter, when non-nil, restricts equation formation to paths for
+	// which it returns true (e.g. a training split for indirect validation).
+	PathFilter func(topology.PathID) bool
+}
+
+func (o *BuildOptions) fill(top *topology.Topology) {
+	if o.SetOf == nil {
+		o.SetOf = make([]int, top.NumLinks())
+		for k := range o.SetOf {
+			o.SetOf[k] = top.SetOf(topology.LinkID(k))
+		}
+	}
+	if o.MinProb <= 0 {
+		o.MinProb = 1e-9
+	}
+	if o.MaxPairCandidates <= 0 {
+		o.MaxPairCandidates = 200000
+	}
+	if o.MaxEquations <= 0 {
+		o.MaxEquations = 3 * top.NumLinks()
+	}
+	if o.GF2RankThreshold <= 0 {
+		o.GF2RankThreshold = 600
+	}
+}
+
+// rankTracker abstracts the two linear-independence trackers.
+type rankTracker interface {
+	wouldIncrease(links *bitset.Set) bool
+	add(links *bitset.Set)
+	rank() int
+	full() bool
+}
+
+// floatTracker wraps linalg.RowBasis (exact over the reals).
+type floatTracker struct {
+	rb  *linalg.RowBasis
+	row []float64
+}
+
+func newFloatTracker(dim int) *floatTracker {
+	return &floatTracker{rb: linalg.NewRowBasis(dim, 0), row: make([]float64, dim)}
+}
+
+func (t *floatTracker) toRow(links *bitset.Set) []float64 {
+	for i := range t.row {
+		t.row[i] = 0
+	}
+	links.ForEach(func(k int) bool {
+		t.row[k] = 1
+		return true
+	})
+	return t.row
+}
+
+func (t *floatTracker) wouldIncrease(links *bitset.Set) bool {
+	return t.rb.WouldIncreaseRank(t.toRow(links))
+}
+func (t *floatTracker) add(links *bitset.Set) { t.rb.Add(t.toRow(links)) }
+func (t *floatTracker) rank() int             { return t.rb.Rank() }
+func (t *floatTracker) full() bool            { return t.rb.Full() }
+
+// gf2Tracker wraps linalg.GF2Basis (fast, may under-collect).
+type gf2Tracker struct {
+	b   *linalg.GF2Basis
+	dim int
+}
+
+func (t *gf2Tracker) wouldIncrease(links *bitset.Set) bool { return t.b.WouldIncreaseRank(links) }
+func (t *gf2Tracker) add(links *bitset.Set)                { t.b.Add(links) }
+func (t *gf2Tracker) rank() int                            { return t.b.Rank() }
+func (t *gf2Tracker) full() bool                           { return t.b.Rank() == t.dim }
+
+// BuildEquations runs the Section-4 selection: all admissible single-path
+// equations first, then admissible pair equations, keeping only rows that
+// increase the rank, until |E| equations are collected or candidates run out.
+func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOptions) (*EquationSystem, error) {
+	if src.NumPaths() != top.NumPaths() {
+		return nil, fmt.Errorf("core: source has %d paths, topology %d", src.NumPaths(), top.NumPaths())
+	}
+	opts.fill(top)
+	if len(opts.SetOf) != top.NumLinks() {
+		return nil, fmt.Errorf("core: SetOf has %d entries, want %d", len(opts.SetOf), top.NumLinks())
+	}
+
+	nl := top.NumLinks()
+	sys := &EquationSystem{NumLinks: nl, Covered: bitset.New(nl)}
+	var basis rankTracker
+	if nl > opts.GF2RankThreshold {
+		basis = &gf2Tracker{b: linalg.NewGF2Basis(), dim: nl}
+	} else {
+		basis = newFloatTracker(nl)
+	}
+
+	admissible := func(links *bitset.Set) bool {
+		seen := make(map[int]bool)
+		ok := true
+		links.ForEach(func(k int) bool {
+			g := opts.SetOf[k]
+			if seen[g] {
+				ok = false
+				return false
+			}
+			seen[g] = true
+			return true
+		})
+		return ok
+	}
+
+	// done reports whether equation gathering should stop.
+	done := func() bool {
+		if opts.CollectAll {
+			return len(sys.Equations) >= opts.MaxEquations
+		}
+		return basis.full()
+	}
+
+	addEq := func(links *bitset.Set, paths ...topology.PathID) bool {
+		if !opts.CollectAll && !basis.wouldIncrease(links) {
+			return false
+		}
+		pathSet := bitset.New(top.NumPaths())
+		for _, p := range paths {
+			pathSet.Add(int(p))
+		}
+		prob := src.ProbPathsGood(pathSet)
+		if prob <= opts.MinProb {
+			sys.SkippedZeroProb++
+			return false
+		}
+		basis.add(links)
+		sys.Equations = append(sys.Equations, Equation{
+			Links: links.Clone(),
+			Y:     math.Log(prob),
+			Paths: append([]topology.PathID{}, paths...),
+		})
+		sys.Covered.UnionWith(links)
+		return true
+	}
+
+	// Step 1: single-path equations (Eq. 9 in the paper).
+	var admissiblePaths []topology.PathID
+	for _, p := range top.Paths() {
+		if opts.PathFilter != nil && !opts.PathFilter(p.ID) {
+			continue
+		}
+		links := top.PathLinkSet(p.ID)
+		if !admissible(links) {
+			continue
+		}
+		admissiblePaths = append(admissiblePaths, p.ID)
+		if addEq(links, p.ID) {
+			sys.SinglePathEqs++
+		}
+		if done() {
+			break
+		}
+	}
+
+	// Step 2: pair equations (Eq. 10). Only pairs of admissible paths that
+	// share at least one link can be independent of the single-path rows,
+	// so candidates are enumerated per shared link.
+	if !done() && !opts.DisablePairs {
+		isAdmissiblePath := make([]bool, top.NumPaths())
+		for _, p := range admissiblePaths {
+			isAdmissiblePath[p] = true
+		}
+		seen := make(map[int64]bool)
+		candidates := 0
+	pairLoop:
+		for k := 0; k < nl; k++ {
+			through := top.PathsThroughLink(topology.LinkID(k))
+			for ai := 0; ai < len(through); ai++ {
+				i := through[ai]
+				if !isAdmissiblePath[i] {
+					continue
+				}
+				for bi := ai + 1; bi < len(through); bi++ {
+					j := through[bi]
+					if !isAdmissiblePath[j] {
+						continue
+					}
+					key := int64(i)*int64(top.NumPaths()) + int64(j)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					candidates++
+					if candidates > opts.MaxPairCandidates {
+						break pairLoop
+					}
+					union := bitset.Union(top.PathLinkSet(i), top.PathLinkSet(j))
+					if !admissible(union) {
+						continue
+					}
+					if addEq(union, i, j) {
+						sys.PairEqs++
+					}
+					if done() {
+						break pairLoop
+					}
+				}
+			}
+		}
+	}
+
+	sys.Rank = basis.rank()
+	return sys, nil
+}
+
+// Matrix materializes the system as (A, y) for the solvers.
+func (s *EquationSystem) Matrix() (*linalg.Matrix, []float64) {
+	a := linalg.NewMatrix(len(s.Equations), s.NumLinks)
+	y := make([]float64, len(s.Equations))
+	for i, eq := range s.Equations {
+		eq.Links.ForEach(func(k int) bool {
+			a.Set(i, k, 1)
+			return true
+		})
+		y[i] = eq.Y
+	}
+	return a, y
+}
+
+// SortPathIDs sorts a PathID slice in place (used by callers presenting
+// deterministic equation listings).
+func SortPathIDs(p []topology.PathID) {
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+}

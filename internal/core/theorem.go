@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/measure"
+	"repro/internal/topology"
+)
+
+// TheoremResult is the output of the exact Appendix-A algorithm.
+type TheoremResult struct {
+	// CongestionProb[k] is the recovered P(Xek = 1).
+	CongestionProb []float64
+	// Alpha maps each correlation subset (by its bitset key) to its
+	// congestion factor αA = P(Sᵖ = A)/P(Sᵖ = ∅).
+	Alpha map[string]float64
+	// Subsets lists the correlation subsets in the computation order
+	// (ascending |ψ(A)|), for inspection and tests.
+	Subsets []*bitset.Set
+	// ProbSetEmpty[p] is the recovered P(Sᵖ = ∅) for each correlation set.
+	ProbSetEmpty []float64
+	// JointProb maps a correlation subset key to the recovered probability
+	// that exactly the links of that subset are the congested links of its
+	// correlation set, P(Sᵖ = A) (Lemma 3).
+	JointProb map[string]float64
+}
+
+// TheoremOptions tunes the exact algorithm.
+type TheoremOptions struct {
+	// MaxSubsetsPerSet caps 2^|Cp| enumeration per correlation set
+	// (default 4096, i.e. sets of up to 12 links).
+	MaxSubsetsPerSet int
+}
+
+// corrSubset is one correlation subset A ∈ C̃ with its path coverage.
+type corrSubset struct {
+	set      int
+	links    *bitset.Set
+	coverage *bitset.Set
+	key      string
+}
+
+// Theorem runs the constructive algorithm extracted from the proof of
+// Theorem 1. It requires a PatternSource (exact or empirical estimates of
+// P(ψ(S) = Q)) and a topology satisfying Assumption 4; it returns the
+// congestion factors and per-link congestion probabilities.
+//
+// The computation follows the Appendix step by step:
+//
+//  1. enumerate the correlation subsets C̃ and order them by |ψ(A)|;
+//  2. for each A in order, enumerate the network states Sn with
+//     ψ(Sn) = ψ(A), split them by whether Sqn = A, and solve Eq. 18
+//     αA = (P(ψ(S)=ψ(A))/P(ψ(S)=∅) − ΓĀ)/ΓA, where ΓA and ΓĀ only involve
+//     congestion factors already computed (Lemma 1);
+//  3. recover P(Sᵖ = ∅) = 1/(1 + Σ αA) and P(Sᵖ = A) = αA·P(Sᵖ = ∅), then
+//     P(Xek = 1) = Σ_{A ∋ ek} P(Sᵖ = A) (Lemma 3).
+func Theorem(top *topology.Topology, src measure.PatternSource, opts TheoremOptions) (*TheoremResult, error) {
+	if opts.MaxSubsetsPerSet <= 0 {
+		opts.MaxSubsetsPerSet = 4096
+	}
+
+	var subsets []*corrSubset
+	bySet := make([][]*corrSubset, top.NumSets())
+	for p := 0; p < top.NumSets(); p++ {
+		elems := top.CorrelationSet(p).Indices()
+		if len(elems) > 30 || 1<<uint(min(len(elems), 30)) > opts.MaxSubsetsPerSet {
+			return nil, fmt.Errorf("core: correlation set %d has %d links (2^%d subsets exceeds the cap %d); the theorem algorithm is exponential — use Correlation instead",
+				p, len(elems), len(elems), opts.MaxSubsetsPerSet)
+		}
+		bitset.EnumerateSubsets(elems, func(s *bitset.Set) bool {
+			sub := &corrSubset{set: p, links: s.Clone(), coverage: top.Coverage(s)}
+			sub.key = sub.links.Key()
+			subsets = append(subsets, sub)
+			bySet[p] = append(bySet[p], sub)
+			return true
+		})
+	}
+
+	// Assumption 4: coverages must be pairwise distinct.
+	seenCov := make(map[string]*corrSubset, len(subsets))
+	for _, s := range subsets {
+		ck := s.coverage.Key()
+		if prev, ok := seenCov[ck]; ok {
+			return nil, fmt.Errorf("core: Assumption 4 violated: correlation subsets %v and %v cover the same paths %v",
+				prev.links, s.links, s.coverage)
+		}
+		seenCov[ck] = s
+	}
+
+	// Order by |ψ(A)| ascending (the partial order T of the Appendix).
+	sort.SliceStable(subsets, func(i, j int) bool {
+		return subsets[i].coverage.Len() < subsets[j].coverage.Len()
+	})
+
+	p0 := src.ProbExactCongestedPaths(bitset.New(top.NumPaths()))
+	if p0 <= 0 {
+		return nil, fmt.Errorf("core: P(all paths good) = %v; the theorem algorithm needs a positive all-good probability", p0)
+	}
+
+	alpha := make(map[string]float64, len(subsets))
+	res := &TheoremResult{
+		CongestionProb: make([]float64, top.NumLinks()),
+		Alpha:          alpha,
+		ProbSetEmpty:   make([]float64, top.NumSets()),
+		JointProb:      make(map[string]float64, len(subsets)),
+	}
+
+	for _, a := range subsets {
+		res.Subsets = append(res.Subsets, a.links.Clone())
+		gammaA, gammaBar, err := gammaTerms(top, bySet, alpha, a)
+		if err != nil {
+			return nil, err
+		}
+		if gammaA <= 0 {
+			return nil, fmt.Errorf("core: ΓA = %v for subset %v; cannot solve Eq. 18", gammaA, a.links)
+		}
+		lhs := src.ProbExactCongestedPaths(a.coverage) / p0
+		av := (lhs - gammaBar) / gammaA
+		if av < 0 {
+			av = 0 // estimation noise can push a tiny factor below zero
+		}
+		alpha[a.key] = av
+	}
+
+	// Lemma 3: recover P(Sᵖ=∅), P(Sᵖ=A) and the per-link marginals.
+	for p := 0; p < top.NumSets(); p++ {
+		sum := 0.0
+		for _, s := range bySet[p] {
+			sum += alpha[s.key]
+		}
+		pEmpty := 1 / (1 + sum)
+		res.ProbSetEmpty[p] = pEmpty
+		for _, s := range bySet[p] {
+			joint := alpha[s.key] * pEmpty
+			res.JointProb[s.key] = joint
+			s.links.ForEach(func(k int) bool {
+				res.CongestionProb[k] += joint
+				return true
+			})
+		}
+	}
+	for k, v := range res.CongestionProb {
+		if v > 1 {
+			res.CongestionProb[k] = 1
+		}
+	}
+	return res, nil
+}
+
+// gammaTerms enumerates the network states Sn with ψ(Sn) = ψ(A) and returns
+//
+//	ΓA = Σ_{Sn: Sqn = A} Π_{p≠q} α(Spn)
+//	ΓĀ = Σ_{Sn: Sqn ≠ A} Π_p   α(Spn)
+//
+// with α(∅) = 1. All other α's needed are already present in the alpha map,
+// guaranteed by the |ψ(A)| ordering (Lemma 1).
+func gammaTerms(top *topology.Topology, bySet [][]*corrSubset, alpha map[string]float64, a *corrSubset) (gammaA, gammaBar float64, err error) {
+	// Per correlation set, the admissible states are ∅ plus the subsets
+	// whose coverage fits inside ψ(A).
+	type option struct {
+		coverage *bitset.Set
+		factor   float64 // α of the state; 1 for ∅
+		isA      bool    // true when this is state A itself in set q
+	}
+	options := make([][]option, len(bySet))
+	for p := range bySet {
+		opts := []option{{coverage: bitset.New(top.NumPaths()), factor: 1}}
+		for _, s := range bySet[p] {
+			if !s.coverage.IsSubsetOf(a.coverage) {
+				continue
+			}
+			if p == a.set && s.key == a.key {
+				opts = append(opts, option{coverage: s.coverage, factor: 1, isA: true})
+				continue
+			}
+			av, ok := alpha[s.key]
+			if !ok {
+				return 0, 0, fmt.Errorf("core: internal error: α for subset %v needed before it was computed (ordering bug)", s.links)
+			}
+			if av == 0 {
+				continue // contributes nothing to either sum
+			}
+			opts = append(opts, option{coverage: s.coverage, factor: av})
+		}
+		options[p] = opts
+	}
+
+	var rec func(p int, covered *bitset.Set, prod float64, sawA bool)
+	rec = func(p int, covered *bitset.Set, prod float64, sawA bool) {
+		if p == len(options) {
+			if !covered.Equal(a.coverage) {
+				return
+			}
+			if sawA {
+				gammaA += prod
+			} else {
+				gammaBar += prod
+			}
+			return
+		}
+		for _, o := range options[p] {
+			next := covered
+			if !o.coverage.IsEmpty() {
+				next = bitset.Union(covered, o.coverage)
+			}
+			rec(p+1, next, prod*o.factor, sawA || o.isA)
+		}
+	}
+	rec(0, bitset.New(top.NumPaths()), 1, false)
+	return gammaA, gammaBar, nil
+}

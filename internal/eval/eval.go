@@ -1,0 +1,93 @@
+// Package eval implements the paper's evaluation metrics (Section 5,
+// "Metrics"): the absolute error between a link's actual congestion
+// probability and the probability computed by an algorithm, summarized over
+// the potentially congested links as a CDF, a mean, and a 90th percentile.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// AbsErrors returns the sorted absolute errors |truth[k] − inferred[k]| over
+// the links in include (all links when include is nil).
+func AbsErrors(truth, inferred []float64, include *bitset.Set) []float64 {
+	if len(truth) != len(inferred) {
+		panic(fmt.Sprintf("eval: truth has %d links, inferred %d", len(truth), len(inferred)))
+	}
+	var out []float64
+	for k := range truth {
+		if include != nil && !include.Contains(k) {
+			continue
+		}
+		out = append(out, math.Abs(truth[k]-inferred[k]))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the sorted slice
+// xs using nearest-rank interpolation.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[len(xs)-1]
+	}
+	rank := p / 100 * float64(len(xs)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(xs) {
+		return xs[len(xs)-1]
+	}
+	return xs[lo]*(1-frac) + xs[lo+1]*frac
+}
+
+// FracBelow returns the fraction of (sorted) xs that is ≤ x — one point of
+// the paper's CDF plots.
+func FracBelow(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(xs, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(xs))
+}
+
+// CDF samples the empirical CDF of the sorted errors at the given points,
+// returning percentages (0–100) as in the paper's figures.
+func CDF(xs []float64, points []float64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = 100 * FracBelow(xs, p)
+	}
+	return out
+}
+
+// DefaultCDFPoints are the x-axis sample points used for the figure
+// reproductions (matching the paper's 0..1 axis).
+func DefaultCDFPoints() []float64 {
+	pts := make([]float64, 0, 21)
+	for i := 0; i <= 20; i++ {
+		pts = append(pts, float64(i)*0.05)
+	}
+	return pts
+}

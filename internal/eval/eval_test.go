@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestAbsErrors(t *testing.T) {
+	truth := []float64{0.5, 0.2, 0.0, 1.0}
+	inferred := []float64{0.1, 0.2, 0.3, 0.9}
+	got := AbsErrors(truth, inferred, nil)
+	want := []float64{0.0, 0.1, 0.3, 0.4} // sorted
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAbsErrorsWithInclude(t *testing.T) {
+	truth := []float64{0.5, 0.2, 0.0}
+	inferred := []float64{0.1, 0.2, 0.3}
+	got := AbsErrors(truth, inferred, bitset.FromIndices(0, 2))
+	if len(got) != 2 {
+		t.Fatalf("got %v, want 2 entries", got)
+	}
+	if math.Abs(got[0]-0.3) > 1e-15 || math.Abs(got[1]-0.4) > 1e-15 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAbsErrorsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	AbsErrors([]float64{1}, []float64{1, 2}, nil)
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if got := Percentile(xs, 0); got != 0 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); math.Abs(got-4.5) > 1e-12 {
+		t.Fatalf("p50 = %v, want 4.5", got)
+	}
+	if got := Percentile(xs, 90); math.Abs(got-8.1) > 1e-12 {
+		t.Fatalf("p90 = %v, want 8.1", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestFracBelowAndCDF(t *testing.T) {
+	xs := []float64{0.0, 0.1, 0.1, 0.5}
+	if got := FracBelow(xs, 0.1); got != 0.75 {
+		t.Fatalf("FracBelow(0.1) = %v, want 0.75", got)
+	}
+	if got := FracBelow(xs, 0.05); got != 0.25 {
+		t.Fatalf("FracBelow(0.05) = %v", got)
+	}
+	if got := FracBelow(xs, 1); got != 1 {
+		t.Fatalf("FracBelow(1) = %v", got)
+	}
+	if got := FracBelow(nil, 1); got != 0 {
+		t.Fatal("empty FracBelow")
+	}
+	cdf := CDF(xs, []float64{0.05, 0.1, 1})
+	if cdf[0] != 25 || cdf[1] != 75 || cdf[2] != 100 {
+		t.Fatalf("CDF = %v", cdf)
+	}
+}
+
+func TestDefaultCDFPoints(t *testing.T) {
+	pts := DefaultCDFPoints()
+	if len(pts) != 21 || pts[0] != 0 || pts[20] != 1 {
+		t.Fatalf("points = %v", pts)
+	}
+	if !sort.Float64sAreSorted(pts) {
+		t.Fatal("points not sorted")
+	}
+}
+
+// Property: CDF is monotone and bounded for random inputs.
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Abs(v))
+			}
+		}
+		sort.Float64s(xs)
+		prev := -1.0
+		for _, p := range []float64{0, 0.1, 0.5, 1, 10, 1e12} {
+			f := FracBelow(xs, p)
+			if f < prev || f < 0 || f > 1 {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile interpolation is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	sort.Float64s(xs)
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 2.5 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v", p)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,407 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Section 5). Each figure has a runner that builds the scenario, simulates
+// N snapshots, runs both the correlation algorithm (Section 4) and the
+// independence baseline (Nguyen–Thiran), and reports the same series the
+// paper plots. The runners are shared by cmd/experiment and by the
+// repository's benchmark harness (bench_test.go).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/brite"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/planetlab"
+	"repro/internal/scenario"
+)
+
+// Scale selects the experiment size. The paper runs ~1500 paths and ~2000
+// links; Small keeps the full pipeline but at a size that fits a CI budget.
+type Scale string
+
+const (
+	// Small: ~150 paths — seconds per figure.
+	Small Scale = "small"
+	// Medium: ~500 paths — tens of seconds per figure.
+	Medium Scale = "medium"
+	// Paper: 1500 paths, matching the published scale — minutes per figure.
+	Paper Scale = "paper"
+)
+
+type sizes struct {
+	briteASes, britePaths         int
+	plRouters, plVantage, plPaths int
+	snapshots                     int
+}
+
+func (s Scale) sizes() (sizes, error) {
+	switch s {
+	case "", Small:
+		return sizes{briteASes: 50, britePaths: 300, plRouters: 64, plVantage: 24, plPaths: 150, snapshots: 1200}, nil
+	case Medium:
+		return sizes{briteASes: 90, britePaths: 500, plRouters: 150, plVantage: 45, plPaths: 500, snapshots: 1600}, nil
+	case Paper:
+		return sizes{briteASes: 220, britePaths: 1500, plRouters: 450, plVantage: 90, plPaths: 1500, snapshots: 2000}, nil
+	default:
+		return sizes{}, fmt.Errorf("experiments: unknown scale %q (small|medium|paper)", string(s))
+	}
+}
+
+// Params configures a figure run.
+type Params struct {
+	Scale Scale
+	Seed  int64
+	// Snapshots overrides the scale's snapshot count when > 0.
+	Snapshots int
+	// Mode selects state-level (default) or packet-level measurement.
+	Mode netsim.Mode
+	// PacketsPerPath for packet-level mode (0 ⇒ default).
+	PacketsPerPath int
+}
+
+// Series is one plotted line.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Figure is a reproduced table/figure: the same series the paper plots.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes records scenario bookkeeping (link counts, congested counts...).
+	Notes []string
+}
+
+// Render writes the figure as an aligned text table: first column X, one
+// column per series.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	if len(f.Series) == 0 {
+		return nil
+	}
+	for i := range f.Series[0].X {
+		row := []string{fmt.Sprintf("%.4g", f.Series[0].X[i])}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.4f", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// algorithmErrors runs both algorithms on a scenario and returns the sorted
+// absolute errors over the potentially congested links.
+func algorithmErrors(s *scenario.Scenario, p Params, snapshots int) (corrErrs, indepErrs []float64, notes []string, err error) {
+	rec, err := netsim.Run(netsim.Config{
+		Topology:       s.Topology,
+		Model:          s.Model,
+		Snapshots:      snapshots,
+		Seed:           p.Seed + 1000003,
+		Mode:           p.Mode,
+		PacketsPerPath: p.PacketsPerPath,
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("simulating %s: %w", s.Name, err)
+	}
+	src := measure.NewEmpirical(rec)
+
+	corr, err := core.Correlation(s.Topology, src, core.Options{})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("correlation algorithm on %s: %w", s.Name, err)
+	}
+	// The independence baseline emulates Nguyen–Thiran: it uses all its
+	// (incorrectly factorized, when links are correlated) observations in a
+	// least-squares fit, rather than the Section-4 just-enough/L1 strategy —
+	// a robust solver would quietly reject the wrong equations as outliers
+	// and mask exactly the modelling error the paper measures.
+	indep, err := core.Independence(s.Topology, src, core.Options{UseAllEquations: true})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("independence algorithm on %s: %w", s.Name, err)
+	}
+	corrErrs = eval.AbsErrors(s.Truth, corr.CongestionProb, s.PotentiallyCongested)
+	indepErrs = eval.AbsErrors(s.Truth, indep.CongestionProb, s.PotentiallyCongested)
+	notes = []string{
+		fmt.Sprintf("scenario %s: links=%d paths=%d congested=%d potentially-congested=%d snapshots=%d mode=%s",
+			s.Name, s.Topology.NumLinks(), s.Topology.NumPaths(),
+			s.CongestedLinks.Len(), s.PotentiallyCongested.Len(), snapshots, p.Mode),
+		fmt.Sprintf("correlation: rank=%d/%d singles=%d pairs=%d solver=%s",
+			corr.System.Rank, s.Topology.NumLinks(), corr.System.SinglePathEqs, corr.System.PairEqs, corr.Solver),
+		fmt.Sprintf("independence: rank=%d/%d singles=%d pairs=%d solver=%s",
+			indep.System.Rank, s.Topology.NumLinks(), indep.System.SinglePathEqs, indep.System.PairEqs, indep.Solver),
+	}
+	return corrErrs, indepErrs, notes, nil
+}
+
+func (p Params) snapshots(sz sizes) int {
+	if p.Snapshots > 0 {
+		return p.Snapshots
+	}
+	return sz.snapshots
+}
+
+func briteNetwork(p Params, sz sizes) (*brite.Network, error) {
+	return brite.Generate(brite.Config{
+		ASes:       sz.briteASes,
+		EdgesPerAS: 2,
+		Paths:      sz.britePaths,
+		Seed:       p.Seed + 7,
+	})
+}
+
+func planetlabNetwork(p Params, sz sizes) (*planetlab.Network, error) {
+	return planetlab.Generate(planetlab.Config{
+		Routers:       sz.plRouters,
+		VantagePoints: sz.plVantage,
+		Paths:         sz.plPaths,
+		Seed:          p.Seed + 11,
+	})
+}
+
+// CongestedFractions is the x-axis of Figures 3(a) and 3(b).
+var CongestedFractions = []float64{0.05, 0.10, 0.15, 0.20, 0.25}
+
+// figure3Sweep runs the Figure-3(a)/(b) sweep and summarizes each point with
+// the given statistic over the absolute errors.
+func figure3Sweep(p Params, id, title, ylabel string, stat func([]float64) float64) (*Figure, error) {
+	sz, err := p.Scale.sizes()
+	if err != nil {
+		return nil, err
+	}
+	net, err := briteNetwork(p, sz)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "congested links (% of all links)", YLabel: ylabel,
+	}
+	corrSeries := Series{Label: "Correlation"}
+	indepSeries := Series{Label: "Independence"}
+	for i, frac := range CongestedFractions {
+		s, err := scenario.Brite(scenario.BriteConfig{
+			Net: net, FracCongested: frac, Level: scenario.HighCorrelation,
+			Seed: p.Seed + int64(100*i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		ce, ie, notes, err := algorithmErrors(s, p, p.snapshots(sz))
+		if err != nil {
+			return nil, err
+		}
+		corrSeries.X = append(corrSeries.X, 100*frac)
+		corrSeries.Y = append(corrSeries.Y, stat(ce))
+		indepSeries.X = append(indepSeries.X, 100*frac)
+		indepSeries.Y = append(indepSeries.Y, stat(ie))
+		fig.Notes = append(fig.Notes, notes...)
+	}
+	fig.Series = []Series{corrSeries, indepSeries}
+	return fig, nil
+}
+
+// Figure3a reproduces Figure 3(a): mean absolute error vs the fraction of
+// congested links, Brite topology, highly correlated congestion.
+func Figure3a(p Params) (*Figure, error) {
+	return figure3Sweep(p, "3a",
+		"Mean absolute error, highly correlated congested links (Brite)",
+		"mean absolute error", eval.Mean)
+}
+
+// Figure3b reproduces Figure 3(b): 90th percentile of the absolute error.
+func Figure3b(p Params) (*Figure, error) {
+	return figure3Sweep(p, "3b",
+		"90th percentile of the absolute error, highly correlated congested links (Brite)",
+		"90th percentile of absolute error",
+		func(xs []float64) float64 { return eval.Percentile(xs, 90) })
+}
+
+// cdfFigure renders the two algorithms' error CDFs for one scenario.
+func cdfFigure(s *scenario.Scenario, p Params, snapshots int, id, title string) (*Figure, error) {
+	ce, ie, notes, err := algorithmErrors(s, p, snapshots)
+	if err != nil {
+		return nil, err
+	}
+	pts := eval.DefaultCDFPoints()
+	fig := &Figure{
+		ID: id, Title: title,
+		XLabel: "absolute error", YLabel: "CDF (% of potentially congested links)",
+		Series: []Series{
+			{Label: "Correlation", X: pts, Y: eval.CDF(ce, pts)},
+			{Label: "Independence", X: pts, Y: eval.CDF(ie, pts)},
+		},
+		Notes: notes,
+	}
+	return fig, nil
+}
+
+// Figure3c reproduces Figure 3(c): error CDF with 10% congested links,
+// highly correlated, Brite topology.
+func Figure3c(p Params) (*Figure, error) {
+	sz, err := p.Scale.sizes()
+	if err != nil {
+		return nil, err
+	}
+	net, err := briteNetwork(p, sz)
+	if err != nil {
+		return nil, err
+	}
+	s, err := scenario.Brite(scenario.BriteConfig{
+		Net: net, FracCongested: 0.10, Level: scenario.HighCorrelation, Seed: p.Seed + 31,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cdfFigure(s, p, p.snapshots(sz), "3c",
+		"Error CDF, 10% congested, highly correlated (Brite)")
+}
+
+// Figure3d reproduces Figure 3(d): error CDF with 10% congested links,
+// loosely correlated (≤2 congested links per correlation set).
+func Figure3d(p Params) (*Figure, error) {
+	sz, err := p.Scale.sizes()
+	if err != nil {
+		return nil, err
+	}
+	net, err := briteNetwork(p, sz)
+	if err != nil {
+		return nil, err
+	}
+	s, err := scenario.Brite(scenario.BriteConfig{
+		Net: net, FracCongested: 0.10, Level: scenario.LooseCorrelation, Seed: p.Seed + 37,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cdfFigure(s, p, p.snapshots(sz), "3d",
+		"Error CDF, 10% congested, loosely correlated (Brite)")
+}
+
+// figure4 builds the unidentifiable-links scenarios of Figure 4.
+func figure4(p Params, topo string, unidentFrac float64, id string) (*Figure, error) {
+	sz, err := p.Scale.sizes()
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseScenario(p, sz, topo)
+	if err != nil {
+		return nil, err
+	}
+	s, err := scenario.WithUnidentifiable(base, unidentFrac, p.Seed+41)
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Error CDF, %d%% of congested links unidentifiable (%s), 10%% congested",
+		int(100*unidentFrac), topo)
+	return cdfFigure(s, p, p.snapshots(sz), id, title)
+}
+
+// figure5 builds the mislabeled-links scenarios of Figure 5.
+func figure5(p Params, topo string, mislabeledFrac float64, id string) (*Figure, error) {
+	sz, err := p.Scale.sizes()
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseScenario(p, sz, topo)
+	if err != nil {
+		return nil, err
+	}
+	s, err := scenario.WithMislabeled(base, mislabeledFrac, 0.3, p.Seed+43)
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Error CDF, %d%% of congested links mislabeled (%s), 10%% congested",
+		int(100*mislabeledFrac), topo)
+	return cdfFigure(s, p, p.snapshots(sz), id, title)
+}
+
+func baseScenario(p Params, sz sizes, topo string) (*scenario.Scenario, error) {
+	switch topo {
+	case "brite":
+		net, err := briteNetwork(p, sz)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.Brite(scenario.BriteConfig{
+			Net: net, FracCongested: 0.10, Level: scenario.HighCorrelation, Seed: p.Seed + 53,
+		})
+	case "planetlab":
+		net, err := planetlabNetwork(p, sz)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.PlanetLab(scenario.PlanetLabConfig{
+			Net: net, FracCongested: 0.10, Level: scenario.HighCorrelation, Seed: p.Seed + 53,
+		})
+	default:
+		return nil, fmt.Errorf("experiments: unknown topology family %q (brite|planetlab)", topo)
+	}
+}
+
+// Figure4a: 25% unidentifiable, Brite.
+func Figure4a(p Params) (*Figure, error) { return figure4(p, "brite", 0.25, "4a") }
+
+// Figure4b: 50% unidentifiable, Brite.
+func Figure4b(p Params) (*Figure, error) { return figure4(p, "brite", 0.50, "4b") }
+
+// Figure4c: 25% unidentifiable, PlanetLab.
+func Figure4c(p Params) (*Figure, error) { return figure4(p, "planetlab", 0.25, "4c") }
+
+// Figure4d: 50% unidentifiable, PlanetLab.
+func Figure4d(p Params) (*Figure, error) { return figure4(p, "planetlab", 0.50, "4d") }
+
+// Figure5a: 25% mislabeled, Brite.
+func Figure5a(p Params) (*Figure, error) { return figure5(p, "brite", 0.25, "5a") }
+
+// Figure5b: 50% mislabeled, Brite.
+func Figure5b(p Params) (*Figure, error) { return figure5(p, "brite", 0.50, "5b") }
+
+// Figure5c: 25% mislabeled, PlanetLab.
+func Figure5c(p Params) (*Figure, error) { return figure5(p, "planetlab", 0.25, "5c") }
+
+// Figure5d: 50% mislabeled, PlanetLab.
+func Figure5d(p Params) (*Figure, error) { return figure5(p, "planetlab", 0.50, "5d") }
+
+// Runners maps figure IDs to their runners, in the paper's order.
+var Runners = []struct {
+	ID  string
+	Run func(Params) (*Figure, error)
+}{
+	{"3a", Figure3a}, {"3b", Figure3b}, {"3c", Figure3c}, {"3d", Figure3d},
+	{"4a", Figure4a}, {"4b", Figure4b}, {"4c", Figure4c}, {"4d", Figure4d},
+	{"5a", Figure5a}, {"5b", Figure5b}, {"5c", Figure5c}, {"5d", Figure5d},
+}
+
+// Run dispatches a figure by ID ("3a" .. "5d").
+func Run(id string, p Params) (*Figure, error) {
+	for _, r := range Runners {
+		if r.ID == id {
+			return r.Run(p)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown figure %q", id)
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastParams keeps the end-to-end figure tests quick: small scale with a
+// reduced snapshot budget.
+func fastParams() Params {
+	return Params{Scale: Small, Seed: 1, Snapshots: 400}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("9z", fastParams()); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestUnknownScale(t *testing.T) {
+	if _, err := Figure3c(Params{Scale: "galactic"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestEveryFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, r := range Runners {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			fig, err := r.Run(fastParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fig.ID != r.ID {
+				t.Fatalf("figure ID %q, want %q", fig.ID, r.ID)
+			}
+			if len(fig.Series) != 2 {
+				t.Fatalf("%d series, want 2 (Correlation, Independence)", len(fig.Series))
+			}
+			for _, s := range fig.Series {
+				if len(s.X) == 0 || len(s.X) != len(s.Y) {
+					t.Fatalf("series %q has %d/%d points", s.Label, len(s.X), len(s.Y))
+				}
+				for _, y := range s.Y {
+					if y < 0 {
+						t.Fatalf("series %q has negative value %v", s.Label, y)
+					}
+				}
+			}
+			if len(fig.Notes) == 0 {
+				t.Fatal("no scenario notes recorded")
+			}
+		})
+	}
+}
+
+// The headline comparison of the paper: on the Figure-3c scenario the
+// correlation algorithm must dominate the independence baseline at the 0.1
+// error level.
+func TestCorrelationBeatsIndependenceOnFigure3c(t *testing.T) {
+	fig, err := Figure3c(Params{Scale: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at01 := map[string]float64{}
+	for _, s := range fig.Series {
+		for i, x := range s.X {
+			if x == 0.1 {
+				at01[s.Label] = s.Y[i]
+			}
+		}
+	}
+	if at01["Correlation"] <= at01["Independence"] {
+		t.Fatalf("correlation (%.1f%%) does not beat independence (%.1f%%) at error 0.1",
+			at01["Correlation"], at01["Independence"])
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		ID: "test", Title: "A Title", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "A", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+			{Label: "B", X: []float64{1, 2}, Y: []float64{0.75, 1}},
+		},
+		Notes: []string{"note-1"},
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# test — A Title", "# note-1", "x\tA\tB", "1\t0.5000\t0.7500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Figure{ID: "e", XLabel: "x"}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotOverride(t *testing.T) {
+	sz, err := Small.sizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Snapshots: 123}
+	if got := p.snapshots(sz); got != 123 {
+		t.Fatalf("snapshots = %d, want 123", got)
+	}
+	p = Params{}
+	if got := p.snapshots(sz); got != sz.snapshots {
+		t.Fatalf("snapshots = %d, want scale default %d", got, sz.snapshots)
+	}
+}

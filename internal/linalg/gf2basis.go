@@ -1,0 +1,64 @@
+package linalg
+
+import "repro/internal/bitset"
+
+// GF2Basis incrementally tracks the GF(2) row space of 0/1 equation rows,
+// represented as bit sets. It is the fast-path rank tracker for large
+// tomography systems: XOR elimination over packed words is orders of
+// magnitude cheaper than floating-point Gram–Schmidt.
+//
+// Soundness: rows independent over GF(2) are independent over the rationals
+// (a primitive integer dependency survives reduction mod 2), so every row
+// accepted by GF2Basis genuinely increases the real rank. The converse can
+// fail — a row may be rejected although it is rationally independent — so a
+// GF2-driven selection can under-collect equations; the solver's
+// underdetermined completion covers that rare case.
+type GF2Basis struct {
+	// rows are kept fully reduced: each has a distinct pivot (minimum set
+	// bit), and no row contains another row's pivot.
+	rows   []*bitset.Set
+	pivots map[int]*bitset.Set
+}
+
+// NewGF2Basis returns an empty basis.
+func NewGF2Basis() *GF2Basis {
+	return &GF2Basis{pivots: make(map[int]*bitset.Set)}
+}
+
+// Rank returns the number of independent rows accepted so far.
+func (b *GF2Basis) Rank() int { return len(b.rows) }
+
+// reduce XORs basis rows into a copy of row until its minimum bit is not a
+// pivot; returns the reduced copy (possibly empty).
+func (b *GF2Basis) reduce(row *bitset.Set) *bitset.Set {
+	r := row.Clone()
+	for {
+		m := r.Min()
+		if m < 0 {
+			return r
+		}
+		p, ok := b.pivots[m]
+		if !ok {
+			return r
+		}
+		r.SymmetricDifferenceWith(p)
+	}
+}
+
+// WouldIncreaseRank reports whether row is GF(2)-independent of the accepted
+// rows, without modifying the basis.
+func (b *GF2Basis) WouldIncreaseRank(row *bitset.Set) bool {
+	return !b.reduce(row).IsEmpty()
+}
+
+// Add offers a row; if independent, the basis is extended and Add returns
+// true.
+func (b *GF2Basis) Add(row *bitset.Set) bool {
+	r := b.reduce(row)
+	if r.IsEmpty() {
+		return false
+	}
+	b.rows = append(b.rows, r)
+	b.pivots[r.Min()] = r
+	return true
+}

@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestGF2BasisBasics(t *testing.T) {
+	b := NewGF2Basis()
+	if b.Rank() != 0 {
+		t.Fatal("fresh basis has nonzero rank")
+	}
+	if !b.Add(bitset.FromIndices(0, 1)) {
+		t.Fatal("first row rejected")
+	}
+	if b.Add(bitset.FromIndices(0, 1)) {
+		t.Fatal("duplicate row accepted")
+	}
+	if !b.WouldIncreaseRank(bitset.FromIndices(1, 2)) {
+		t.Fatal("independent row not recognized")
+	}
+	if b.Rank() != 1 {
+		t.Fatal("WouldIncreaseRank mutated the basis")
+	}
+	b.Add(bitset.FromIndices(1, 2))
+	// {0,1} ⊕ {1,2} = {0,2}: dependent.
+	if b.Add(bitset.FromIndices(0, 2)) {
+		t.Fatal("XOR-dependent row accepted")
+	}
+	if b.Add(bitset.New(8)) {
+		t.Fatal("zero row accepted")
+	}
+	if b.Rank() != 2 {
+		t.Fatalf("rank = %d, want 2", b.Rank())
+	}
+}
+
+// Property: on random 0/1 rows, GF2-accepted rows are also independent over
+// the reals (the soundness direction the equation builder relies on).
+func TestGF2AcceptedRowsAreRealIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		dim := 8 + rng.Intn(12)
+		gf2 := NewGF2Basis()
+		real := NewRowBasis(dim, 0)
+		for i := 0; i < 3*dim; i++ {
+			row := bitset.New(dim)
+			for k := 0; k < dim; k++ {
+				if rng.Intn(3) == 0 {
+					row.Add(k)
+				}
+			}
+			if !gf2.WouldIncreaseRank(row) {
+				continue
+			}
+			gf2.Add(row)
+			frow := make([]float64, dim)
+			row.ForEach(func(k int) bool {
+				frow[k] = 1
+				return true
+			})
+			if !real.Add(frow) {
+				t.Fatalf("trial %d: GF2 accepted a row that is real-dependent", trial)
+			}
+		}
+	}
+}
+
+// Property: GF2 rank never exceeds dimension, and equals dimension when all
+// singleton rows are offered.
+func TestGF2FullRank(t *testing.T) {
+	const dim = 50
+	b := NewGF2Basis()
+	for k := 0; k < dim; k++ {
+		if !b.Add(bitset.FromIndices(k)) {
+			t.Fatalf("singleton %d rejected", k)
+		}
+	}
+	if b.Rank() != dim {
+		t.Fatalf("rank = %d, want %d", b.Rank(), dim)
+	}
+	// Any further row is dependent.
+	row := bitset.FromIndices(3, 17, 42)
+	if b.Add(row) {
+		t.Fatal("row accepted after full rank")
+	}
+}
+
+func TestBitsetSymmetricDifference(t *testing.T) {
+	a := bitset.FromIndices(1, 2, 100)
+	a.SymmetricDifferenceWith(bitset.FromIndices(2, 3, 200))
+	want := bitset.FromIndices(1, 3, 100, 200)
+	if !a.Equal(want) {
+		t.Fatalf("xor = %v, want %v", a, want)
+	}
+	// XOR with self = empty.
+	b := bitset.FromIndices(5, 6)
+	b.SymmetricDifferenceWith(bitset.FromIndices(5, 6))
+	if !b.IsEmpty() {
+		t.Fatal("self-xor not empty")
+	}
+}

@@ -1,0 +1,300 @@
+// Package linalg provides the dense linear algebra needed by the tomography
+// algorithms: LU solves for square systems, Householder-QR least squares for
+// overdetermined systems, minimum-norm solutions for underdetermined ones,
+// and an incremental orthogonal row basis used to select linearly independent
+// measurement equations (Section 4 of the paper).
+//
+// Everything is stdlib-only and sized for the problem at hand (up to a few
+// thousand unknowns), favouring clarity and numerical robustness over BLAS-
+// level performance.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix returns a zero-valued r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must all have equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (not a copy).
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d cols vs %d vec", m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		s := 0.0
+		for c, v := range row {
+			s += v * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// TransposeMulVec returns mᵀ·x.
+func (m *Matrix) TransposeMulVec(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("linalg: TransposeMulVec dimension mismatch: %d rows vs %d vec", m.Rows, len(x)))
+	}
+	out := make([]float64, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for c, v := range row {
+			out[c] += v * xr
+		}
+	}
+	return out
+}
+
+// ErrSingular is returned when a square solve encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// SolveLU solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: SolveLU needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveLU rhs has length %d, want %d", len(b), n)
+	}
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pmax := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > pmax {
+				piv, pmax = r, v
+			}
+		}
+		if pmax < 1e-12 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			ra, rb := m.Row(col), m.Row(piv)
+			for c := range ra {
+				ra[c], rb[c] = rb[c], ra[c]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rowR, rowC := m.Row(r), m.Row(col)
+			for c := col; c < n; c++ {
+				rowR[c] -= f * rowC[c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		row := m.Row(r)
+		for c := r + 1; c < n; c++ {
+			s -= row[c] * x[c]
+		}
+		x[r] = s / row[r]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min‖A·x − b‖₂ for an m×n matrix with m ≥ n using
+// Householder QR. Returns ErrSingular if A is (numerically) rank deficient.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("linalg: LeastSquares needs rows ≥ cols, got %d×%d (use MinNormSolve)", m, n)
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: LeastSquares rhs has length %d, want %d", len(b), m)
+	}
+	qr := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+	rdiag := make([]float64, n)
+
+	// Householder QR, LINPACK/JAMA formulation: column k of qr below the
+	// diagonal stores the (scaled) Householder vector, rdiag[k] stores R's
+	// diagonal, and qr's strict upper triangle stores the rest of R.
+	for k := 0; k < n; k++ {
+		nrm := 0.0
+		for r := k; r < m; r++ {
+			nrm = math.Hypot(nrm, qr.At(r, k))
+		}
+		if nrm < 1e-12 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for r := k; r < m; r++ {
+			qr.Set(r, k, qr.At(r, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+
+		// Apply the reflector to the remaining columns.
+		for c := k + 1; c < n; c++ {
+			s := 0.0
+			for r := k; r < m; r++ {
+				s += qr.At(r, k) * qr.At(r, c)
+			}
+			s = -s / qr.At(k, k)
+			for r := k; r < m; r++ {
+				qr.Set(r, c, qr.At(r, c)+s*qr.At(r, k))
+			}
+		}
+		// Apply the reflector to the right-hand side.
+		s := 0.0
+		for r := k; r < m; r++ {
+			s += qr.At(r, k) * y[r]
+		}
+		s = -s / qr.At(k, k)
+		for r := k; r < m; r++ {
+			y[r] += s * qr.At(r, k)
+		}
+		rdiag[k] = -nrm
+	}
+
+	// Back substitution with R.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := y[r]
+		for c := r + 1; c < n; c++ {
+			s -= qr.At(r, c) * x[c]
+		}
+		if math.Abs(rdiag[r]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		x[r] = s / rdiag[r]
+	}
+	return x, nil
+}
+
+// MinNormSolve returns the minimum-L2-norm x with A·x ≈ b for an
+// underdetermined (or any) system, computed as x = Aᵀ·(A·Aᵀ + λI)⁻¹·b with a
+// tiny Tikhonov term λ for numerical safety.
+func MinNormSolve(a *Matrix, b []float64) ([]float64, error) {
+	m := a.Rows
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: MinNormSolve rhs has length %d, want %d", len(b), m)
+	}
+	// G = A·Aᵀ (+ λI)
+	g := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		ri := a.Row(i)
+		for j := i; j < m; j++ {
+			rj := a.Row(j)
+			s := 0.0
+			for c := range ri {
+				s += ri[c] * rj[c]
+			}
+			g.Set(i, j, s)
+			g.Set(j, i, s)
+		}
+	}
+	const lambda = 1e-10
+	for i := 0; i < m; i++ {
+		g.Set(i, i, g.At(i, i)+lambda)
+	}
+	w, err := SolveLU(g, b)
+	if err != nil {
+		return nil, err
+	}
+	return a.TransposeMulVec(w), nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Sub returns a − b.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Sub length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package linalg
+
+import "fmt"
+
+// RowBasis incrementally maintains an orthonormal basis for the row space of
+// the equations accepted so far. It is the workhorse of the Section-4
+// equation selection: candidate equations are offered one at a time, and only
+// those that increase the rank of the system are kept.
+//
+// Internally it runs modified Gram–Schmidt twice per candidate (the classic
+// "twice is enough" re-orthogonalization), which keeps the basis numerically
+// orthonormal even after thousands of insertions.
+type RowBasis struct {
+	dim   int
+	tol   float64
+	basis [][]float64 // orthonormal rows
+}
+
+// NewRowBasis creates a basis tracker for rows of the given dimension.
+// tol is the relative tolerance below which a residual is considered zero;
+// pass 0 for the default (1e-9).
+func NewRowBasis(dim int, tol float64) *RowBasis {
+	if dim <= 0 {
+		panic(fmt.Sprintf("linalg: RowBasis dimension %d", dim))
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	return &RowBasis{dim: dim, tol: tol}
+}
+
+// Rank returns the number of linearly independent rows accepted so far.
+func (rb *RowBasis) Rank() int { return len(rb.basis) }
+
+// Full reports whether the basis spans the whole space.
+func (rb *RowBasis) Full() bool { return len(rb.basis) == rb.dim }
+
+// WouldIncreaseRank reports whether the row is linearly independent of the
+// accepted rows, without modifying the basis.
+func (rb *RowBasis) WouldIncreaseRank(row []float64) bool {
+	_, ok := rb.residual(row)
+	return ok
+}
+
+// Add offers a row. If it is linearly independent of the rows accepted so
+// far, the basis is extended and Add returns true; otherwise the basis is
+// unchanged and Add returns false.
+func (rb *RowBasis) Add(row []float64) bool {
+	r, ok := rb.residual(row)
+	if !ok {
+		return false
+	}
+	rb.basis = append(rb.basis, r)
+	return true
+}
+
+// residual orthogonalizes row against the basis (twice) and, if the residual
+// is numerically nonzero, returns it normalized.
+func (rb *RowBasis) residual(row []float64) ([]float64, bool) {
+	if len(row) != rb.dim {
+		panic(fmt.Sprintf("linalg: RowBasis row has dim %d, want %d", len(row), rb.dim))
+	}
+	if rb.Full() {
+		return nil, false
+	}
+	orig := Norm2(row)
+	if orig == 0 {
+		return nil, false
+	}
+	r := make([]float64, rb.dim)
+	copy(r, row)
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range rb.basis {
+			d := Dot(r, b)
+			if d == 0 {
+				continue
+			}
+			for i := range r {
+				r[i] -= d * b[i]
+			}
+		}
+	}
+	n := Norm2(r)
+	if n <= rb.tol*orig {
+		return nil, false
+	}
+	inv := 1 / n
+	for i := range r {
+		r[i] *= inv
+	}
+	return r, true
+}
+
+// Rank returns the numerical rank of a matrix, computed by feeding its rows
+// through a RowBasis.
+func Rank(m *Matrix) int {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	rb := NewRowBasis(m.Cols, 0)
+	for r := 0; r < m.Rows; r++ {
+		rb.Add(m.Row(r))
+		if rb.Full() {
+			break
+		}
+	}
+	return rb.Rank()
+}

@@ -1,0 +1,383 @@
+// Package locate implements per-snapshot congested-link localization — the
+// follow-up problem the paper outlines in Section 3.3 ("Can our result help
+// determine whether a link was congested or not?"): given the congestion
+// probabilities learned by tomography and the set of paths observed
+// congested during one snapshot, determine which particular links were
+// congested.
+//
+// This is the classic ill-posed Boolean inverse problem of [13, 10, 12]:
+// many link sets explain the same path observations. Following the paper's
+// argument, the right disambiguation is to pick the most likely feasible
+// explanation — which requires the very probabilities Theorem 1 makes
+// identifiable under correlation:
+//
+//   - Independent scores each candidate link by its learned marginal
+//     probability and solves the resulting weighted set-cover problem
+//     (greedy with local pruning) — the [12]-style approach.
+//   - Correlated additionally consumes learned per-correlation-set joint
+//     state probabilities (e.g. from the Theorem algorithm), so that a
+//     correlation set whose links usually fail together is charged once for
+//     the joint event rather than once per link.
+//
+// Both return a feasible explanation: every congested path is covered and no
+// good path touches a reported link.
+package locate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+// Result is a per-snapshot localization outcome.
+type Result struct {
+	// Congested is the inferred set of congested links.
+	Congested *bitset.Set
+	// LogLikelihood is the (model-dependent) log-probability score of the
+	// returned explanation; comparable across calls with the same inputs.
+	LogLikelihood float64
+	// Feasible reports whether the returned set explains the observation
+	// exactly (covers every congested path, touches no good path). The
+	// greedy search always returns feasible sets when one exists; Feasible
+	// is false only for contradictory inputs (e.g. a congested path all of
+	// whose links lie on good paths).
+	Feasible bool
+}
+
+const (
+	probFloor = 1e-6 // clamp for p ∈ {0,1} to keep odds finite
+)
+
+func clampProb(p float64) float64 {
+	if p < probFloor {
+		return probFloor
+	}
+	if p > 1-probFloor {
+		return 1 - probFloor
+	}
+	return p
+}
+
+// suspects returns the links that may be congested under the observation:
+// links that do not participate in any good path. All other links are
+// provably good under Assumption 2.
+func suspects(top *topology.Topology, congestedPaths *bitset.Set) *bitset.Set {
+	out := bitset.New(top.NumLinks())
+	for k := 0; k < top.NumLinks(); k++ {
+		cov := top.LinkCoverage(topology.LinkID(k))
+		if cov.IsSubsetOf(congestedPaths) {
+			out.Add(k)
+		}
+	}
+	return out
+}
+
+// Independent locates the most likely congested-link set assuming links fail
+// independently with the given marginal probabilities (learned by any of the
+// tomography algorithms).
+func Independent(top *topology.Topology, probs []float64, congestedPaths *bitset.Set) (*Result, error) {
+	if len(probs) != top.NumLinks() {
+		return nil, fmt.Errorf("locate: %d probabilities for %d links", len(probs), top.NumLinks())
+	}
+	cand := suspects(top, congestedPaths)
+
+	// MAP under independence: maximize Σ_{k∈S} log(p/(1−p)) over feasible S
+	// (the constant Σ log(1−p) is shared by all candidates). Weights are
+	// usually negative (p < 0.5), so this is a min-cost set cover; greedy
+	// picks the best likelihood-per-newly-covered-path link, then pruning
+	// drops links made redundant later.
+	type item struct {
+		link int
+		gain float64 // log odds
+		cov  *bitset.Set
+	}
+	var items []item
+	cand.ForEach(func(k int) bool {
+		p := clampProb(probs[k])
+		items = append(items, item{
+			link: k,
+			gain: math.Log(p / (1 - p)),
+			cov:  bitset.Intersect(top.LinkCoverage(topology.LinkID(k)), congestedPaths),
+		})
+		return true
+	})
+
+	chosen := bitset.New(top.NumLinks())
+	covered := bitset.New(top.NumPaths())
+	remaining := congestedPaths.Clone()
+	for !remaining.IsEmpty() {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for i, it := range items {
+			if chosen.Contains(it.link) {
+				continue
+			}
+			newly := it.cov.IntersectionCount(remaining)
+			if newly == 0 {
+				continue
+			}
+			// Likelihood cost per newly covered path; higher is better.
+			score := it.gain / float64(newly)
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		if bestIdx == -1 {
+			// Some congested path has no suspect link: contradictory input.
+			return &Result{Congested: chosen, Feasible: false,
+				LogLikelihood: scoreIndependent(probs, chosen, cand)}, nil
+		}
+		chosen.Add(items[bestIdx].link)
+		covered.UnionWith(items[bestIdx].cov)
+		remaining.DifferenceWith(items[bestIdx].cov)
+	}
+
+	prune(top, chosen, congestedPaths, func(k int) float64 {
+		p := clampProb(probs[k])
+		return math.Log(p / (1 - p))
+	})
+	return &Result{
+		Congested:     chosen,
+		Feasible:      true,
+		LogLikelihood: scoreIndependent(probs, chosen, cand),
+	}, nil
+}
+
+// prune removes links whose removal keeps the cover feasible, dropping the
+// least likely links first.
+func prune(top *topology.Topology, chosen, congestedPaths *bitset.Set, weight func(int) float64) {
+	links := chosen.Indices()
+	sort.Slice(links, func(i, j int) bool { return weight(links[i]) < weight(links[j]) })
+	for _, k := range links {
+		chosen.Remove(k)
+		// Still covered?
+		ok := true
+		congestedPaths.ForEach(func(pid int) bool {
+			if !top.PathLinkSet(topology.PathID(pid)).Intersects(chosen) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			chosen.Add(k)
+		}
+	}
+}
+
+// scoreIndependent computes Σ_{k∈S} log p + Σ_{k∈cand∖S} log(1−p).
+func scoreIndependent(probs []float64, chosen, cand *bitset.Set) float64 {
+	s := 0.0
+	cand.ForEach(func(k int) bool {
+		p := clampProb(probs[k])
+		if chosen.Contains(k) {
+			s += math.Log(p)
+		} else {
+			s += math.Log(1 - p)
+		}
+		return true
+	})
+	return s
+}
+
+// SetStates describes the learned joint distribution of one correlation set:
+// the probability of each congested-subset state. It is exactly the
+// JointProb output of the Theorem algorithm, or can be synthesized from
+// marginals when only those are known.
+type SetStates struct {
+	// Set is the correlation-set index in the topology.
+	Set int
+	// States maps each possible congested subset (including ∅) to its
+	// probability. Subsets are given as link sets.
+	States []SubsetState
+}
+
+// SubsetState is one state of a correlation set.
+type SubsetState struct {
+	Links *bitset.Set
+	P     float64
+}
+
+// Correlated locates the most likely congested-link set using per-set joint
+// state probabilities. Sets not mentioned in states fall back to independent
+// marginals from probs.
+func Correlated(top *topology.Topology, probs []float64, states []SetStates, congestedPaths *bitset.Set) (*Result, error) {
+	if len(probs) != top.NumLinks() {
+		return nil, fmt.Errorf("locate: %d probabilities for %d links", len(probs), top.NumLinks())
+	}
+	cand := suspects(top, congestedPaths)
+
+	bySet := map[int]*SetStates{}
+	for i := range states {
+		s := &states[i]
+		if s.Set < 0 || s.Set >= top.NumSets() {
+			return nil, fmt.Errorf("locate: state for unknown correlation set %d", s.Set)
+		}
+		bySet[s.Set] = s
+	}
+
+	// Per correlation set, enumerate the admissible states: subsets of the
+	// set's suspect links (others are provably good). Each admissible state
+	// carries its log-probability and the congested paths it covers.
+	type option struct {
+		links *bitset.Set
+		cov   *bitset.Set
+		logp  float64
+	}
+	var perSet [][]option
+	for p := 0; p < top.NumSets(); p++ {
+		setLinks := top.CorrelationSet(p)
+		susp := bitset.Intersect(setLinks, cand)
+		var opts []option
+		if ss, ok := bySet[p]; ok {
+			for _, st := range ss.States {
+				if !st.Links.IsSubsetOf(susp) {
+					continue // state congests a provably good link
+				}
+				if st.P <= 0 {
+					continue
+				}
+				opts = append(opts, option{
+					links: st.Links.Clone(),
+					cov:   bitset.Intersect(top.Coverage(st.Links), congestedPaths),
+					logp:  math.Log(clampProb(st.P)),
+				})
+			}
+		} else {
+			// Independent fallback: the empty state plus each single suspect
+			// link and the all-suspects state (cheap but useful candidates).
+			empty := bitset.New(top.NumLinks())
+			logAllGood := 0.0
+			susp.ForEach(func(k int) bool {
+				logAllGood += math.Log(1 - clampProb(probs[k]))
+				return true
+			})
+			opts = append(opts, option{links: empty, cov: bitset.New(top.NumPaths()), logp: logAllGood})
+			susp.ForEach(func(k int) bool {
+				pk := clampProb(probs[k])
+				single := bitset.FromIndices(k)
+				opts = append(opts, option{
+					links: single,
+					cov:   bitset.Intersect(top.Coverage(single), congestedPaths),
+					logp:  logAllGood + math.Log(pk) - math.Log(1-pk),
+				})
+				return true
+			})
+		}
+		if len(opts) == 0 {
+			opts = append(opts, option{links: bitset.New(top.NumLinks()), cov: bitset.New(top.NumPaths()), logp: 0})
+		}
+		// Sort states by probability, most likely first, and make the most
+		// likely state the baseline choice.
+		sort.SliceStable(opts, func(i, j int) bool { return opts[i].logp > opts[j].logp })
+		perSet = append(perSet, opts)
+	}
+
+	// Greedy assembly: start from every set's most likely state; while some
+	// congested path is uncovered, switch the single (set, state) whose
+	// change covers new paths at the smallest likelihood cost.
+	choice := make([]int, len(perSet))
+	chosenCov := func() *bitset.Set {
+		cov := bitset.New(top.NumPaths())
+		for p, c := range choice {
+			cov.UnionWith(perSet[p][c].cov)
+		}
+		return cov
+	}
+	for iter := 0; ; iter++ {
+		if iter > top.NumSets()*4 {
+			break // safety: cannot converge (contradictory inputs)
+		}
+		covered := chosenCov()
+		remaining := congestedPaths.Clone()
+		remaining.DifferenceWith(covered)
+		if remaining.IsEmpty() {
+			break
+		}
+		bestSet, bestState, bestScore := -1, -1, math.Inf(-1)
+		for p := range perSet {
+			cur := perSet[p][choice[p]]
+			for si, opt := range perSet[p] {
+				if si == choice[p] {
+					continue
+				}
+				newly := opt.cov.IntersectionCount(remaining)
+				if newly == 0 {
+					continue
+				}
+				score := (opt.logp - cur.logp) / float64(newly)
+				if score > bestScore {
+					bestScore, bestSet, bestState = score, p, si
+				}
+			}
+		}
+		if bestSet == -1 {
+			// No state can cover the remaining paths: infeasible input.
+			out := bitset.New(top.NumLinks())
+			ll := 0.0
+			for p, c := range choice {
+				out.UnionWith(perSet[p][c].links)
+				ll += perSet[p][c].logp
+			}
+			return &Result{Congested: out, Feasible: false, LogLikelihood: ll}, nil
+		}
+		choice[bestSet] = bestState
+	}
+
+	out := bitset.New(top.NumLinks())
+	ll := 0.0
+	for p, c := range choice {
+		out.UnionWith(perSet[p][c].links)
+		ll += perSet[p][c].logp
+	}
+	feasible := true
+	congestedPaths.ForEach(func(pid int) bool {
+		if !top.PathLinkSet(topology.PathID(pid)).Intersects(out) {
+			feasible = false
+			return false
+		}
+		return true
+	})
+	return &Result{Congested: out, Feasible: feasible, LogLikelihood: ll}, nil
+}
+
+// Metrics summarizes localization quality over a sequence of snapshots.
+type Metrics struct {
+	// DetectionRate is the fraction of truly congested (link, snapshot)
+	// pairs that were reported.
+	DetectionRate float64
+	// FalsePositiveRate is the fraction of reported (link, snapshot) pairs
+	// that were not truly congested.
+	FalsePositiveRate float64
+	// Snapshots is the number of snapshots evaluated.
+	Snapshots int
+}
+
+// Evaluate compares per-snapshot localization output against ground truth.
+func Evaluate(truth, inferred []*bitset.Set) (Metrics, error) {
+	if len(truth) != len(inferred) {
+		return Metrics{}, fmt.Errorf("locate: %d truth snapshots vs %d inferred", len(truth), len(inferred))
+	}
+	var truePos, falsePos, actual int
+	for i := range truth {
+		actual += truth[i].Len()
+		inferred[i].ForEach(func(k int) bool {
+			if truth[i].Contains(k) {
+				truePos++
+			} else {
+				falsePos++
+			}
+			return true
+		})
+	}
+	m := Metrics{Snapshots: len(truth)}
+	if actual > 0 {
+		m.DetectionRate = float64(truePos) / float64(actual)
+	}
+	if truePos+falsePos > 0 {
+		m.FalsePositiveRate = float64(falsePos) / float64(truePos+falsePos)
+	}
+	return m, nil
+}

@@ -1,0 +1,86 @@
+// Package loss implements the packet-loss model of the paper's simulator
+// (Section 5, following Padmanabhan et al. [13]): during each snapshot, a
+// good link is assigned a packet-loss rate drawn uniformly from [0, tl] and
+// a congested link from (tl, 1]; packets sent along a path are dropped
+// independently at each link according to the link's rate; and the path is
+// declared congested when its measured loss fraction exceeds the path
+// threshold tp = 1 − (1 − tl)^d, where d is the path length (Section 2.1).
+package loss
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+// DefaultTl is the link congestion threshold used throughout the paper
+// (tl = 0.01, shown in [10] to work well for mesh topologies).
+const DefaultTl = 0.01
+
+// DefaultPacketsPerPath is the default number of probe packets sent along
+// each path per snapshot in packet-level simulations.
+const DefaultPacketsPerPath = 200
+
+// PathThreshold returns tp = 1 − (1 − tl)^d for a path of d links.
+func PathThreshold(tl float64, d int) float64 {
+	if d < 0 {
+		panic(fmt.Sprintf("loss: negative path length %d", d))
+	}
+	return 1 - math.Pow(1-tl, float64(d))
+}
+
+// SampleRates draws per-link loss rates for one snapshot given the set of
+// congested links: good links get U[0, tl], congested links U(tl, 1].
+func SampleRates(rng *rand.Rand, congested *bitset.Set, numLinks int, tl float64) []float64 {
+	rates := make([]float64, numLinks)
+	for k := 0; k < numLinks; k++ {
+		if congested.Contains(k) {
+			rates[k] = tl + (1-tl)*rng.Float64()
+			if rates[k] <= tl { // open interval (tl, 1]
+				rates[k] = math.Nextafter(tl, 1)
+			}
+		} else {
+			rates[k] = tl * rng.Float64()
+		}
+	}
+	return rates
+}
+
+// TransmitPath simulates sending `packets` packets along the path and
+// returns the measured end-to-end loss fraction. Each packet is dropped
+// independently at each traversed link with the link's loss rate.
+func TransmitPath(rng *rand.Rand, rates []float64, links []topology.LinkID, packets int) float64 {
+	if packets <= 0 {
+		panic(fmt.Sprintf("loss: packets = %d", packets))
+	}
+	lost := 0
+	for p := 0; p < packets; p++ {
+		for _, l := range links {
+			if rng.Float64() < rates[l] {
+				lost++
+				break
+			}
+		}
+	}
+	return float64(lost) / float64(packets)
+}
+
+// PathSurvival returns the exact per-packet survival probability of a path
+// given the current link rates: Π (1 − rate_l). Useful for tests comparing
+// the sampled loss fraction against its expectation.
+func PathSurvival(rates []float64, links []topology.LinkID) float64 {
+	p := 1.0
+	for _, l := range links {
+		p *= 1 - rates[l]
+	}
+	return p
+}
+
+// ClassifyPath applies the path congestion threshold: a path of d links with
+// measured loss fraction f is congested when f > PathThreshold(tl, d).
+func ClassifyPath(lossFrac, tl float64, d int) bool {
+	return lossFrac > PathThreshold(tl, d)
+}

@@ -1,0 +1,129 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+func TestPathThreshold(t *testing.T) {
+	if got := PathThreshold(0.01, 0); got != 0 {
+		t.Fatalf("tp(d=0) = %v, want 0", got)
+	}
+	if got := PathThreshold(0.01, 1); math.Abs(got-0.01) > 1e-15 {
+		t.Fatalf("tp(d=1) = %v, want 0.01", got)
+	}
+	// d=2: 1 - 0.99² = 0.0199
+	if got := PathThreshold(0.01, 2); math.Abs(got-0.0199) > 1e-12 {
+		t.Fatalf("tp(d=2) = %v, want 0.0199", got)
+	}
+	// Monotone in d.
+	prev := 0.0
+	for d := 1; d < 30; d++ {
+		cur := PathThreshold(0.01, d)
+		if cur <= prev {
+			t.Fatalf("tp not increasing at d=%d", d)
+		}
+		prev = cur
+	}
+}
+
+func TestPathThresholdPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for d < 0")
+		}
+	}()
+	PathThreshold(0.01, -1)
+}
+
+func TestSampleRatesRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	congested := bitset.FromIndices(1, 3)
+	const tl = 0.01
+	for trial := 0; trial < 1000; trial++ {
+		rates := SampleRates(rng, congested, 5, tl)
+		for k, r := range rates {
+			if congested.Contains(k) {
+				if r <= tl || r > 1 {
+					t.Fatalf("congested link %d rate %v outside (tl, 1]", k, r)
+				}
+			} else {
+				if r < 0 || r > tl {
+					t.Fatalf("good link %d rate %v outside [0, tl]", k, r)
+				}
+			}
+		}
+	}
+}
+
+func TestTransmitPathMatchesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rates := []float64{0.1, 0.2}
+	links := []topology.LinkID{0, 1}
+	// Per-packet loss probability = 1 − 0.9·0.8 = 0.28.
+	want := 1 - PathSurvival(rates, links)
+	frac := TransmitPath(rng, rates, links, 200000)
+	if math.Abs(frac-want) > 0.005 {
+		t.Fatalf("loss fraction %v, want ≈%v", frac, want)
+	}
+}
+
+func TestTransmitPathPanicsOnZeroPackets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for packets = 0")
+		}
+	}()
+	TransmitPath(rand.New(rand.NewSource(1)), []float64{0}, []topology.LinkID{0}, 0)
+}
+
+func TestClassifyPath(t *testing.T) {
+	// d=3 path: tp ≈ 0.0297.
+	tp := PathThreshold(0.01, 3)
+	if ClassifyPath(tp, 0.01, 3) {
+		t.Fatal("loss exactly at threshold must be good (strictly above ⇒ congested)")
+	}
+	if !ClassifyPath(tp+1e-9, 0.01, 3) {
+		t.Fatal("loss above threshold must be congested")
+	}
+	if ClassifyPath(0, 0.01, 3) {
+		t.Fatal("zero loss must be good")
+	}
+}
+
+// A path through only good links should essentially never be classified as
+// congested, and a path with one congested link essentially always should —
+// the separability property the [13] loss model was designed to preserve.
+func TestSeparabilityOfLossModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const tl = DefaultTl
+	const packets = 500
+	links := []topology.LinkID{0, 1, 2}
+
+	goodMis, congMis := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		// All links good.
+		rates := SampleRates(rng, bitset.New(3), 3, tl)
+		frac := TransmitPath(rng, rates, links, packets)
+		if ClassifyPath(frac, tl, 3) {
+			goodMis++
+		}
+		// One congested link.
+		rates = SampleRates(rng, bitset.FromIndices(1), 3, tl)
+		frac = TransmitPath(rng, rates, links, packets)
+		if !ClassifyPath(frac, tl, 3) {
+			congMis++
+		}
+	}
+	if f := float64(goodMis) / trials; f > 0.08 {
+		t.Fatalf("good paths misclassified congested %.1f%% of the time", 100*f)
+	}
+	if f := float64(congMis) / trials; f > 0.08 {
+		t.Fatalf("congested paths misclassified good %.1f%% of the time", 100*f)
+	}
+}

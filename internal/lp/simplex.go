@@ -1,0 +1,257 @@
+// Package lp implements a dense two-phase primal simplex solver and the two
+// L1 objectives the tomography solvers need:
+//
+//   - MinimizeL1Residual: min ‖A·x − y‖₁ (robust regression, used when the
+//     measurement system is overdetermined but noisy), and
+//   - BasisPursuit: min ‖x‖₁ subject to A·x = y and a sign constraint
+//     (used when the system is underdetermined, Section 4 of the paper:
+//     "we pick the one that minimizes the L1 norm error").
+//
+// An IRLS (iteratively reweighted least squares) approximation is provided
+// as a fast fallback for systems too large for the dense simplex.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Problem is a linear program in standard form:
+//
+//	minimize  cᵀ·x
+//	subject to A·x = b, x ≥ 0.
+type Problem struct {
+	C []float64      // objective coefficients, length n
+	A *linalg.Matrix // m×n constraint matrix
+	B []float64      // right-hand side, length m
+}
+
+// Result holds the solution of a solved linear program.
+type Result struct {
+	X         []float64 // optimal point
+	Objective float64   // cᵀ·x at the optimum
+	Iters     int       // simplex pivots performed
+}
+
+// ErrInfeasible is returned when no x ≥ 0 satisfies A·x = b.
+var ErrInfeasible = errors.New("lp: problem is infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("lp: problem is unbounded")
+
+// ErrIterationLimit is returned when the simplex fails to converge within
+// its pivot budget (cycling or numerically hopeless problems).
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+const (
+	pivotEps = 1e-9
+	costEps  = 1e-9
+)
+
+// Solve runs the two-phase primal simplex method on p.
+func Solve(p Problem) (Result, error) {
+	m := p.A.Rows
+	n := p.A.Cols
+	if len(p.B) != m {
+		return Result{}, fmt.Errorf("lp: b has length %d, want %d", len(p.B), m)
+	}
+	if len(p.C) != n {
+		return Result{}, fmt.Errorf("lp: c has length %d, want %d", len(p.C), n)
+	}
+
+	// Normalize rows so b ≥ 0, then add one artificial variable per row.
+	// Phase 1 minimizes the sum of artificials.
+	t := newTableau(m, n+m)
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			t.a[i][j] = sign * p.A.At(i, j)
+		}
+		t.a[i][n+i] = 1
+		t.b[i] = sign * p.B[i]
+		t.basis[i] = n + i
+	}
+	phase1 := make([]float64, n+m)
+	for j := n; j < n+m; j++ {
+		phase1[j] = 1
+	}
+	iters, err := t.optimize(phase1, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	if t.objective(phase1) > 1e-7 {
+		return Result{}, ErrInfeasible
+	}
+	// Drive any artificial variables out of the basis (degenerate rows).
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(t.a[i][j]) > pivotEps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// The row is redundant; the artificial stays at value 0 and
+			// never re-enters because we now forbid artificial columns.
+			continue
+		}
+	}
+
+	// Phase 2: original objective; artificial columns are frozen out by
+	// giving them prohibitive cost.
+	phase2 := make([]float64, n+m)
+	copy(phase2, p.C)
+	for j := n; j < n+m; j++ {
+		phase2[j] = math.Inf(1)
+	}
+	it2, err := t.optimize(phase2, iters)
+	if err != nil {
+		return Result{}, err
+	}
+
+	x := make([]float64, n)
+	for i, bv := range t.basis {
+		if bv < n {
+			x[bv] = t.b[i]
+		}
+	}
+	return Result{X: x, Objective: linalg.Dot(p.C, x), Iters: it2}, nil
+}
+
+// tableau is a dense simplex tableau in "revised-lite" form: we keep the
+// full constraint rows updated in place plus the current basis.
+type tableau struct {
+	m, n  int
+	a     [][]float64
+	b     []float64
+	basis []int
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n, b: make([]float64, m), basis: make([]int, m)}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, n)
+	}
+	return t
+}
+
+// objective evaluates cᵀx at the current basic solution.
+func (t *tableau) objective(c []float64) float64 {
+	s := 0.0
+	for i, bv := range t.basis {
+		if !math.IsInf(c[bv], 1) {
+			s += c[bv] * t.b[i]
+		}
+	}
+	return s
+}
+
+// reducedCosts computes c_j − c_Bᵀ·B⁻¹·A_j for all columns given the current
+// tableau (in which rows are already expressed in the basis).
+func (t *tableau) reducedCosts(c []float64) []float64 {
+	rc := make([]float64, t.n)
+	for j := 0; j < t.n; j++ {
+		if math.IsInf(c[j], 1) {
+			rc[j] = math.Inf(1)
+			continue
+		}
+		v := c[j]
+		for i, bv := range t.basis {
+			cb := c[bv]
+			if math.IsInf(cb, 1) {
+				cb = 0 // frozen artificial at value 0 contributes nothing
+			}
+			v -= cb * t.a[i][j]
+		}
+		rc[j] = v
+	}
+	return rc
+}
+
+// optimize runs primal simplex pivots until optimality for objective c.
+func (t *tableau) optimize(c []float64, startIter int) (int, error) {
+	maxIters := 2000 + 40*(t.m+t.n)
+	iters := startIter
+	blandFrom := maxIters / 2
+	for ; iters < maxIters; iters++ {
+		rc := t.reducedCosts(c)
+		enter := -1
+		if iters < blandFrom {
+			// Dantzig: most negative reduced cost.
+			best := -costEps
+			for j, v := range rc {
+				if !math.IsInf(v, 1) && v < best {
+					best, enter = v, j
+				}
+			}
+		} else {
+			// Bland's rule: smallest index with negative reduced cost
+			// (guarantees no cycling).
+			for j, v := range rc {
+				if !math.IsInf(v, 1) && v < -costEps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter == -1 {
+			return iters, nil // optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > pivotEps {
+				r := t.b[i] / t.a[i][enter]
+				if r < bestRatio-1e-12 || (math.Abs(r-bestRatio) <= 1e-12 && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio, leave = r, i
+				}
+			}
+		}
+		if leave == -1 {
+			return iters, ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return iters, ErrIterationLimit
+}
+
+// pivot makes column `enter` basic in row `leave`.
+func (t *tableau) pivot(leave, enter int) {
+	pv := t.a[leave][enter]
+	inv := 1 / pv
+	row := t.a[leave]
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[leave] *= inv
+	row[enter] = 1 // kill rounding noise
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * row[j]
+		}
+		ri[enter] = 0
+		t.b[i] -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}

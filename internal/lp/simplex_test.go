@@ -1,0 +1,273 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3a + 5b s.t. a ≤ 4, 2b ≤ 12, 3a + 2b ≤ 18 (classic Dantzig
+	// example; optimum 36 at a=2, b=6). In standard form with slacks:
+	// min -3a -5b.
+	a := linalg.FromRows([][]float64{
+		{1, 0, 1, 0, 0},
+		{0, 2, 0, 1, 0},
+		{3, 2, 0, 0, 1},
+	})
+	res, err := Solve(Problem{
+		C: []float64{-3, -5, 0, 0, 0},
+		A: a,
+		B: []float64{4, 12, 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective+36) > 1e-8 {
+		t.Fatalf("objective = %v, want -36", res.Objective)
+	}
+	if math.Abs(res.X[0]-2) > 1e-8 || math.Abs(res.X[1]-6) > 1e-8 {
+		t.Fatalf("x = %v, want [2 6 ...]", res.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x1 + x2 = -1 with x ≥ 0 is infeasible... b is normalized, so use
+	// x1 + x2 = 1 and x1 + x2 = 2 instead.
+	a := linalg.FromRows([][]float64{
+		{1, 1},
+		{1, 1},
+	})
+	_, err := Solve(Problem{C: []float64{1, 1}, A: a, B: []float64{1, 2}})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x1 s.t. x1 - x2 = 0: x1 can grow without bound.
+	a := linalg.FromRows([][]float64{{1, -1}})
+	_, err := Solve(Problem{C: []float64{-1, 0}, A: a, B: []float64{0}})
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x1 = -3 ⇒ x1 = 3; row normalization must handle b < 0.
+	a := linalg.FromRows([][]float64{{-1, 0}})
+	res, err := Solve(Problem{C: []float64{1, 1}, A: a, B: []float64{-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-9 {
+		t.Fatalf("x = %v", res.X)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	a := linalg.FromRows([][]float64{{1, 0}})
+	if _, err := Solve(Problem{C: []float64{1}, A: a, B: []float64{1}}); err == nil {
+		t.Fatal("bad c accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1, 2}, A: a, B: []float64{1, 2}}); err == nil {
+		t.Fatal("bad b accepted")
+	}
+}
+
+func TestSolveDegenerateRedundantRow(t *testing.T) {
+	// Redundant constraint: third row is the sum of the first two.
+	a := linalg.FromRows([][]float64{
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+		{1, 1, 1, 1},
+	})
+	res, err := Solve(Problem{C: []float64{1, 1, 0, 0}, A: a, B: []float64{2, 3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective < -1e-9 || res.Objective > 1e-9 {
+		t.Fatalf("objective = %v, want 0 (slacks absorb everything)", res.Objective)
+	}
+}
+
+// Property: the simplex optimum is no worse than any random feasible point.
+func TestSolveOptimalityAgainstRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		m, n := 2+rng.Intn(3), 5+rng.Intn(5)
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Construct b from a random nonnegative point so the problem is
+		// feasible by construction.
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64()
+		}
+		b := a.MulVec(x0)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64() // nonnegative costs keep it bounded
+		}
+		res, err := Solve(Problem{C: c, A: a, B: b})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Objective > linalg.Dot(c, x0)+1e-6 {
+			t.Fatalf("trial %d: simplex %.6f worse than random feasible %.6f",
+				trial, res.Objective, linalg.Dot(c, x0))
+		}
+		// Feasibility of the returned point.
+		r := linalg.Sub(a.MulVec(res.X), b)
+		if linalg.Norm2(r) > 1e-6 {
+			t.Fatalf("trial %d: infeasible solution, residual %v", trial, linalg.Norm2(r))
+		}
+		for _, v := range res.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: negative variable %v", trial, v)
+			}
+		}
+	}
+}
+
+func TestMinimizeL1Residual(t *testing.T) {
+	// Overdetermined system with one gross outlier: L1 regression must
+	// ignore the outlier where L2 would not.
+	a := linalg.FromRows([][]float64{{1}, {1}, {1}, {1}, {1}})
+	y := []float64{1, 1, 1, 1, 100}
+	x, err := MinimizeL1Residual(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-6 {
+		t.Fatalf("L1 fit = %v, want 1 (median)", x[0])
+	}
+}
+
+func TestMinimizeL1ResidualExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 8, 3
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		want := []float64{1, -2, 0.5}
+		y := a.MulVec(want)
+		x, err := MinimizeL1Residual(a, y)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: x = %v, want %v", trial, x, want)
+			}
+		}
+	}
+}
+
+func TestBasisPursuitNonPositive(t *testing.T) {
+	// x1 + x2 = -1, x ≤ 0: the L1-minimal solutions put all mass on one
+	// coordinate or split it; total must be -1 and ‖x‖₁ = 1.
+	a := linalg.FromRows([][]float64{{1, 1}})
+	x, err := BasisPursuitNonPositive(a, []float64{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] > 1e-12 || x[1] > 1e-12 {
+		t.Fatalf("positive entries: %v", x)
+	}
+	if math.Abs(x[0]+x[1]+1) > 1e-9 {
+		t.Fatalf("constraint violated: %v", x)
+	}
+	if math.Abs(linalg.Norm1(x)-1) > 1e-9 {
+		t.Fatalf("‖x‖₁ = %v, want 1", linalg.Norm1(x))
+	}
+}
+
+func TestBasisPursuitPicksSparse(t *testing.T) {
+	// y = A·x* with sparse nonpositive x*: basis pursuit must achieve an L1
+	// norm no larger than ‖x*‖₁.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		m, n := 4, 10
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		xs := make([]float64, n)
+		xs[rng.Intn(n)] = -1 - rng.Float64()
+		y := a.MulVec(xs)
+		x, err := BasisPursuitNonPositive(a, y)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if linalg.Norm1(x) > linalg.Norm1(xs)+1e-6 {
+			t.Fatalf("trial %d: ‖x‖₁ = %v > ‖x*‖₁ = %v", trial, linalg.Norm1(x), linalg.Norm1(xs))
+		}
+		r := linalg.Sub(a.MulVec(x), y)
+		if linalg.Norm2(r) > 1e-6 {
+			t.Fatalf("trial %d: constraints violated by %v", trial, linalg.Norm2(r))
+		}
+	}
+}
+
+func TestIRLSL1MatchesSimplexOnOutliers(t *testing.T) {
+	a := linalg.FromRows([][]float64{{1}, {1}, {1}, {1}, {1}, {1}, {1}})
+	y := []float64{2, 2, 2, 2, 2, 2, 50}
+	x, err := IRLSL1(a, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-3 {
+		t.Fatalf("IRLS fit = %v, want ≈2", x[0])
+	}
+}
+
+func TestIRLSL1Errors(t *testing.T) {
+	a := linalg.FromRows([][]float64{{1, 2}})
+	if _, err := IRLSL1(a, []float64{1, 2}, 5); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+}
+
+// Property: on random overdetermined systems, the simplex L1 objective is at
+// least as good as (≤) both the IRLS approximation and the least-squares fit.
+func TestL1ObjectiveOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 12, 4
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		y := make([]float64, m)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		l1 := func(x []float64) float64 { return linalg.Norm1(linalg.Sub(a.MulVec(x), y)) }
+
+		xs, err := MinimizeL1Residual(a, y)
+		if err != nil {
+			t.Fatalf("trial %d simplex: %v", trial, err)
+		}
+		xi, err := IRLSL1(a, y, 0)
+		if err != nil {
+			t.Fatalf("trial %d IRLS: %v", trial, err)
+		}
+		xl, err := linalg.LeastSquares(a, y)
+		if err != nil {
+			t.Fatalf("trial %d LS: %v", trial, err)
+		}
+		if l1(xs) > l1(xi)+1e-6 {
+			t.Fatalf("trial %d: simplex L1 %.8f worse than IRLS %.8f", trial, l1(xs), l1(xi))
+		}
+		if l1(xs) > l1(xl)+1e-6 {
+			t.Fatalf("trial %d: simplex L1 %.8f worse than least-squares %.8f", trial, l1(xs), l1(xl))
+		}
+	}
+}

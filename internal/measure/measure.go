@@ -1,0 +1,199 @@
+// Package measure turns simulation records into the probability estimates
+// the tomography algorithms consume, and provides exact (closed-form)
+// counterparts computed directly from a congestion model for validation.
+//
+// Two query interfaces cover the two algorithm families:
+//
+//   - Source supplies P(a set of paths is all-good) — the only measurement
+//     the practical Section-4 algorithm needs (single paths and pairs).
+//   - PatternSource supplies P(the congested-path set is exactly Q) — the
+//     measurement the Appendix-A theorem algorithm needs.
+package measure
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/congestion"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Source provides "all paths in the set are good" probabilities.
+type Source interface {
+	// NumPaths returns the number of paths in the underlying experiment.
+	NumPaths() int
+	// ProbPathsGood returns P(every path in the set is good). An empty set
+	// yields 1.
+	ProbPathsGood(paths *bitset.Set) float64
+}
+
+// PatternSource provides exact congested-pattern probabilities.
+type PatternSource interface {
+	// ProbExactCongestedPaths returns P(the set of congested paths equals
+	// exactly the given set).
+	ProbExactCongestedPaths(paths *bitset.Set) float64
+}
+
+// Empirical estimates probabilities as frequencies over a simulation record.
+type Empirical struct {
+	rec *netsim.Record
+	// patternCount caches pattern-key → number of snapshots.
+	patternCount map[string]int
+}
+
+// NewEmpirical wraps a simulation record.
+func NewEmpirical(rec *netsim.Record) *Empirical {
+	e := &Empirical{rec: rec, patternCount: make(map[string]int)}
+	for _, s := range rec.CongestedPaths {
+		e.patternCount[s.Key()]++
+	}
+	return e
+}
+
+// NumPaths implements Source.
+func (e *Empirical) NumPaths() int { return e.rec.NumPaths }
+
+// Snapshots returns the number of snapshots backing the estimates.
+func (e *Empirical) Snapshots() int { return e.rec.Snapshots() }
+
+// ProbPathsGood implements Source: the fraction of snapshots in which no
+// path of the set was congested.
+func (e *Empirical) ProbPathsGood(paths *bitset.Set) float64 {
+	hits := 0
+	for _, s := range e.rec.CongestedPaths {
+		if !s.Intersects(paths) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(e.rec.Snapshots())
+}
+
+// ProbPathGood returns P(path i good).
+func (e *Empirical) ProbPathGood(i topology.PathID) float64 {
+	return e.ProbPathsGood(bitset.FromIndices(int(i)))
+}
+
+// ProbPairGood returns P(paths i and j both good).
+func (e *Empirical) ProbPairGood(i, j topology.PathID) float64 {
+	return e.ProbPathsGood(bitset.FromIndices(int(i), int(j)))
+}
+
+// ProbExactCongestedPaths implements PatternSource via the cached pattern
+// histogram.
+func (e *Empirical) ProbExactCongestedPaths(paths *bitset.Set) float64 {
+	return float64(e.patternCount[paths.Key()]) / float64(e.rec.Snapshots())
+}
+
+// PathCongestionFrequency returns, per path, the fraction of snapshots in
+// which it was congested — the paper's E(YPi).
+func (e *Empirical) PathCongestionFrequency() []float64 {
+	out := make([]float64, e.rec.NumPaths)
+	for _, s := range e.rec.CongestedPaths {
+		s.ForEach(func(i int) bool {
+			out[i]++
+			return true
+		})
+	}
+	n := float64(e.rec.Snapshots())
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+// Exact computes the same quantities in closed form from a congestion model
+// under Assumption 2 (separability). ProbPathsGood is exact for topologies
+// and models of any size; ProbExactCongestedPaths enumerates correlation-set
+// states and is restricted to small correlation sets (tests and toys).
+type Exact struct {
+	top   *topology.Topology
+	model congestion.Model
+
+	// Per correlation set: the exact subset distribution and each subset's
+	// path coverage, materialized lazily for pattern queries.
+	states [][]exactState
+}
+
+type exactState struct {
+	links    *bitset.Set
+	coverage *bitset.Set
+	p        float64
+}
+
+// NewExact builds an exact source for the topology/model pair.
+func NewExact(top *topology.Topology, model congestion.Model) (*Exact, error) {
+	if top.NumLinks() != model.NumLinks() {
+		return nil, fmt.Errorf("measure: topology has %d links, model %d", top.NumLinks(), model.NumLinks())
+	}
+	return &Exact{top: top, model: model}, nil
+}
+
+// NumPaths implements Source.
+func (e *Exact) NumPaths() int { return e.top.NumPaths() }
+
+// ProbPathsGood implements Source: all paths good ⇔ every link on them good
+// (Assumption 2), so the answer is ProbAllGood over the union of their links.
+func (e *Exact) ProbPathsGood(paths *bitset.Set) float64 {
+	links := bitset.New(e.top.NumLinks())
+	paths.ForEach(func(i int) bool {
+		links.UnionWith(e.top.PathLinkSet(topology.PathID(i)))
+		return true
+	})
+	return e.model.ProbAllGood(links)
+}
+
+// materialize builds the per-set state tables (once).
+func (e *Exact) materialize() error {
+	if e.states != nil {
+		return nil
+	}
+	states := make([][]exactState, e.top.NumSets())
+	for p := 0; p < e.top.NumSets(); p++ {
+		links := e.top.CorrelationSet(p).Indices()
+		if len(links) > 15 {
+			return fmt.Errorf("measure: correlation set %d has %d links; exact pattern probabilities are limited to ≤15", p, len(links))
+		}
+		dist := congestion.SubsetDistribution(e.model, links)
+		for _, sp := range dist {
+			states[p] = append(states[p], exactState{
+				links:    sp.Links,
+				coverage: e.top.Coverage(sp.Links),
+				p:        sp.P,
+			})
+		}
+	}
+	e.states = states
+	return nil
+}
+
+// ProbExactCongestedPaths implements PatternSource by depth-first
+// enumeration of per-set states whose coverage stays within the target
+// pattern, requiring the union to equal the pattern exactly.
+func (e *Exact) ProbExactCongestedPaths(paths *bitset.Set) float64 {
+	if err := e.materialize(); err != nil {
+		panic(err) // construction-time contract: documented size limit
+	}
+	var rec func(set int, covered *bitset.Set) float64
+	rec = func(set int, covered *bitset.Set) float64 {
+		if set == len(e.states) {
+			if covered.Equal(paths) {
+				return 1
+			}
+			return 0
+		}
+		total := 0.0
+		for _, st := range e.states[set] {
+			if st.p == 0 {
+				continue
+			}
+			if !st.coverage.IsSubsetOf(paths) {
+				continue
+			}
+			next := bitset.Union(covered, st.coverage)
+			total += st.p * rec(set+1, next)
+		}
+		return total
+	}
+	return rec(0, bitset.New(e.top.NumPaths()))
+}

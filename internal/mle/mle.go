@@ -1,0 +1,240 @@
+// Package mle implements a maximum-likelihood estimator of per-link
+// congestion probabilities under the independence assumption — the style of
+// inference used by the Boolean-tomography line of work the paper builds on
+// (Nguyen & Thiran 2007 [12]; cf. the EM approaches of [17]).
+//
+// Under Assumption 2 and link independence, a path Pi is good in a snapshot
+// with probability g_i = Π_{k∈Pi} q_k, where q_k = P(Xek = 0), and a pair of
+// paths is jointly good with probability g_ij = Π_{k∈Pi∪Pj} q_k. Given the
+// empirical good-frequencies of paths and of link-sharing path pairs over N
+// snapshots, the composite log-likelihood is
+//
+//	L(q) = Σ_obs [ f·log g + (1 − f)·log(1 − g) ]
+//
+// which mle maximizes by projected gradient ascent over x_k = log q_k ≤ 0
+// with backtracking line search. Pair observations carry the same extra
+// identifiability that the paper's Section-4 pair equations provide (single
+// paths alone generally underdetermine the links). The estimator complements
+// the log-linear solver: identical information set, but observations are
+// weighted by their binomial information content instead of all equations
+// counting equally. Like every independence-based method, it is consistent
+// when links are uncorrelated and biased when they are — the comparison the
+// library's tests quantify.
+package mle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/measure"
+	"repro/internal/topology"
+)
+
+// Options tunes the optimizer.
+type Options struct {
+	// MaxIters bounds the gradient-ascent iterations (default 500).
+	MaxIters int
+	// Tol is the convergence threshold on the relative likelihood
+	// improvement (default 1e-10).
+	Tol float64
+	// InitialProb is the starting per-link congestion probability
+	// (default 0.05).
+	InitialProb float64
+}
+
+func (o *Options) fill() {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 500
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.InitialProb <= 0 || o.InitialProb >= 1 {
+		o.InitialProb = 0.05
+	}
+}
+
+// Result is the estimator output.
+type Result struct {
+	// CongestionProb[k] is the estimated P(Xek = 1).
+	CongestionProb []float64
+	// LogGoodProb[k] is the underlying x_k = log P(Xek = 0) ≤ 0.
+	LogGoodProb []float64
+	// LogLikelihood is the composite log-likelihood at the optimum
+	// (per snapshot, i.e. divided by N).
+	LogLikelihood float64
+	// Iters is the number of gradient steps taken.
+	Iters int
+}
+
+const (
+	gClamp = 1e-9 // keep path-good probabilities inside (0, 1)
+)
+
+// Estimate runs the composite-likelihood MLE on the empirical per-path
+// good-frequencies of a measurement source.
+func Estimate(top *topology.Topology, src *measure.Empirical, opts Options) (*Result, error) {
+	if src.NumPaths() != top.NumPaths() {
+		return nil, fmt.Errorf("mle: source has %d paths, topology %d", src.NumPaths(), top.NumPaths())
+	}
+	opts.fill()
+	nl := top.NumLinks()
+	np := top.NumPaths()
+
+	// Observations: every path, plus link-sharing path pairs (capped at
+	// 2·|E|), each with its empirical all-good frequency f and the link set
+	// whose q-product predicts it.
+	type obs struct {
+		links []int
+		f     float64
+	}
+	var observations []obs
+	for i := 0; i < np; i++ {
+		id := topology.PathID(i)
+		observations = append(observations, obs{
+			links: top.PathLinkSet(id).Indices(),
+			f:     src.ProbPathGood(id),
+		})
+	}
+	seenPair := map[int64]bool{}
+	maxPairs := 2 * nl
+	pairCount := 0
+pairScan:
+	for k := 0; k < nl; k++ {
+		through := top.PathsThroughLink(topology.LinkID(k))
+		for ai := 0; ai < len(through); ai++ {
+			for bi := ai + 1; bi < len(through); bi++ {
+				i, j := through[ai], through[bi]
+				key := int64(i)*int64(np) + int64(j)
+				if seenPair[key] {
+					continue
+				}
+				seenPair[key] = true
+				union := top.PathLinkSet(i).Clone()
+				union.UnionWith(top.PathLinkSet(j))
+				observations = append(observations, obs{
+					links: union.Indices(),
+					f:     src.ProbPairGood(i, j),
+				})
+				pairCount++
+				if pairCount >= maxPairs {
+					break pairScan
+				}
+			}
+		}
+	}
+
+	// Observation-link incidence, both directions.
+	pathsOf := make([][]int, nl)
+	for oi, o := range observations {
+		for _, l := range o.links {
+			pathsOf[l] = append(pathsOf[l], oi)
+		}
+	}
+	nObs := len(observations)
+	f := make([]float64, nObs)
+	linksOf := make([][]int, nObs)
+	for oi, o := range observations {
+		f[oi] = o.f
+		linksOf[oi] = o.links
+	}
+
+	x := make([]float64, nl) // log q_k ≤ 0
+	init := math.Log(1 - opts.InitialProb)
+	for k := range x {
+		x[k] = init
+	}
+
+	logG := func(x []float64, i int) float64 {
+		s := 0.0
+		for _, k := range linksOf[i] {
+			s += x[k]
+		}
+		return s
+	}
+	likelihood := func(x []float64) float64 {
+		ll := 0.0
+		for i := 0; i < nObs; i++ {
+			g := math.Exp(logG(x, i))
+			if g > 1-gClamp {
+				g = 1 - gClamp
+			}
+			if g < gClamp {
+				g = gClamp
+			}
+			ll += f[i]*math.Log(g) + (1-f[i])*math.Log(1-g)
+		}
+		return ll
+	}
+
+	ll := likelihood(x)
+	grad := make([]float64, nl)
+	trial := make([]float64, nl)
+	iters := 0
+	step := 0.1
+	for ; iters < opts.MaxIters; iters++ {
+		// ∂L/∂x_k = Σ_{i ∋ k} [ f_i − (1−f_i)·g_i/(1−g_i) ]
+		g := make([]float64, nObs)
+		for i := 0; i < nObs; i++ {
+			gi := math.Exp(logG(x, i))
+			if gi > 1-gClamp {
+				gi = 1 - gClamp
+			}
+			g[i] = gi
+		}
+		for k := 0; k < nl; k++ {
+			s := 0.0
+			for _, i := range pathsOf[k] {
+				s += f[i] - (1-f[i])*g[i]/(1-g[i])
+			}
+			grad[k] = s
+		}
+
+		// Backtracking line search with projection onto x ≤ 0.
+		improved := false
+		for bt := 0; bt < 40; bt++ {
+			for k := range trial {
+				v := x[k] + step*grad[k]
+				if v > 0 {
+					v = 0
+				}
+				trial[k] = v
+			}
+			nll := likelihood(trial)
+			if nll > ll {
+				copy(x, trial)
+				if nll-ll < opts.Tol*(math.Abs(ll)+1) {
+					ll = nll
+					improved = false // converged
+					break
+				}
+				ll = nll
+				improved = true
+				step *= 1.3 // cautious growth after success
+				break
+			}
+			step /= 2
+			if step < 1e-14 {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	res := &Result{
+		CongestionProb: make([]float64, nl),
+		LogGoodProb:    x,
+		LogLikelihood:  ll,
+		Iters:          iters,
+	}
+	for k := 0; k < nl; k++ {
+		p := 1 - math.Exp(x[k])
+		if p < 0 {
+			p = 0
+		}
+		res.CongestionProb[k] = p
+	}
+	return res, nil
+}

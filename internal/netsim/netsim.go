@@ -1,0 +1,184 @@
+// Package netsim is the experiment engine: it runs the paper's simulator
+// (Section 5) for N snapshots and records which paths were observed
+// congested in each snapshot. Two fidelity modes are provided:
+//
+//   - StateLevel applies Assumption 2 (separability) directly: a path is
+//     congested iff it traverses a congested link. This is exact under the
+//     paper's model and fast enough for the large parameter sweeps.
+//   - PacketLevel additionally simulates the [13] loss-rate model and probe
+//     packets, classifying each path by its measured loss fraction against
+//     the threshold tp — the full data path of the paper's simulator,
+//     including measurement noise.
+//
+// Snapshots are independent, so the engine shards them across goroutines;
+// per-snapshot RNGs are derived deterministically from the seed, making runs
+// reproducible regardless of parallelism.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/congestion"
+	"repro/internal/loss"
+	"repro/internal/topology"
+)
+
+// Mode selects the measurement fidelity.
+type Mode int
+
+const (
+	// StateLevel derives path states from link states via Assumption 2.
+	StateLevel Mode = iota
+	// PacketLevel simulates loss rates and probe packets per snapshot.
+	PacketLevel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case StateLevel:
+		return "state-level"
+	case PacketLevel:
+		return "packet-level"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Topology  *topology.Topology
+	Model     congestion.Model
+	Snapshots int
+	Seed      int64
+	Mode      Mode
+	// Tl is the link congestion threshold (0 ⇒ loss.DefaultTl). Only used in
+	// PacketLevel mode.
+	Tl float64
+	// PacketsPerPath is the probe count per path per snapshot
+	// (0 ⇒ loss.DefaultPacketsPerPath). Only used in PacketLevel mode.
+	PacketsPerPath int
+	// Parallelism caps the worker count (0 ⇒ GOMAXPROCS).
+	Parallelism int
+	// RecordLinkStates additionally stores the true congested-link set of
+	// every snapshot (for validation and diagnostics; costs memory).
+	RecordLinkStates bool
+}
+
+// Record holds the observations of one experiment: for each snapshot, the
+// set of congested paths (and optionally the true set of congested links).
+type Record struct {
+	NumPaths       int
+	CongestedPaths []*bitset.Set // per snapshot
+	LinkStates     []*bitset.Set // per snapshot; nil unless recorded
+}
+
+// Snapshots returns the number of recorded snapshots.
+func (r *Record) Snapshots() int { return len(r.CongestedPaths) }
+
+// Run executes the simulation and returns the observation record.
+func Run(cfg Config) (*Record, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("netsim: nil topology")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("netsim: nil model")
+	}
+	if cfg.Model.NumLinks() != cfg.Topology.NumLinks() {
+		return nil, fmt.Errorf("netsim: model covers %d links, topology has %d",
+			cfg.Model.NumLinks(), cfg.Topology.NumLinks())
+	}
+	if cfg.Snapshots <= 0 {
+		return nil, fmt.Errorf("netsim: snapshots = %d, want > 0", cfg.Snapshots)
+	}
+	tl := cfg.Tl
+	if tl == 0 {
+		tl = loss.DefaultTl
+	}
+	if tl < 0 || tl >= 1 {
+		return nil, fmt.Errorf("netsim: tl = %v, want (0, 1)", tl)
+	}
+	packets := cfg.PacketsPerPath
+	if packets == 0 {
+		packets = loss.DefaultPacketsPerPath
+	}
+	if packets < 0 {
+		return nil, fmt.Errorf("netsim: packets per path = %d", packets)
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Snapshots {
+		workers = cfg.Snapshots
+	}
+
+	rec := &Record{
+		NumPaths:       cfg.Topology.NumPaths(),
+		CongestedPaths: make([]*bitset.Set, cfg.Snapshots),
+	}
+	if cfg.RecordLinkStates {
+		rec.LinkStates = make([]*bitset.Set, cfg.Snapshots)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			linkState := bitset.New(cfg.Topology.NumLinks())
+			for snap := worker; snap < cfg.Snapshots; snap += workers {
+				// Derive a deterministic per-snapshot RNG so results do not
+				// depend on the worker count.
+				rng := rand.New(rand.NewSource(snapshotSeed(cfg.Seed, snap)))
+				cfg.Model.Sample(rng, linkState)
+				if cfg.RecordLinkStates {
+					rec.LinkStates[snap] = linkState.Clone()
+				}
+				rec.CongestedPaths[snap] = observePaths(cfg.Topology, linkState, rng, cfg.Mode, tl, packets)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return rec, nil
+}
+
+// snapshotSeed mixes the experiment seed with the snapshot index.
+func snapshotSeed(seed int64, snap int) int64 {
+	x := uint64(seed) ^ (uint64(snap)+1)*0x9e3779b97f4a7c15
+	// splitmix64 finalizer
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// observePaths derives the congested-path set for one snapshot.
+func observePaths(top *topology.Topology, linkState *bitset.Set, rng *rand.Rand, mode Mode, tl float64, packets int) *bitset.Set {
+	out := bitset.New(top.NumPaths())
+	switch mode {
+	case StateLevel:
+		for _, p := range top.Paths() {
+			if top.PathLinkSet(p.ID).Intersects(linkState) {
+				out.Add(int(p.ID))
+			}
+		}
+	case PacketLevel:
+		rates := loss.SampleRates(rng, linkState, top.NumLinks(), tl)
+		for _, p := range top.Paths() {
+			frac := loss.TransmitPath(rng, rates, p.Links, packets)
+			if loss.ClassifyPath(frac, tl, len(p.Links)) {
+				out.Add(int(p.ID))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("netsim: unknown mode %d", int(mode)))
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package planetlab synthesizes traceroute-mesh topologies in the style of
+// the paper's PlanetLab experiments (Section 5, "PlanetLab topologies"):
+// a router-level graph laid out in the plane (Waxman-style random graph, the
+// other classic BRITE model), a set of vantage points, and measurement paths
+// that follow shortest routes between vantage pairs — mimicking traceroute
+// on a real mesh. Correlation sets are contiguous clusters of links, grown
+// by breadth-first search over link adjacency, "to simulate scenarios where
+// each correlation set corresponds to a local-area network or an
+// administrative domain".
+package planetlab
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Routers is the number of router nodes (≥ 4).
+	Routers int
+	// VantagePoints is the number of measurement hosts (≥ 2), each attached
+	// to a random router by an access link.
+	VantagePoints int
+	// Paths is the number of measurement paths to keep (vantage pairs whose
+	// traceroute "completed").
+	Paths int
+	// Alpha and Beta are the Waxman connection parameters (defaults 0.15,
+	// 0.25): P(edge u,v) = Alpha·exp(−d(u,v)/(Beta·L)).
+	Alpha, Beta float64
+	// ClusterSize bounds correlation-cluster sizes, drawn uniformly from
+	// [Min, Max] (defaults 2..6).
+	ClusterSize [2]int
+	// DiscardFrac simulates incomplete traceroutes: this fraction of
+	// candidate paths is dropped (default 0.1).
+	DiscardFrac float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.Routers < 4 {
+		return fmt.Errorf("planetlab: Routers = %d, want ≥ 4", c.Routers)
+	}
+	if c.VantagePoints < 2 {
+		return fmt.Errorf("planetlab: VantagePoints = %d, want ≥ 2", c.VantagePoints)
+	}
+	if c.Paths < 1 {
+		return fmt.Errorf("planetlab: Paths = %d, want ≥ 1", c.Paths)
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.15
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.25
+	}
+	if c.ClusterSize[0] <= 0 {
+		c.ClusterSize[0] = 2
+	}
+	if c.ClusterSize[1] < c.ClusterSize[0] {
+		c.ClusterSize[1] = c.ClusterSize[0] + 4
+	}
+	if c.DiscardFrac < 0 || c.DiscardFrac >= 1 {
+		c.DiscardFrac = 0.1
+	}
+	return nil
+}
+
+// Network is a generated traceroute mesh.
+type Network struct {
+	// Topology is the measurement topology with contiguous-cluster
+	// correlation sets.
+	Topology *topology.Topology
+	// ClusterOf[k] is the correlation cluster of link k.
+	ClusterOf []int
+	// NumClusters is the number of correlation clusters.
+	NumClusters int
+}
+
+// Generate builds a traceroute-mesh topology.
+func Generate(cfg Config) (*Network, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// --- Waxman router graph in the unit square. ---
+	xs := make([]float64, cfg.Routers)
+	ys := make([]float64, cfg.Routers)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	dist := func(a, b int) float64 {
+		return math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+	}
+	l := math.Sqrt2 // max distance in the unit square
+	type edge struct {
+		a, b int
+		w    float64
+	}
+	var edges []edge
+	adj := make([][]int, cfg.Routers)
+	hasEdge := map[[2]int]bool{}
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if hasEdge[[2]int{a, b}] {
+			return
+		}
+		hasEdge[[2]int{a, b}] = true
+		edges = append(edges, edge{a, b, dist(a, b)})
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for a := 0; a < cfg.Routers; a++ {
+		for b := a + 1; b < cfg.Routers; b++ {
+			if rng.Float64() < cfg.Alpha*math.Exp(-dist(a, b)/(cfg.Beta*l)) {
+				addEdge(a, b)
+			}
+		}
+	}
+	// Guarantee connectivity: chain each router to its nearest already-
+	// connected predecessor (a cheap spanning structure).
+	for v := 1; v < cfg.Routers; v++ {
+		best, bestD := -1, math.Inf(1)
+		for u := 0; u < v; u++ {
+			if d := dist(u, v); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		addEdge(v, best)
+	}
+
+	// --- Vantage points: hosts hanging off random distinct routers. ---
+	if cfg.VantagePoints > cfg.Routers {
+		return nil, fmt.Errorf("planetlab: more vantage points (%d) than routers (%d)", cfg.VantagePoints, cfg.Routers)
+	}
+	perm := rng.Perm(cfg.Routers)
+	vantageRouter := perm[:cfg.VantagePoints]
+
+	// --- Shortest routes (Dijkstra on distance weights) between vantage
+	// router pairs; consistent weights make routes traceroute-stable. ---
+	// Directed link namespace: for each undirected edge, two directed links.
+	type dlink struct{ src, dst int }
+	var dlinks []dlink
+	dindex := map[[2]int]int{}
+	for _, e := range edges {
+		dindex[[2]int{e.a, e.b}] = len(dlinks)
+		dlinks = append(dlinks, dlink{e.a, e.b})
+		dindex[[2]int{e.b, e.a}] = len(dlinks)
+		dlinks = append(dlinks, dlink{e.b, e.a})
+	}
+	shortest := func(src, dst int) []int { // returns dlink indices
+		distTo := make([]float64, cfg.Routers)
+		prev := make([]int, cfg.Routers)
+		for i := range distTo {
+			distTo[i] = math.Inf(1)
+			prev[i] = -1
+		}
+		distTo[src] = 0
+		pq := &nodeHeap{{src, 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(nodeItem)
+			if it.d > distTo[it.v] {
+				continue
+			}
+			if it.v == dst {
+				break
+			}
+			for _, w := range adj[it.v] {
+				nd := it.d + dist(it.v, w)
+				if nd < distTo[w] {
+					distTo[w] = nd
+					prev[w] = it.v
+					heap.Push(pq, nodeItem{w, nd})
+				}
+			}
+		}
+		if prev[dst] == -1 && src != dst {
+			return nil
+		}
+		var nodes []int
+		for x := dst; x != src; x = prev[x] {
+			nodes = append(nodes, x)
+		}
+		nodes = append(nodes, src)
+		var links []int
+		for i := len(nodes) - 1; i > 0; i-- {
+			links = append(links, dindex[[2]int{nodes[i], nodes[i-1]}])
+		}
+		return links
+	}
+
+	type pathSpec struct{ links []int }
+	var paths []pathSpec
+	seen := map[string]bool{}
+	attempts := 0
+	for len(paths) < cfg.Paths {
+		attempts++
+		if attempts > 400*cfg.Paths {
+			return nil, fmt.Errorf("planetlab: could not generate %d distinct paths (got %d); increase VantagePoints", cfg.Paths, len(paths))
+		}
+		i, j := rng.Intn(cfg.VantagePoints), rng.Intn(cfg.VantagePoints)
+		if i == j {
+			continue
+		}
+		if rng.Float64() < cfg.DiscardFrac {
+			continue // incomplete traceroute, discarded as in the paper
+		}
+		links := shortest(vantageRouter[i], vantageRouter[j])
+		if links == nil {
+			continue
+		}
+		key := fmt.Sprint(links)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		paths = append(paths, pathSpec{links})
+	}
+
+	// --- Keep used links; rebuild compactly. ---
+	used := map[int]bool{}
+	for _, p := range paths {
+		for _, li := range p.links {
+			used[li] = true
+		}
+	}
+	order := make([]int, 0, len(used))
+	for li := range used {
+		order = append(order, li)
+	}
+	sort.Ints(order)
+	remap := map[int]topology.LinkID{}
+
+	b := topology.NewBuilder()
+	b.AddNodes(cfg.Routers)
+	for _, li := range order {
+		dl := dlinks[li]
+		remap[li] = b.AddLink(topology.NodeID(dl.src), topology.NodeID(dl.dst),
+			fmt.Sprintf("r%d-r%d", dl.src, dl.dst))
+	}
+	for pi, p := range paths {
+		links := make([]topology.LinkID, len(p.links))
+		for i, li := range p.links {
+			links[i] = remap[li]
+		}
+		b.AddPath(fmt.Sprintf("P%d", pi), links...)
+	}
+
+	// --- Contiguous clusters around shared infrastructure. ---
+	// Each cluster is a set of "sibling" links anchored at one router: a
+	// piece of the router's fan-in or fan-out. Sibling links share the
+	// router's hidden infrastructure (the undiscovered switch of Figure
+	// 2(a)), which is exactly the paper's correlation scenario — and a
+	// measurement path traverses at most one link of a fan-in (or fan-out)
+	// piece, so the correlation shows up in pairs of paths rather than
+	// destroying single-path observations.
+	//
+	// A router's fan is always split into at least two pieces (when it has
+	// ≥2 links in the fan) so that cluster construction itself does not
+	// blanket-violate Assumption 4 at every interior node; the Figure-4
+	// scenarios create violations deliberately instead.
+	numLinks := len(order)
+	linkNodes := make([][2]int, numLinks)
+	for i, li := range order {
+		linkNodes[i] = [2]int{dlinks[li].src, dlinks[li].dst}
+	}
+	inOf := map[int][]int{}  // node -> link indices with dst == node
+	outOf := map[int][]int{} // node -> link indices with src == node
+	for k, ln := range linkNodes {
+		outOf[ln[0]] = append(outOf[ln[0]], k)
+		inOf[ln[1]] = append(inOf[ln[1]], k)
+	}
+	clusterOf := make([]int, numLinks)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	numClusters := 0
+	maxPiece := cfg.ClusterSize[1]
+	chunkFan := func(fan []int) {
+		var free []int
+		for _, k := range fan {
+			if clusterOf[k] == -1 {
+				free = append(free, k)
+			}
+		}
+		if len(free) == 0 {
+			return
+		}
+		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+		// Split into ≥2 pieces whenever possible, each of size ≤ maxPiece.
+		pieces := (len(free) + maxPiece - 1) / maxPiece
+		if len(free) >= 2 && pieces < 2 {
+			pieces = 2
+		}
+		if pieces == 0 {
+			pieces = 1
+		}
+		for i, k := range free {
+			clusterOf[k] = numClusters + i%pieces
+		}
+		numClusters += pieces
+	}
+	for _, v := range rng.Perm(cfg.Routers) {
+		chunkFan(inOf[v])
+		chunkFan(outOf[v])
+	}
+	groups := map[int][]topology.LinkID{}
+	for k, c := range clusterOf {
+		groups[c] = append(groups[c], topology.LinkID(k))
+	}
+	for c := 0; c < numClusters; c++ {
+		if len(groups[c]) > 1 {
+			b.Correlate(groups[c]...)
+		}
+	}
+
+	top, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("planetlab: generated topology invalid: %w", err)
+	}
+	return &Network{Topology: top, ClusterOf: clusterOf, NumClusters: numClusters}, nil
+}
+
+// nodeItem / nodeHeap implement the Dijkstra priority queue.
+type nodeItem struct {
+	v int
+	d float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,179 @@
+package planetlab
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func defaultCfg() Config {
+	return Config{Routers: 60, VantagePoints: 12, Paths: 50, Seed: 1}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Routers: 2, VantagePoints: 2, Paths: 1}); err == nil {
+		t.Fatal("tiny router count accepted")
+	}
+	if _, err := Generate(Config{Routers: 10, VantagePoints: 1, Paths: 1}); err == nil {
+		t.Fatal("one vantage point accepted")
+	}
+	if _, err := Generate(Config{Routers: 10, VantagePoints: 20, Paths: 1}); err == nil {
+		t.Fatal("more vantage points than routers accepted")
+	}
+	if _, err := Generate(Config{Routers: 10, VantagePoints: 4, Paths: 0}); err == nil {
+		t.Fatal("zero paths accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	net, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Topology
+	if top.NumPaths() != 50 {
+		t.Fatalf("paths = %d, want 50", top.NumPaths())
+	}
+	if top.NumLinks() == 0 {
+		t.Fatal("no links")
+	}
+	if len(net.ClusterOf) != top.NumLinks() {
+		t.Fatalf("ClusterOf has %d entries, want %d", len(net.ClusterOf), top.NumLinks())
+	}
+	for k, c := range net.ClusterOf {
+		if c < 0 || c >= net.NumClusters {
+			t.Fatalf("link %d cluster %d outside [0,%d)", k, c, net.NumClusters)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Topology.NumLinks() != b.Topology.NumLinks() {
+		t.Fatal("same seed produced different link counts")
+	}
+	for i := range a.ClusterOf {
+		if a.ClusterOf[i] != b.ClusterOf[i] {
+			t.Fatal("same seed produced different clusters")
+		}
+	}
+}
+
+// Clusters must be contiguous sibling fans: all links of a cluster share a
+// common anchor node, and no measurement path traverses two links of the
+// same cluster (the correlation lives in pairs of paths, as in Figure 2(a)).
+func TestClustersContiguous(t *testing.T) {
+	net, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Topology
+	members := map[int][]int{}
+	for k, c := range net.ClusterOf {
+		members[c] = append(members[c], k)
+	}
+	for c, links := range members {
+		if len(links) == 1 {
+			continue
+		}
+		// Common anchor node.
+		common := map[topology.NodeID]int{}
+		for _, k := range links {
+			l := top.Link(topology.LinkID(k))
+			common[l.Src]++
+			common[l.Dst]++
+		}
+		anchored := false
+		for _, n := range common {
+			if n == len(links) {
+				anchored = true
+			}
+		}
+		if !anchored {
+			t.Fatalf("cluster %d has no common anchor node", c)
+		}
+	}
+	// No path traverses two links of one cluster.
+	for _, p := range top.Paths() {
+		seen := map[int]bool{}
+		for _, l := range p.Links {
+			c := net.ClusterOf[l]
+			if seen[c] {
+				t.Fatalf("path %s traverses cluster %d twice", p.Name, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+// Cluster construction must not blanket-violate Assumption 4: a node with
+// two or more used ingress links never has them all in one cluster.
+func TestFanSplitAvoidsBlanketViolations(t *testing.T) {
+	net, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Topology
+	in := map[topology.NodeID][]int{}
+	for _, l := range top.Links() {
+		in[l.Dst] = append(in[l.Dst], int(l.ID))
+	}
+	for v, links := range in {
+		if len(links) < 2 {
+			continue
+		}
+		first := net.ClusterOf[links[0]]
+		allSame := true
+		for _, k := range links[1:] {
+			if net.ClusterOf[k] != first {
+				allSame = false
+				break
+			}
+		}
+		if allSame {
+			t.Fatalf("node %d has all %d ingress links in cluster %d", v, len(links), first)
+		}
+	}
+}
+
+// The topology's correlation sets must match the cluster assignment for all
+// multi-link clusters.
+func TestCorrelationSetsMatchClusters(t *testing.T) {
+	net, err := Generate(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Topology
+	for a := 0; a < top.NumLinks(); a++ {
+		for b := a + 1; b < top.NumLinks(); b++ {
+			sameCluster := net.ClusterOf[a] == net.ClusterOf[b]
+			sameSet := top.SetOf(topology.LinkID(a)) == top.SetOf(topology.LinkID(b))
+			if sameCluster != sameSet {
+				t.Fatalf("links %d,%d: sameCluster=%v but sameSet=%v", a, b, sameCluster, sameSet)
+			}
+		}
+	}
+}
+
+func TestGenerateLargerScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	net, err := Generate(Config{Routers: 250, VantagePoints: 40, Paths: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Topology.NumPaths() != 300 {
+		t.Fatalf("paths = %d", net.Topology.NumPaths())
+	}
+	if net.NumClusters < 10 {
+		t.Fatalf("clusters = %d, expected many", net.NumClusters)
+	}
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func discoveredTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	net, err := trace.Discover(trace.Config{
+		Elements: 80, HiddenFrac: 0.3, VantagePoints: 14, Paths: 80, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Logical
+}
+
+func TestFromTopologyValidation(t *testing.T) {
+	if _, err := FromTopology(FromTopologyConfig{Topology: nil, FracCongested: 0.1}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	top := discoveredTopology(t)
+	if _, err := FromTopology(FromTopologyConfig{Topology: top, FracCongested: 0}); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := FromTopology(FromTopologyConfig{Topology: top, FracCongested: 1.5}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestFromTopologyCongestedFraction(t *testing.T) {
+	top := discoveredTopology(t)
+	for _, frac := range []float64{0.05, 0.15, 0.30} {
+		s, err := FromTopology(FromTopologyConfig{
+			Topology: top, FracCongested: frac, Level: HighCorrelation, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(s.CongestedLinks.Len()) / float64(top.NumLinks())
+		if math.Abs(got-frac) > 0.05 {
+			t.Fatalf("frac %.2f: got %.3f", frac, got)
+		}
+		// Truth marginals must lie in (0, 1] for congested links, 0 else.
+		for k, p := range s.Truth {
+			if s.CongestedLinks.Contains(k) != (p > 1e-12) {
+				t.Fatalf("link %d: congested=%v but truth=%v", k, s.CongestedLinks.Contains(k), p)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("link %d truth %v out of range", k, p)
+			}
+		}
+	}
+}
+
+func TestFromTopologyLooseLimit(t *testing.T) {
+	top := discoveredTopology(t)
+	s, err := FromTopology(FromTopologyConfig{
+		Topology: top, FracCongested: 0.2, Level: LooseCorrelation, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSet := map[int]int{}
+	s.CongestedLinks.ForEach(func(k int) bool {
+		perSet[top.SetOf(topology.LinkID(k))]++
+		return true
+	})
+	for set, n := range perSet {
+		size := top.CorrelationSet(set).Len()
+		if size > 1 && n > 2 {
+			t.Fatalf("loose scenario put %d congested links in multi-link set %d", n, set)
+		}
+	}
+}
+
+func TestFromTopologyModelMatchesSets(t *testing.T) {
+	// Cross-set independence must hold in the generated model: P(both good)
+	// factorizes for links in different correlation sets.
+	top := discoveredTopology(t)
+	s, err := FromTopology(FromTopologyConfig{
+		Topology: top, FracCongested: 0.2, Level: HighCorrelation, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var congested []int
+	s.CongestedLinks.ForEach(func(k int) bool {
+		congested = append(congested, k)
+		return true
+	})
+	checked := false
+	for i := 0; i < len(congested) && !checked; i++ {
+		for j := i + 1; j < len(congested); j++ {
+			a, b := congested[i], congested[j]
+			if top.SetOf(topology.LinkID(a)) == top.SetOf(topology.LinkID(b)) {
+				continue
+			}
+			pa := s.Model.ProbAllGood(singleton(a))
+			pb := s.Model.ProbAllGood(singleton(b))
+			joint := s.Model.ProbAllGood(pair(a, b))
+			if math.Abs(joint-pa*pb) > 1e-12 {
+				t.Fatalf("cross-set links %d,%d not independent: %v vs %v", a, b, joint, pa*pb)
+			}
+			checked = true
+			break
+		}
+	}
+	if !checked {
+		t.Skip("no cross-set congested pair in this instance")
+	}
+}
+
+func singleton(k int) *bitset.Set { return bitset.FromIndices(k) }
+
+func pair(a, b int) *bitset.Set { return bitset.FromIndices(a, b) }

@@ -1,0 +1,278 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/brite"
+	"repro/internal/planetlab"
+	"repro/internal/topology"
+)
+
+func briteNet(t *testing.T) *brite.Network {
+	t.Helper()
+	net, err := brite.Generate(brite.Config{ASes: 40, EdgesPerAS: 2, Paths: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func plNet(t *testing.T) *planetlab.Network {
+	t.Helper()
+	net, err := planetlab.Generate(planetlab.Config{Routers: 80, VantagePoints: 16, Paths: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBriteScenarioValidation(t *testing.T) {
+	if _, err := Brite(BriteConfig{Net: nil, FracCongested: 0.1}); err == nil {
+		t.Fatal("nil net accepted")
+	}
+	if _, err := Brite(BriteConfig{Net: briteNet(t), FracCongested: 0}); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+}
+
+func TestBriteScenarioCongestedFraction(t *testing.T) {
+	net := briteNet(t)
+	for _, frac := range []float64{0.05, 0.10, 0.25} {
+		s, err := Brite(BriteConfig{Net: net, FracCongested: frac, Level: HighCorrelation, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := net.Topology.NumLinks()
+		got := float64(s.CongestedLinks.Len()) / float64(nl)
+		if math.Abs(got-frac) > 0.05 {
+			t.Fatalf("frac %.2f: congested fraction %.3f (%d/%d links)", frac, got, s.CongestedLinks.Len(), nl)
+		}
+		// Truth agrees with the congested set.
+		s.CongestedLinks.ForEach(func(k int) bool {
+			if s.Truth[k] <= 0 {
+				t.Fatalf("congested link %d has truth %v", k, s.Truth[k])
+			}
+			return true
+		})
+		for k, p := range s.Truth {
+			if p > 1e-12 && !s.CongestedLinks.Contains(k) {
+				t.Fatalf("link %d has truth %v but is not marked congested", k, p)
+			}
+		}
+		// Potentially congested ⊇ congested (every congested link is on its
+		// own congested path).
+		if !s.CongestedLinks.IsSubsetOf(s.PotentiallyCongested) {
+			t.Fatal("congested ⊄ potentially congested")
+		}
+	}
+}
+
+func TestBriteHighVsLoosePlacement(t *testing.T) {
+	net := briteNet(t)
+	high, err := Brite(BriteConfig{Net: net, FracCongested: 0.15, Level: HighCorrelation, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Brite(BriteConfig{Net: net, FracCongested: 0.15, Level: LooseCorrelation, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSet := func(s *Scenario) map[int]int {
+		m := map[int]int{}
+		s.CongestedLinks.ForEach(func(k int) bool {
+			m[s.Topology.SetOf(topology.LinkID(k))]++
+			return true
+		})
+		return m
+	}
+	// Loose: never more than 2 congested links per correlation set.
+	for set, n := range perSet(loose) {
+		if n > 2 {
+			t.Fatalf("loose scenario has %d congested links in set %d", n, set)
+		}
+	}
+	// High: at least one set with ≥3 congested links.
+	max := 0
+	for _, n := range perSet(high) {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 3 {
+		t.Fatalf("high scenario max congested-per-set = %d, want ≥ 3", max)
+	}
+}
+
+func TestBriteHighCorrelationIsReal(t *testing.T) {
+	net := briteNet(t)
+	s, err := Brite(BriteConfig{Net: net, FracCongested: 0.15, Level: HighCorrelation, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a correlation set with ≥2 congested links and verify the joint
+	// good-probability does not factorize (true correlation).
+	found := false
+	bySet := map[int][]int{}
+	s.CongestedLinks.ForEach(func(k int) bool {
+		set := s.Topology.SetOf(topology.LinkID(k))
+		bySet[set] = append(bySet[set], k)
+		return true
+	})
+	for _, links := range bySet {
+		if len(links) < 2 {
+			continue
+		}
+		a, b := links[0], links[1]
+		pa := 1 - s.Truth[a]
+		pb := 1 - s.Truth[b]
+		joint := s.Model.ProbAllGood(bitsetFrom(a, b))
+		if math.Abs(joint-pa*pb) > 0.01 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no genuinely correlated congested pair found in high-correlation scenario")
+	}
+}
+
+func TestPlanetLabScenario(t *testing.T) {
+	net := plNet(t)
+	s, err := PlanetLab(PlanetLabConfig{Net: net, FracCongested: 0.10, Level: HighCorrelation, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := net.Topology.NumLinks()
+	got := float64(s.CongestedLinks.Len()) / float64(nl)
+	if math.Abs(got-0.10) > 0.05 {
+		t.Fatalf("congested fraction %.3f, want ≈0.10", got)
+	}
+	loose, err := PlanetLab(PlanetLabConfig{Net: net, FracCongested: 0.10, Level: LooseCorrelation, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSet := map[int]int{}
+	loose.CongestedLinks.ForEach(func(k int) bool {
+		perSet[loose.Topology.SetOf(topology.LinkID(k))]++
+		return true
+	})
+	for set, n := range perSet {
+		if n > 2 {
+			t.Fatalf("loose planetlab scenario has %d congested links in set %d", n, set)
+		}
+	}
+}
+
+func TestWithUnidentifiable(t *testing.T) {
+	net := briteNet(t)
+	s, err := Brite(BriteConfig{Net: net, FracCongested: 0.15, Level: HighCorrelation, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := WithUnidentifiable(s, 0.25, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The marked links must be nonempty and the new topology must have node
+	// violations (genuinely unidentifiable structure).
+	if u.Unidentifiable.IsEmpty() {
+		t.Fatal("no unidentifiable links marked")
+	}
+	if v := topology.NodeViolations(u.Topology); len(v) == 0 {
+		t.Fatal("no structural Assumption-4 violations in transformed topology")
+	}
+	// Ground truth unchanged.
+	for k := range s.Truth {
+		if s.Truth[k] != u.Truth[k] {
+			t.Fatalf("truth changed at link %d", k)
+		}
+	}
+	// Same links and paths.
+	if u.Topology.NumLinks() != s.Topology.NumLinks() || u.Topology.NumPaths() != s.Topology.NumPaths() {
+		t.Fatal("transform changed the graph")
+	}
+	// A decent share of congested links must be covered.
+	cong := 0
+	u.Unidentifiable.ForEach(func(k int) bool {
+		if u.CongestedLinks.Contains(k) {
+			cong++
+		}
+		return true
+	})
+	if cong == 0 {
+		t.Fatal("no congested links among unidentifiable")
+	}
+}
+
+func TestWithUnidentifiableValidation(t *testing.T) {
+	net := briteNet(t)
+	s, _ := Brite(BriteConfig{Net: net, FracCongested: 0.1, Level: HighCorrelation, Seed: 17})
+	if _, err := WithUnidentifiable(s, 0, 1); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := WithUnidentifiable(s, 1, 1); err == nil {
+		t.Fatal("fraction 1 accepted")
+	}
+}
+
+func TestWithMislabeled(t *testing.T) {
+	net := briteNet(t)
+	s, err := Brite(BriteConfig{Net: net, FracCongested: 0.10, Level: HighCorrelation, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := WithMislabeled(s, 0.5, 0.3, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mislabeled links must now be congested (attack marginal > 0) and make
+	// up roughly the requested fraction of all congested links.
+	m.Mislabeled.ForEach(func(k int) bool {
+		if !m.CongestedLinks.Contains(k) {
+			t.Fatalf("mislabeled link %d not congested", k)
+		}
+		if s.CongestedLinks.Contains(k) {
+			t.Fatalf("mislabeled link %d was already congested in the base scenario", k)
+		}
+		return true
+	})
+	got := float64(m.Mislabeled.Len()) / float64(m.CongestedLinks.Len())
+	if math.Abs(got-0.5) > 0.15 {
+		t.Fatalf("mislabeled fraction %.3f, want ≈0.5", got)
+	}
+	// Targets span distinct correlation sets.
+	sets := map[int]bool{}
+	m.Mislabeled.ForEach(func(k int) bool {
+		set := m.Topology.SetOf(topology.LinkID(k))
+		if sets[set] {
+			t.Fatalf("two mislabeled links in correlation set %d", set)
+		}
+		sets[set] = true
+		return true
+	})
+	// Topology unchanged (algorithm stays unaware).
+	if m.Topology != s.Topology {
+		t.Fatal("mislabeled transform must not change the topology")
+	}
+}
+
+func TestWithMislabeledValidation(t *testing.T) {
+	net := briteNet(t)
+	s, _ := Brite(BriteConfig{Net: net, FracCongested: 0.1, Level: HighCorrelation, Seed: 23})
+	if _, err := WithMislabeled(s, 0, 0.3, 1); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := WithMislabeled(s, 0.5, 0, 1); err == nil {
+		t.Fatal("zero attack probability accepted")
+	}
+}
+
+func TestCorrelationLevelString(t *testing.T) {
+	if HighCorrelation.String() != "high" || LooseCorrelation.String() != "loose" {
+		t.Fatal("CorrelationLevel.String")
+	}
+}
+
+func bitsetFrom(ks ...int) *bitset.Set { return bitset.FromIndices(ks...) }

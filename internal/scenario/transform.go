@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/congestion"
+	"repro/internal/topology"
+)
+
+// WithUnidentifiable returns a variant of the scenario in which roughly the
+// requested fraction of the congested links is unidentifiable (Figure 4).
+// It engineers Section-3.3 structural violations of Assumption 4: for chosen
+// intermediate nodes, all ingress links are merged into one correlation set
+// and all egress links into one. The ground-truth model is unchanged —
+// the merged sets only (mis)inform the algorithm's knowledge, claiming
+// correlation where the operator cannot rule it out.
+func WithUnidentifiable(s *Scenario, frac float64, seed int64) (*Scenario, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("scenario: unidentifiable fraction %v, want (0,1)", frac)
+	}
+	top := s.Topology
+	rng := rand.New(rand.NewSource(seed))
+	targetCount := int(frac*float64(s.CongestedLinks.Len()) + 0.5)
+	if targetCount < 1 {
+		targetCount = 1
+	}
+
+	// Union-find over correlation-group labels, seeded with the current
+	// partition.
+	group := make([]int, top.NumLinks())
+	for k := range group {
+		group[k] = top.SetOf(topology.LinkID(k))
+	}
+	parent := make([]int, top.NumSets())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Node adjacency.
+	ingress := make([][]int, top.NumNodes())
+	egress := make([][]int, top.NumNodes())
+	for _, l := range top.Links() {
+		ingress[l.Dst] = append(ingress[l.Dst], int(l.ID))
+		egress[l.Src] = append(egress[l.Src], int(l.ID))
+	}
+	// A node qualifies when some path runs through it (ingress followed by
+	// egress hop).
+	through := make([]bool, top.NumNodes())
+	for _, p := range top.Paths() {
+		for i := 0; i+1 < len(p.Links); i++ {
+			through[top.Link(p.Links[i]).Dst] = true
+		}
+	}
+
+	unident := bitset.New(top.NumLinks())
+	congestedUnident := 0
+	nodes := rng.Perm(top.NumNodes())
+	// Prefer nodes adjacent to congested links so the target fraction is
+	// reached with few merges.
+	var preferred, rest []int
+	for _, v := range nodes {
+		if len(ingress[v]) == 0 || len(egress[v]) == 0 || !through[v] {
+			continue
+		}
+		adjCongested := false
+		for _, k := range append(append([]int{}, ingress[v]...), egress[v]...) {
+			if s.CongestedLinks.Contains(k) {
+				adjCongested = true
+				break
+			}
+		}
+		if adjCongested {
+			preferred = append(preferred, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	for _, v := range append(preferred, rest...) {
+		if congestedUnident >= targetCount {
+			break
+		}
+		// Merge ingress groups into one, egress groups into one.
+		for _, k := range ingress[v][1:] {
+			union(group[ingress[v][0]], group[k])
+		}
+		for _, k := range egress[v][1:] {
+			union(group[egress[v][0]], group[k])
+		}
+		for _, k := range append(append([]int{}, ingress[v]...), egress[v]...) {
+			if !unident.Contains(k) {
+				unident.Add(k)
+				if s.CongestedLinks.Contains(k) {
+					congestedUnident++
+				}
+			}
+		}
+	}
+	if congestedUnident == 0 {
+		return nil, fmt.Errorf("scenario: no mergeable nodes adjacent to congested links")
+	}
+
+	// Rebuild the topology with the merged correlation groups.
+	merged := map[int][]topology.LinkID{}
+	for k := range group {
+		root := find(group[k])
+		merged[root] = append(merged[root], topology.LinkID(k))
+	}
+	nt, err := rebuildWithGroups(top, merged)
+	if err != nil {
+		return nil, err
+	}
+	out := &Scenario{
+		Name:           fmt.Sprintf("%s/unident=%.2f", s.Name, frac),
+		Topology:       nt,
+		Model:          s.Model,
+		Unidentifiable: unident,
+		Mislabeled:     s.Mislabeled,
+	}
+	finalize(out)
+	out.Unidentifiable = unident
+	if s.Mislabeled != nil {
+		out.Mislabeled = s.Mislabeled
+	}
+	return out, nil
+}
+
+// rebuildWithGroups reconstructs a topology with identical nodes, links and
+// paths but a new correlation partition.
+func rebuildWithGroups(top *topology.Topology, groups map[int][]topology.LinkID) (*topology.Topology, error) {
+	b := topology.NewBuilder()
+	b.AddNodes(top.NumNodes())
+	for _, l := range top.Links() {
+		b.AddLink(l.Src, l.Dst, l.Name)
+	}
+	for _, p := range top.Paths() {
+		b.AddPath(p.Name, p.Links...)
+	}
+	// Deterministic group order: by smallest member.
+	var roots []int
+	bySmallest := map[int]int{}
+	for root, links := range groups {
+		smallest := int(links[0])
+		for _, l := range links {
+			if int(l) < smallest {
+				smallest = int(l)
+			}
+		}
+		bySmallest[root] = smallest
+		roots = append(roots, root)
+	}
+	for i := 0; i < len(roots); i++ {
+		for j := i + 1; j < len(roots); j++ {
+			if bySmallest[roots[j]] < bySmallest[roots[i]] {
+				roots[i], roots[j] = roots[j], roots[i]
+			}
+		}
+	}
+	for _, root := range roots {
+		if len(groups[root]) > 1 {
+			b.Correlate(groups[root]...)
+		}
+	}
+	nt, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: rebuilding topology: %w", err)
+	}
+	return nt, nil
+}
+
+// WithMislabeled overlays a hidden attack pattern (Figure 5): a "worm"
+// floods a set of otherwise-uncorrelated links simultaneously with the given
+// probability per snapshot. The links become correlated across correlation-
+// set boundaries, but the topology handed to the algorithms is unchanged —
+// the algorithm mislabels them as uncorrelated. frac is the fraction of all
+// congested links (after the overlay) that are mislabeled.
+func WithMislabeled(s *Scenario, frac, attackProb float64, seed int64) (*Scenario, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("scenario: mislabeled fraction %v, want (0,1)", frac)
+	}
+	if attackProb <= 0 || attackProb >= 1 {
+		return nil, fmt.Errorf("scenario: attack probability %v, want (0,1)", attackProb)
+	}
+	top := s.Topology
+	rng := rand.New(rand.NewSource(seed))
+	base := s.CongestedLinks.Len()
+	// |T| = |B|·frac/(1−frac) makes T exactly frac of the final congested set.
+	want := int(float64(base)*frac/(1-frac) + 0.5)
+	if want < 1 {
+		want = 1
+	}
+
+	// Targets: non-congested links drawn from distinct correlation sets —
+	// "otherwise uncorrelated links" flooded together.
+	targets := bitset.New(top.NumLinks())
+	usedSets := map[int]bool{}
+	for _, k := range rng.Perm(top.NumLinks()) {
+		if targets.Len() >= want {
+			break
+		}
+		if s.CongestedLinks.Contains(k) {
+			continue
+		}
+		set := top.SetOf(topology.LinkID(k))
+		if usedSets[set] {
+			continue
+		}
+		usedSets[set] = true
+		targets.Add(k)
+	}
+	if targets.Len() == 0 {
+		return nil, fmt.Errorf("scenario: no eligible target links for the attack overlay")
+	}
+
+	model, err := congestion.NewAttackOverlay(s.Model, targets, attackProb)
+	if err != nil {
+		return nil, err
+	}
+	out := &Scenario{
+		Name:       fmt.Sprintf("%s/mislabeled=%.2f", s.Name, frac),
+		Topology:   top,
+		Model:      model,
+		Mislabeled: targets,
+	}
+	finalize(out)
+	out.Mislabeled = targets
+	if s.Unidentifiable != nil {
+		out.Unidentifiable = s.Unidentifiable
+	}
+	return out, nil
+}

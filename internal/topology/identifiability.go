@@ -1,0 +1,383 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Assumption 4 (identifiability): for any two correlation subsets A ≠ B,
+// ψ(A) ≠ ψ(B). This file implements the exact checker (exponential in the
+// size of individual correlation sets, with a safety cap) plus the structural
+// node-touch criterion from Section 3.3, which is what the checker's cost
+// bound falls back to for very large sets.
+
+// Collision records two correlation subsets that cover exactly the same set
+// of paths, violating Assumption 4.
+type Collision struct {
+	A, B *bitset.Set // two distinct correlation subsets with ψ(A) == ψ(B)
+}
+
+// CheckResult is the outcome of an identifiability check.
+type CheckResult struct {
+	// Identifiable is true when no two enumerated correlation subsets cover
+	// the same path set.
+	Identifiable bool
+	// Collisions lists every detected pair of coverage-equal subsets.
+	Collisions []Collision
+	// UnidentifiableLinks is the union of all links belonging to colliding
+	// subsets. The congestion probability of these links cannot be computed
+	// accurately (Section 3.3).
+	UnidentifiableLinks *bitset.Set
+	// Truncated is true if some correlation set exceeded the enumeration cap
+	// and its larger subsets were not checked exhaustively. In that case the
+	// structural criterion was applied to the truncated sets instead.
+	Truncated bool
+}
+
+// DefaultSubsetCap bounds the number of subsets enumerated per correlation
+// set in CheckIdentifiability. 2^14 subsets per set keeps the exact check
+// comfortably fast while covering every set of ≤14 links exactly.
+const DefaultSubsetCap = 1 << 14
+
+// CheckIdentifiability performs the Assumption-4 check. subsetCap bounds the
+// per-set subset enumeration (≤ 0 means DefaultSubsetCap). For sets whose
+// subset count exceeds the cap, only singleton and whole-set subsets are
+// enumerated and the structural node criterion is additionally applied.
+func CheckIdentifiability(t *Topology, subsetCap int) CheckResult {
+	if subsetCap <= 0 {
+		subsetCap = DefaultSubsetCap
+	}
+	res := CheckResult{Identifiable: true, UnidentifiableLinks: bitset.New(t.NumLinks())}
+
+	// byKey maps a coverage key ψ(A).Key() to the first subset seen with it.
+	byKey := make(map[string]*bitset.Set)
+
+	consider := func(subset *bitset.Set) {
+		cov := t.Coverage(subset)
+		key := cov.Key()
+		if prev, ok := byKey[key]; ok {
+			if prev.Equal(subset) {
+				return
+			}
+			res.Identifiable = false
+			res.Collisions = append(res.Collisions, Collision{A: prev.Clone(), B: subset.Clone()})
+			res.UnidentifiableLinks.UnionWith(prev)
+			res.UnidentifiableLinks.UnionWith(subset)
+			return
+		}
+		byKey[key] = subset.Clone()
+	}
+
+	for p := 0; p < t.NumSets(); p++ {
+		set := t.CorrelationSet(p)
+		elems := set.Indices()
+		nSubsets := uint64(1) << uint(min(len(elems), 63))
+		if len(elems) <= 30 && nSubsets <= uint64(subsetCap) {
+			bitset.EnumerateSubsets(elems, func(s *bitset.Set) bool {
+				consider(s)
+				return true
+			})
+			continue
+		}
+		// Too large for exhaustive enumeration: check singletons and the
+		// whole set, and mark the result as truncated.
+		res.Truncated = true
+		for _, e := range elems {
+			consider(bitset.FromIndices(e))
+		}
+		consider(set.Clone())
+	}
+
+	// The structural criterion catches the canonical violation pattern even
+	// inside truncated sets: a node whose ingress links all share one
+	// correlation set and whose egress links all share one correlation set.
+	for _, v := range NodeViolations(t) {
+		in, out := nodeAdjacent(t, v)
+		// Restrict to links actually used by paths through the node; these
+		// are the subsets with equal coverage.
+		res.Identifiable = false
+		res.UnidentifiableLinks.UnionWith(in)
+		res.UnidentifiableLinks.UnionWith(out)
+	}
+	return res
+}
+
+// nodeAdjacent returns the sets of ingress and egress links of node v.
+func nodeAdjacent(t *Topology, v NodeID) (in, out *bitset.Set) {
+	in = bitset.New(t.NumLinks())
+	out = bitset.New(t.NumLinks())
+	for _, l := range t.Links() {
+		if l.Dst == v {
+			in.Add(int(l.ID))
+		}
+		if l.Src == v {
+			out.Add(int(l.ID))
+		}
+	}
+	return in, out
+}
+
+// NodeViolations returns the intermediate nodes that trigger the Section-3.3
+// structural violation of Assumption 4: every ingress link of the node
+// belongs to a single correlation set, every egress link belongs to a single
+// (possibly different) correlation set, and at least one path traverses the
+// node (entering on an ingress link and leaving on an egress link).
+func NodeViolations(t *Topology) []NodeID {
+	var out []NodeID
+	for v := NodeID(0); int(v) < t.NumNodes(); v++ {
+		in, eg := nodeAdjacent(t, v)
+		if in.IsEmpty() || eg.IsEmpty() {
+			continue // not an intermediate node
+		}
+		if !singleSet(t, in) || !singleSet(t, eg) {
+			continue
+		}
+		if !pathTraverses(t, in, eg) {
+			continue
+		}
+		// ψ(ingress∩paths-through) == ψ(egress∩paths-through) == paths through v.
+		out = append(out, v)
+	}
+	return out
+}
+
+func singleSet(t *Topology, links *bitset.Set) bool {
+	set := -1
+	ok := true
+	links.ForEach(func(i int) bool {
+		p := t.SetOf(LinkID(i))
+		if set == -1 {
+			set = p
+			return true
+		}
+		if p != set {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// pathTraverses reports whether some path uses one link from `in`
+// immediately followed by one link from `out`.
+func pathTraverses(t *Topology, in, out *bitset.Set) bool {
+	for _, p := range t.Paths() {
+		for i := 0; i+1 < len(p.Links); i++ {
+			if in.Contains(int(p.Links[i])) && out.Contains(int(p.Links[i+1])) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MergeMap describes how a merged topology's links relate to the original.
+type MergeMap struct {
+	// OriginalLinks[newLink] lists the original links abstracted by the new
+	// link, in traversal order. A new link that corresponds to a single
+	// original link has a one-element list.
+	OriginalLinks map[LinkID][]LinkID
+}
+
+// MergeTransform applies the Section-3.3 transformation: while some
+// intermediate node v has all ingress links in one correlation set and all
+// egress links in one correlation set (and is traversed by a path), remove v
+// and draw merged links vlast→vnext for every consecutive (vlast, v, vnext)
+// hop in a path. The merged links inherit the union of the two correlation
+// sets involved. The returned MergeMap maps each new link to the original
+// links it abstracts.
+//
+// The transformation reduces granularity but restores Assumption 4's node
+// criterion; the caller can re-run CheckIdentifiability on the result.
+func MergeTransform(t *Topology) (*Topology, MergeMap, error) {
+	// Work on a mutable representation: each working link carries the list
+	// of original links it abstracts.
+	wlinks := make([]wlink, 0, t.NumLinks())
+	for _, l := range t.Links() {
+		wlinks = append(wlinks, wlink{src: l.Src, dst: l.Dst, orig: []LinkID{l.ID}, set: t.SetOf(l.ID)})
+	}
+	// Paths as sequences of working-link indices.
+	wpaths := make([][]int, t.NumPaths())
+	for i, p := range t.Paths() {
+		seq := make([]int, len(p.Links))
+		for j, l := range p.Links {
+			seq[j] = int(l)
+		}
+		wpaths[i] = seq
+	}
+	nextSetLabel := t.NumSets()
+
+	for iter := 0; ; iter++ {
+		if iter > t.NumNodes()+1 {
+			return nil, MergeMap{}, fmt.Errorf("topology: merge transform did not converge after %d iterations", iter)
+		}
+		v, inSet, outSet, found := findMergeableNode(t.NumNodes(), wlinks, wpaths)
+		if !found {
+			break
+		}
+		// Merge: every consecutive (a, b) hop in a path with wlinks[a].dst == v
+		// becomes a single merged link wlinks[a].src → wlinks[b].dst.
+		merged := map[[2]int]int{} // (a,b) -> new working link index
+		label := nextSetLabel
+		nextSetLabel++
+		for pi, seq := range wpaths {
+			var out []int
+			for j := 0; j < len(seq); j++ {
+				if j+1 < len(seq) && wlinks[seq[j]].dst == v {
+					key := [2]int{seq[j], seq[j+1]}
+					mi, ok := merged[key]
+					if !ok {
+						a, b := wlinks[seq[j]], wlinks[seq[j+1]]
+						mi = len(wlinks)
+						wlinks = append(wlinks, wlink{
+							src:  a.src,
+							dst:  b.dst,
+							orig: append(append([]LinkID{}, a.orig...), b.orig...),
+							set:  label,
+						})
+						merged[key] = mi
+					}
+					out = append(out, mi)
+					j++ // consumed two working links
+					continue
+				}
+				out = append(out, seq[j])
+			}
+			wpaths[pi] = out
+		}
+		// Remaining (unmerged) links of the two absorbed correlation sets
+		// join the merged set too: the merged links are correlated with both
+		// constituents' set mates.
+		for i := range wlinks {
+			if wlinks[i].set == inSet || wlinks[i].set == outSet {
+				wlinks[i].set = label
+			}
+		}
+	}
+
+	// Rebuild a Topology from the surviving working links (those used by at
+	// least one path).
+	used := map[int]bool{}
+	for _, seq := range wpaths {
+		for _, wi := range seq {
+			used[wi] = true
+		}
+	}
+	order := make([]int, 0, len(used))
+	for wi := range used {
+		order = append(order, wi)
+	}
+	sort.Ints(order)
+
+	b := NewBuilder()
+	// Preserve original node IDs by allocating the same count; merged
+	// topology reuses node numbering.
+	b.AddNodes(t.NumNodes())
+	newID := map[int]LinkID{}
+	mm := MergeMap{OriginalLinks: map[LinkID][]LinkID{}}
+	for _, wi := range order {
+		w := wlinks[wi]
+		name := fmt.Sprintf("m%d", wi)
+		if len(w.orig) == 1 {
+			name = t.Link(w.orig[0]).Name
+		}
+		id := b.AddLink(w.src, w.dst, name)
+		newID[wi] = id
+		mm.OriginalLinks[id] = w.orig
+	}
+	for pi, seq := range wpaths {
+		links := make([]LinkID, len(seq))
+		for j, wi := range seq {
+			links[j] = newID[wi]
+		}
+		b.AddPath(t.Path(PathID(pi)).Name, links...)
+	}
+	// Correlation groups by surviving set label.
+	groups := map[int][]LinkID{}
+	for _, wi := range order {
+		groups[wlinks[wi].set] = append(groups[wlinks[wi].set], newID[wi])
+	}
+	labels := make([]int, 0, len(groups))
+	for lab := range groups {
+		labels = append(labels, lab)
+	}
+	sort.Ints(labels)
+	for _, lab := range labels {
+		if len(groups[lab]) > 1 {
+			b.Correlate(groups[lab]...)
+		}
+	}
+	nt, err := b.Build()
+	if err != nil {
+		return nil, MergeMap{}, fmt.Errorf("topology: merge transform produced invalid topology: %w", err)
+	}
+	return nt, mm, nil
+}
+
+// wlink is the mutable working representation of a (possibly merged) link
+// used by MergeTransform.
+type wlink struct {
+	src, dst NodeID
+	orig     []LinkID
+	set      int // correlation group label
+}
+
+// findMergeableNode locates a node triggering the structural violation in the
+// working representation.
+func findMergeableNode(numNodes int, wlinks []wlink, wpaths [][]int) (NodeID, int, int, bool) {
+	// Determine which working links are in use.
+	used := map[int]bool{}
+	for _, seq := range wpaths {
+		for _, wi := range seq {
+			used[wi] = true
+		}
+	}
+	for v := NodeID(0); int(v) < numNodes; v++ {
+		inSet, outSet := -2, -2 // -2 = unseen, -1 = mixed
+		hasIn, hasOut := false, false
+		for wi, w := range wlinks {
+			if !used[wi] {
+				continue
+			}
+			if w.dst == v {
+				hasIn = true
+				if inSet == -2 {
+					inSet = w.set
+				} else if inSet != w.set {
+					inSet = -1
+				}
+			}
+			if w.src == v {
+				hasOut = true
+				if outSet == -2 {
+					outSet = w.set
+				} else if outSet != w.set {
+					outSet = -1
+				}
+			}
+		}
+		if !hasIn || !hasOut || inSet < 0 || outSet < 0 {
+			continue
+		}
+		// Require a path actually passing through v.
+		through := false
+		for _, seq := range wpaths {
+			for j := 0; j+1 < len(seq); j++ {
+				if wlinks[seq[j]].dst == v && wlinks[seq[j+1]].src == v {
+					through = true
+					break
+				}
+			}
+			if through {
+				break
+			}
+		}
+		if through {
+			return v, inSet, outSet, true
+		}
+	}
+	return 0, 0, 0, false
+}

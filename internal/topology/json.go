@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTopology is the on-disk representation used by MarshalJSON/Decode.
+// It mirrors the Builder inputs so that decoding re-validates the topology.
+type jsonTopology struct {
+	NumNodes int        `json:"num_nodes"`
+	Links    []jsonLink `json:"links"`
+	Paths    []jsonPath `json:"paths"`
+	Sets     [][]int    `json:"correlation_sets"`
+}
+
+type jsonLink struct {
+	Src  int    `json:"src"`
+	Dst  int    `json:"dst"`
+	Name string `json:"name,omitempty"`
+}
+
+type jsonPath struct {
+	Links []int  `json:"links"`
+	Name  string `json:"name,omitempty"`
+}
+
+// MarshalJSON encodes the topology in a self-contained format that Decode
+// can re-validate and rebuild.
+func (t *Topology) MarshalJSON() ([]byte, error) {
+	jt := jsonTopology{NumNodes: t.NumNodes()}
+	for _, l := range t.links {
+		jt.Links = append(jt.Links, jsonLink{Src: int(l.Src), Dst: int(l.Dst), Name: l.Name})
+	}
+	for _, p := range t.paths {
+		links := make([]int, len(p.Links))
+		for i, l := range p.Links {
+			links[i] = int(l)
+		}
+		jt.Paths = append(jt.Paths, jsonPath{Links: links, Name: p.Name})
+	}
+	for p := 0; p < t.NumSets(); p++ {
+		s := t.CorrelationSet(p)
+		if s.Len() > 1 {
+			jt.Sets = append(jt.Sets, s.Indices())
+		}
+	}
+	return json.Marshal(jt)
+}
+
+// Encode writes the topology as JSON to w.
+func (t *Topology) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Decode reads a JSON-encoded topology from r, re-validating it through the
+// Builder so that malformed inputs are rejected with descriptive errors.
+func Decode(r io.Reader) (*Topology, error) {
+	var jt jsonTopology
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	return fromJSON(jt)
+}
+
+// UnmarshalTopology rebuilds a topology from bytes produced by MarshalJSON.
+func UnmarshalTopology(data []byte) (*Topology, error) {
+	var jt jsonTopology
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return nil, fmt.Errorf("topology: unmarshal: %w", err)
+	}
+	return fromJSON(jt)
+}
+
+func fromJSON(jt jsonTopology) (*Topology, error) {
+	b := NewBuilder()
+	b.AddNodes(jt.NumNodes)
+	ids := make([]LinkID, len(jt.Links))
+	for i, l := range jt.Links {
+		ids[i] = b.AddLink(NodeID(l.Src), NodeID(l.Dst), l.Name)
+	}
+	for _, p := range jt.Paths {
+		links := make([]LinkID, len(p.Links))
+		for i, l := range p.Links {
+			if l < 0 || l >= len(ids) {
+				return nil, fmt.Errorf("topology: path %q references unknown link %d", p.Name, l)
+			}
+			links[i] = ids[l]
+		}
+		b.AddPath(p.Name, links...)
+	}
+	for _, g := range jt.Sets {
+		links := make([]LinkID, len(g))
+		for i, l := range g {
+			if l < 0 || l >= len(ids) {
+				return nil, fmt.Errorf("topology: correlation set references unknown link %d", l)
+			}
+			links[i] = ids[l]
+		}
+		b.Correlate(links...)
+	}
+	return b.Build()
+}

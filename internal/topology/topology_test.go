@@ -1,0 +1,367 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+func TestFigure1ACoverage(t *testing.T) {
+	top := Figure1A()
+	if top.NumLinks() != 4 || top.NumPaths() != 3 || top.NumSets() != 3 {
+		t.Fatalf("unexpected sizes: %s", top)
+	}
+
+	// The ψ table from Section 3.1 of the paper.
+	cases := []struct {
+		links []int
+		paths []int
+	}{
+		{[]int{0}, []int{0}},          // ψ({e1}) = {P1}
+		{[]int{1}, []int{1, 2}},       // ψ({e2}) = {P2, P3}
+		{[]int{0, 1}, []int{0, 1, 2}}, // ψ({e1,e2}) = {P1, P2, P3}
+		{[]int{2}, []int{0, 1}},       // ψ({e3}) = {P1, P2}
+		{[]int{3}, []int{2}},          // ψ({e4}) = {P3}
+	}
+	for _, c := range cases {
+		got := top.Coverage(bitset.FromIndices(c.links...))
+		want := bitset.FromIndices(c.paths...)
+		if !got.Equal(want) {
+			t.Errorf("ψ(%v) = %v, want %v", c.links, got, want)
+		}
+	}
+}
+
+func TestFigure1BCoverageCollision(t *testing.T) {
+	top := Figure1B()
+	// ψ({e1,e2}) == ψ({e3}) == {P1, P2}.
+	a := top.Coverage(bitset.FromIndices(0, 1))
+	b := top.Coverage(bitset.FromIndices(2))
+	if !a.Equal(b) {
+		t.Fatalf("expected coverage collision, got %v vs %v", a, b)
+	}
+}
+
+func TestIdentifiabilityFigure1A(t *testing.T) {
+	res := CheckIdentifiability(Figure1A(), 0)
+	if !res.Identifiable {
+		t.Fatalf("Figure 1(a) must satisfy Assumption 4; collisions: %v", res.Collisions)
+	}
+	if !res.UnidentifiableLinks.IsEmpty() {
+		t.Fatalf("no unidentifiable links expected, got %v", res.UnidentifiableLinks)
+	}
+	if res.Truncated {
+		t.Fatal("tiny topology must not be truncated")
+	}
+}
+
+func TestIdentifiabilityFigure1B(t *testing.T) {
+	res := CheckIdentifiability(Figure1B(), 0)
+	if res.Identifiable {
+		t.Fatal("Figure 1(b) must violate Assumption 4")
+	}
+	// Links e1,e2,e3 (IDs 0,1,2) are all unidentifiable.
+	want := bitset.FromIndices(0, 1, 2)
+	if !res.UnidentifiableLinks.Equal(want) {
+		t.Fatalf("unidentifiable links = %v, want %v", res.UnidentifiableLinks, want)
+	}
+}
+
+func TestNodeViolations(t *testing.T) {
+	if v := NodeViolations(Figure1A()); len(v) != 0 {
+		t.Fatalf("Figure 1(a) has node violations %v, want none", v)
+	}
+	// Figure 1(b): node v3 (NodeID 2) has all ingress ({e3}) in one set and
+	// all egress ({e1,e2}) in one set.
+	v := NodeViolations(Figure1B())
+	if len(v) != 1 || v[0] != 2 {
+		t.Fatalf("Figure 1(b) node violations = %v, want [2]", v)
+	}
+	// All-correlated Figure 1(a): v3 violates too.
+	v = NodeViolations(Figure1AAllCorrelated())
+	if len(v) != 1 {
+		t.Fatalf("all-correlated Figure 1(a) node violations = %v, want one", v)
+	}
+}
+
+func TestMergeTransformFigure1B(t *testing.T) {
+	merged, mm, err := MergeTransform(Figure1B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: remove v3, draw two merged links v4→v1 and v4→v2. Each
+	// merged link abstracts (e3, e1) and (e3, e2) respectively.
+	if merged.NumLinks() != 2 {
+		t.Fatalf("merged topology has %d links, want 2", merged.NumLinks())
+	}
+	if merged.NumPaths() != 2 {
+		t.Fatalf("merged topology has %d paths, want 2", merged.NumPaths())
+	}
+	for id, orig := range mm.OriginalLinks {
+		if len(orig) != 2 {
+			t.Fatalf("merged link %d abstracts %v, want two original links", id, orig)
+		}
+		if orig[0] != 2 { // first traversed original link is e3 (ID 2)
+			t.Fatalf("merged link %d starts with original link %d, want e3 (2)", id, orig[0])
+		}
+	}
+	// After merging, the node criterion must be satisfied.
+	if v := NodeViolations(merged); len(v) != 0 {
+		t.Fatalf("merged topology still has node violations: %v", v)
+	}
+	// Each path is now a single merged link.
+	for _, p := range merged.Paths() {
+		if len(p.Links) != 1 {
+			t.Fatalf("path %q has %d links after merge, want 1", p.Name, len(p.Links))
+		}
+	}
+}
+
+func TestMergeTransformAllCorrelated(t *testing.T) {
+	// Section 3.3: with all of Figure 1(a)'s links in one correlation set,
+	// merging collapses each of the three paths to a single merged link.
+	merged, _, err := MergeTransform(Figure1AAllCorrelated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumLinks() != 3 {
+		t.Fatalf("merged topology has %d links, want 3", merged.NumLinks())
+	}
+	for _, p := range merged.Paths() {
+		if len(p.Links) != 1 {
+			t.Fatalf("path %q has %d links, want 1 (link == end-to-end path)", p.Name, len(p.Links))
+		}
+	}
+}
+
+func TestMergeTransformIdentityWhenClean(t *testing.T) {
+	top := Figure1A()
+	merged, mm, err := MergeTransform(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumLinks() != top.NumLinks() || merged.NumPaths() != top.NumPaths() {
+		t.Fatalf("merge of a clean topology changed it: %s -> %s", top, merged)
+	}
+	for id, orig := range mm.OriginalLinks {
+		if len(orig) != 1 {
+			t.Fatalf("link %d abstracts %v in identity merge", id, orig)
+		}
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewBuilder().Build(); err == nil {
+			t.Fatal("empty build must fail")
+		}
+	})
+	t.Run("no paths", func(t *testing.T) {
+		b := NewBuilder()
+		n := b.AddNodes(2)
+		b.AddLink(n[0], n[1], "e")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("build without paths must fail")
+		}
+	})
+	t.Run("unused link", func(t *testing.T) {
+		b := NewBuilder()
+		n := b.AddNodes(3)
+		e1 := b.AddLink(n[0], n[1], "e1")
+		b.AddLink(n[1], n[2], "e2") // never used
+		b.AddPath("P1", e1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("unused link must be rejected")
+		}
+	})
+	t.Run("loop", func(t *testing.T) {
+		b := NewBuilder()
+		n := b.AddNodes(2)
+		e1 := b.AddLink(n[0], n[1], "e1")
+		e2 := b.AddLink(n[1], n[0], "e2")
+		b.AddPath("P1", e1, e2, e1)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("looping path must be rejected")
+		}
+	})
+	t.Run("discontiguous", func(t *testing.T) {
+		b := NewBuilder()
+		n := b.AddNodes(4)
+		e1 := b.AddLink(n[0], n[1], "e1")
+		e2 := b.AddLink(n[2], n[3], "e2")
+		b.AddPath("P1", e1, e2)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("discontiguous path must be rejected")
+		}
+	})
+	t.Run("overlapping correlation groups", func(t *testing.T) {
+		b := NewBuilder()
+		n := b.AddNodes(3)
+		e1 := b.AddLink(n[0], n[1], "e1")
+		e2 := b.AddLink(n[1], n[2], "e2")
+		b.AddPath("P1", e1, e2)
+		b.Correlate(e1, e2)
+		b.Correlate(e2)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("overlapping groups must be rejected")
+		}
+	})
+	t.Run("unknown node in link", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddLink(0, 1, "e") // no nodes allocated
+		b.AddPath("P", 0)
+		if _, err := b.Build(); err == nil {
+			t.Fatal("link with unknown nodes must be rejected")
+		}
+	})
+}
+
+func TestSingletonSetsByDefault(t *testing.T) {
+	b := NewBuilder()
+	n := b.AddNodes(3)
+	e1 := b.AddLink(n[0], n[1], "e1")
+	e2 := b.AddLink(n[1], n[2], "e2")
+	b.AddPath("P1", e1, e2)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumSets() != 2 {
+		t.Fatalf("NumSets = %d, want 2 singletons", top.NumSets())
+	}
+	if top.SetOf(e1) == top.SetOf(e2) {
+		t.Fatal("uncorrelated links share a set")
+	}
+}
+
+func TestPathHasCorrelatedLinks(t *testing.T) {
+	top := Figure1A()
+	// No path in Figure 1(a) contains both e1 and e2, so none has
+	// correlated links.
+	for _, p := range top.Paths() {
+		if top.PathHasCorrelatedLinks(p.ID) {
+			t.Fatalf("path %q flagged as having correlated links", p.Name)
+		}
+	}
+	// The union of P1 (e1,e3) and P2 (e2,e3) contains both e1 and e2.
+	union := bitset.Union(top.PathLinkSet(0), top.PathLinkSet(1))
+	if !top.LinkSetHasCorrelatedLinks(union) {
+		t.Fatal("P1 ∪ P2 must contain correlated links")
+	}
+	// The union of P2 (e2,e3) and P3 (e2,e4) does not.
+	union23 := bitset.Union(top.PathLinkSet(1), top.PathLinkSet(2))
+	if top.LinkSetHasCorrelatedLinks(union23) {
+		t.Fatal("P2 ∪ P3 must not contain correlated links")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, top := range []*Topology{Figure1A(), Figure1B(), Figure1AAllCorrelated()} {
+		var buf bytes.Buffer
+		if err := top.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumLinks() != top.NumLinks() || got.NumPaths() != top.NumPaths() || got.NumSets() != top.NumSets() {
+			t.Fatalf("round trip mismatch: %s vs %s", got, top)
+		}
+		for _, l := range top.Links() {
+			g := got.Link(l.ID)
+			if g.Src != l.Src || g.Dst != l.Dst || g.Name != l.Name {
+				t.Fatalf("link %d mismatch: %+v vs %+v", l.ID, g, l)
+			}
+		}
+		for i := 0; i < top.NumLinks(); i++ {
+			if got.SetOf(LinkID(i)) != top.SetOf(LinkID(i)) {
+				// Set indices may be permuted; compare membership instead.
+				a := got.CorrelationSet(got.SetOf(LinkID(i)))
+				b := top.CorrelationSet(top.SetOf(LinkID(i)))
+				if !a.Equal(b) {
+					t.Fatalf("link %d correlation set mismatch: %v vs %v", i, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	bad := []string{
+		`{"num_nodes":2,"links":[{"src":0,"dst":1}],"paths":[{"links":[5]}]}`,
+		`{"num_nodes":2,"links":[{"src":0,"dst":1}],"paths":[{"links":[0]}],"correlation_sets":[[7]]}`,
+		`not json`,
+	}
+	for _, s := range bad {
+		if _, err := Decode(bytes.NewReader([]byte(s))); err == nil {
+			t.Fatalf("Decode(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// Property: ψ is monotone and distributes over union (invariants from
+// DESIGN.md), checked on random line/star topologies.
+func TestCoverageAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		top := randomTopology(rng, 2+rng.Intn(6), 2+rng.Intn(5))
+		nl := top.NumLinks()
+		randSet := func() *bitset.Set {
+			s := bitset.New(nl)
+			for i := 0; i < nl; i++ {
+				if rng.Intn(2) == 0 {
+					s.Add(i)
+				}
+			}
+			return s
+		}
+		a, b := randSet(), randSet()
+		// ψ(A∪B) = ψ(A) ∪ ψ(B)
+		lhs := top.Coverage(bitset.Union(a, b))
+		rhs := bitset.Union(top.Coverage(a), top.Coverage(b))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("ψ(A∪B) != ψ(A)∪ψ(B): %v vs %v", lhs, rhs)
+		}
+		// A ⊆ B ⇒ ψ(A) ⊆ ψ(B)
+		sub := a.Clone()
+		sub.IntersectWith(b)
+		if !top.Coverage(sub).IsSubsetOf(top.Coverage(b)) {
+			t.Fatal("ψ not monotone")
+		}
+	}
+}
+
+// randomTopology builds a random "comb" topology: a chain of backbone links
+// with nPaths paths, each entering at a random chain position via a private
+// access link and riding the chain to the end. Every link is used.
+func randomTopology(rng *rand.Rand, chainLen, nPaths int) *Topology {
+	b := NewBuilder()
+	chain := b.AddNodes(chainLen + 1)
+	links := make([]LinkID, chainLen)
+	for i := 0; i < chainLen; i++ {
+		links[i] = b.AddLink(chain[i], chain[i+1], "")
+	}
+	for p := 0; p < nPaths; p++ {
+		entry := rng.Intn(chainLen)
+		if p == 0 {
+			entry = 0 // guarantee the whole backbone is used
+		}
+		src := b.AddNode()
+		access := b.AddLink(src, chain[entry], "")
+		path := []LinkID{access}
+		path = append(path, links[entry:]...)
+		b.AddPath("", path...)
+	}
+	// Random correlation group over the backbone.
+	if chainLen >= 2 {
+		b.Correlate(links[0], links[1])
+	}
+	top, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return top
+}

@@ -1,0 +1,101 @@
+package topology
+
+// This file constructs the two toy topologies of Figure 1 of the paper. They
+// are used throughout the test suite and in the quickstart example, because
+// the paper works through its feasibility proof (Section 3.2) and its
+// algorithm (Section 4) on exactly these graphs.
+
+// Figure1A returns the topology of Figure 1(a), where Assumption 4 holds.
+//
+//	Links  E = {e1, e2, e3, e4}
+//	Paths  P1 = (e1, e3), P2 = (e2, e3), P3 = (e2, e4)
+//	Correlation sets C = {{e1, e2}, {e3}, {e4}}
+//
+// Node layout: e1: v4→v3, e2: v5→v3, e3: v3→v1, e4: v3→v2. Link IDs are
+// assigned in order e1..e4 (LinkID 0..3), path IDs P1..P3 (PathID 0..2).
+func Figure1A() *Topology {
+	b := NewBuilder()
+	v1 := b.AddNode() // destination of e3
+	v2 := b.AddNode() // destination of e4
+	v3 := b.AddNode() // middle node
+	v4 := b.AddNode() // source of e1
+	v5 := b.AddNode() // source of e2
+
+	e1 := b.AddLink(v4, v3, "e1")
+	e2 := b.AddLink(v5, v3, "e2")
+	e3 := b.AddLink(v3, v1, "e3")
+	e4 := b.AddLink(v3, v2, "e4")
+
+	b.AddPath("P1", e1, e3)
+	b.AddPath("P2", e2, e3)
+	b.AddPath("P3", e2, e4)
+
+	b.Correlate(e1, e2)
+
+	t, err := b.Build()
+	if err != nil {
+		panic("topology: Figure1A construction failed: " + err.Error())
+	}
+	return t
+}
+
+// Figure1B returns the topology of Figure 1(b), where Assumption 4 does NOT
+// hold: correlation subsets {e1, e2} and {e3} cover the same paths {P1, P2}.
+//
+//	Links  E = {e1, e2, e3}
+//	Paths  P1 = (e3, e1), P2 = (e3, e2)
+//	Correlation sets C = {{e1, e2}, {e3}}
+//
+// Node layout: e3: v4→v3, e1: v3→v1, e2: v3→v2.
+func Figure1B() *Topology {
+	b := NewBuilder()
+	v1 := b.AddNode()
+	v2 := b.AddNode()
+	v3 := b.AddNode()
+	v4 := b.AddNode()
+
+	e1 := b.AddLink(v3, v1, "e1")
+	e2 := b.AddLink(v3, v2, "e2")
+	e3 := b.AddLink(v4, v3, "e3")
+
+	b.AddPath("P1", e3, e1)
+	b.AddPath("P2", e3, e2)
+
+	b.Correlate(e1, e2)
+
+	t, err := b.Build()
+	if err != nil {
+		panic("topology: Figure1B construction failed: " + err.Error())
+	}
+	return t
+}
+
+// Figure1AAllCorrelated returns the Figure 1(a) graph with all four links in
+// a single correlation set — the Section 3.3 example of why assigning every
+// link to one correlation set defeats tomography (the merge transformation
+// collapses each path to a single merged link).
+func Figure1AAllCorrelated() *Topology {
+	b := NewBuilder()
+	v1 := b.AddNode()
+	v2 := b.AddNode()
+	v3 := b.AddNode()
+	v4 := b.AddNode()
+	v5 := b.AddNode()
+
+	e1 := b.AddLink(v4, v3, "e1")
+	e2 := b.AddLink(v5, v3, "e2")
+	e3 := b.AddLink(v3, v1, "e3")
+	e4 := b.AddLink(v3, v2, "e4")
+
+	b.AddPath("P1", e1, e3)
+	b.AddPath("P2", e2, e3)
+	b.AddPath("P3", e2, e4)
+
+	b.Correlate(e1, e2, e3, e4)
+
+	t, err := b.Build()
+	if err != nil {
+		panic("topology: Figure1AAllCorrelated construction failed: " + err.Error())
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+)
+
+// bigSetTopology builds a 2×n grid: two access links into a hub, n parallel
+// hub links out of it (one large correlation set), and all 2·n paths. Every
+// access link covers one full "row" of paths and every hub subset a union of
+// "columns", so all correlation-subset coverages are provably distinct —
+// the topology is identifiable, and only the enumeration budget limits the
+// exact check.
+func bigSetTopology(t *testing.T, n int) *Topology {
+	t.Helper()
+	b := NewBuilder()
+	hubIn := b.AddNode()
+	var hubLinks []LinkID
+	for i := 0; i < n; i++ {
+		out := b.AddNode()
+		hubLinks = append(hubLinks, b.AddLink(hubIn, out, fmt.Sprintf("h%d", i)))
+	}
+	for j := 0; j < 2; j++ {
+		src := b.AddNode()
+		acc := b.AddLink(src, hubIn, fmt.Sprintf("a%d", j))
+		for i := 0; i < n; i++ {
+			b.AddPath(fmt.Sprintf("P%d-%d", j, i), acc, hubLinks[i])
+		}
+	}
+	b.Correlate(hubLinks...)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestCheckIdentifiabilityTruncation(t *testing.T) {
+	top := bigSetTopology(t, 20) // 2^20 subsets — over any practical cap
+	res := CheckIdentifiability(top, 1024)
+	if !res.Truncated {
+		t.Fatal("expected truncated check for a 20-link correlation set")
+	}
+	// The truncated check still covers singletons and the whole set; with
+	// distinct per-link paths there are no collisions among those, and the
+	// structural criterion does not fire (each access link is its own set,
+	// so the hub node's ingress links span many sets).
+	if !res.Identifiable {
+		t.Fatalf("unexpected collisions: %v", res.Collisions)
+	}
+}
+
+func TestCheckIdentifiabilityExactWithinCap(t *testing.T) {
+	top := bigSetTopology(t, 8) // 2^8 = 256 subsets — under the cap
+	res := CheckIdentifiability(top, 1024)
+	if res.Truncated {
+		t.Fatal("small set unexpectedly truncated")
+	}
+	if !res.Identifiable {
+		t.Fatalf("expected identifiable, got collisions: %v", res.Collisions)
+	}
+}
+
+func TestNodeViolationCaughtDespiteTruncation(t *testing.T) {
+	// A chain node whose single ingress link and single egress link are
+	// both inside the big correlation set is a structural violation that
+	// the truncated checker must still catch. Build: big set containing a
+	// 2-link chain used by one path.
+	b := NewBuilder()
+	n0, n1, n2 := b.AddNode(), b.AddNode(), b.AddNode()
+	e1 := b.AddLink(n0, n1, "e1")
+	e2 := b.AddLink(n1, n2, "e2")
+	b.AddPath("P", e1, e2)
+	var extras []LinkID
+	for i := 0; i < 18; i++ {
+		d := b.AddNode()
+		extras = append(extras, b.AddLink(n0, d, fmt.Sprintf("x%d", i)))
+	}
+	for j := 0; j < 2; j++ {
+		s := b.AddNode()
+		acc := b.AddLink(s, n0, fmt.Sprintf("ax%d", j))
+		for i := 0; i < 18; i++ {
+			b.AddPath(fmt.Sprintf("Px%d-%d", j, i), acc, extras[i])
+		}
+	}
+	b.Correlate(append(extras, e1, e2)...)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := CheckIdentifiability(top, 256)
+	if !res.Truncated {
+		t.Fatal("expected truncation")
+	}
+	if res.Identifiable {
+		t.Fatal("structural violation missed under truncation")
+	}
+	if !res.UnidentifiableLinks.Contains(int(e1)) || !res.UnidentifiableLinks.Contains(int(e2)) {
+		t.Fatalf("chain links not flagged: %v", res.UnidentifiableLinks)
+	}
+}

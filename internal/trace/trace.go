@@ -1,0 +1,385 @@
+// Package trace simulates traceroute-based topology discovery over a
+// physical network — the exact construction behind the paper's Figure 2 and
+// its two motivating scenarios. Some physical elements (Ethernet switches,
+// MPLS routers) do not respond to traceroute; discovery therefore produces a
+// *logical* topology whose nodes are the responding elements and whose links
+// abstract sequences of physical links through the undiscovered ones.
+//
+// Two logical links are correlated exactly when they share a physical link —
+// the situation the operator cannot see but can anticipate by grouping links
+// that cross the same hidden region into one correlation set. The discovered
+// network carries the logical→physical backing, so a RouterBacked congestion
+// model (probabilities on physical links, logical link congested iff any
+// underlying physical link is) gives ground truth with exact marginals and
+// joints.
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Config parameterizes physical-network generation and discovery.
+type Config struct {
+	// Elements is the number of physical elements (≥ 8).
+	Elements int
+	// HiddenFrac is the fraction of elements that do not respond to
+	// traceroute (switches / MPLS gear), default 0.3. Vantage points are
+	// always visible.
+	HiddenFrac float64
+	// VantagePoints is the number of measurement hosts (≥ 2).
+	VantagePoints int
+	// Paths is the number of logical measurement paths to produce.
+	Paths int
+	// ExtraEdgeFrac adds this fraction of |Elements| random chords on top of
+	// the connectivity backbone (default 0.5).
+	ExtraEdgeFrac float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) fill() error {
+	if c.Elements < 8 {
+		return fmt.Errorf("trace: Elements = %d, want ≥ 8", c.Elements)
+	}
+	if c.HiddenFrac < 0 || c.HiddenFrac >= 1 {
+		c.HiddenFrac = 0.3
+	} else if c.HiddenFrac == 0 {
+		c.HiddenFrac = 0.3
+	}
+	if c.VantagePoints < 2 {
+		return fmt.Errorf("trace: VantagePoints = %d, want ≥ 2", c.VantagePoints)
+	}
+	if c.Paths < 1 {
+		return fmt.Errorf("trace: Paths = %d, want ≥ 1", c.Paths)
+	}
+	if c.ExtraEdgeFrac <= 0 {
+		c.ExtraEdgeFrac = 0.5
+	}
+	return nil
+}
+
+// Network is the outcome of discovery.
+type Network struct {
+	// Logical is the discovered measurement topology. Its correlation sets
+	// group logical links that share physical links (transitively).
+	Logical *topology.Topology
+	// Backing[k] lists the physical link indices underlying logical link k.
+	Backing [][]int
+	// NumPhysicalLinks is the size of the physical link namespace.
+	NumPhysicalLinks int
+	// Hidden[e] reports whether physical element e responds to traceroute.
+	Hidden []bool
+	// VisibleHops[k] is the (src, dst) visible-element pair of logical link k.
+	VisibleHops [][2]int
+}
+
+// Discover generates a physical network, runs traceroute-style route
+// discovery between vantage points, and assembles the logical topology.
+func Discover(cfg Config) (*Network, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Elements
+
+	// --- Physical graph: positions in the unit square, a nearest-neighbour
+	// backbone for connectivity, plus random chords. ---
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	dist := func(a, b int) float64 { return math.Hypot(xs[a]-xs[b], ys[a]-ys[b]) }
+
+	type pedge struct{ a, b int }
+	var pedges []pedge
+	adj := make(map[int][]int, n)
+	seen := map[[2]int]bool{}
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		pedges = append(pedges, pedge{a, b})
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for v := 1; v < n; v++ {
+		best, bestD := -1, math.Inf(1)
+		for u := 0; u < v; u++ {
+			if d := dist(u, v); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		addEdge(v, best)
+	}
+	for i := 0; i < int(cfg.ExtraEdgeFrac*float64(n)); i++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+
+	// --- Hidden elements and vantage points. ---
+	hidden := make([]bool, n)
+	perm := rng.Perm(n)
+	vantage := perm[:cfg.VantagePoints]
+	isVantage := make([]bool, n)
+	for _, v := range vantage {
+		isVantage[v] = true
+	}
+	wantHidden := int(cfg.HiddenFrac * float64(n))
+	for _, e := range perm[cfg.VantagePoints:] {
+		if wantHidden == 0 {
+			break
+		}
+		hidden[e] = true
+		wantHidden--
+	}
+
+	// --- Routes: Dijkstra over physical distances (consistent weights make
+	// routes stable, like real routing). ---
+	shortest := func(src, dst int) []int { // element sequence
+		distTo := make([]float64, n)
+		prev := make([]int, n)
+		for i := range distTo {
+			distTo[i] = math.Inf(1)
+			prev[i] = -1
+		}
+		distTo[src] = 0
+		pq := &elemHeap{{src, 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(elemItem)
+			if it.d > distTo[it.v] {
+				continue
+			}
+			for _, w := range adj[it.v] {
+				nd := it.d + dist(it.v, w)
+				if nd < distTo[w] {
+					distTo[w] = nd
+					prev[w] = it.v
+					heap.Push(pq, elemItem{w, nd})
+				}
+			}
+		}
+		if prev[dst] == -1 && src != dst {
+			return nil
+		}
+		var seq []int
+		for x := dst; x != src; x = prev[x] {
+			seq = append(seq, x)
+		}
+		seq = append(seq, src)
+		for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+			seq[i], seq[j] = seq[j], seq[i]
+		}
+		return seq
+	}
+
+	// Physical directed link index: (a,b) element pair -> physical link id.
+	plink := map[[2]int]int{}
+	plinkID := func(a, b int) int {
+		key := [2]int{a, b}
+		if id, ok := plink[key]; ok {
+			return id
+		}
+		id := len(plink)
+		plink[key] = id
+		return id
+	}
+
+	// Logical link identity: (visible src, visible dst). Backings union
+	// across routes — traceroute cannot distinguish hidden subpaths.
+	type llink struct {
+		src, dst int
+		backing  map[int]bool
+	}
+	logical := map[[2]int]*llink{}
+	logicalID := func(u, v int) *llink {
+		key := [2]int{u, v}
+		if l, ok := logical[key]; ok {
+			return l
+		}
+		l := &llink{src: u, dst: v, backing: map[int]bool{}}
+		logical[key] = l
+		return l
+	}
+
+	type pathSpec struct{ hops [][2]int } // sequence of logical (src,dst)
+	var paths []pathSpec
+	seenPath := map[string]bool{}
+	attempts := 0
+	for len(paths) < cfg.Paths {
+		attempts++
+		if attempts > 400*cfg.Paths {
+			return nil, fmt.Errorf("trace: could not generate %d distinct paths (got %d); increase VantagePoints", cfg.Paths, len(paths))
+		}
+		i, j := rng.Intn(cfg.VantagePoints), rng.Intn(cfg.VantagePoints)
+		if i == j {
+			continue
+		}
+		seq := shortest(vantage[i], vantage[j])
+		if seq == nil {
+			continue
+		}
+		// Split the physical route at visible elements.
+		var hops [][2]int
+		segStart := seq[0] // visible (vantage)
+		var segPhys []int
+		valid := true
+		for h := 1; h < len(seq); h++ {
+			segPhys = append(segPhys, plinkID(seq[h-1], seq[h]))
+			if hidden[seq[h]] {
+				continue
+			}
+			ll := logicalID(segStart, seq[h])
+			for _, p := range segPhys {
+				ll.backing[p] = true
+			}
+			hops = append(hops, [2]int{segStart, seq[h]})
+			segStart = seq[h]
+			segPhys = segPhys[:0]
+		}
+		if len(segPhys) != 0 {
+			// Route ended at a hidden element — cannot happen (vantage
+			// points are visible), but guard anyway.
+			valid = false
+		}
+		if !valid || len(hops) == 0 {
+			continue
+		}
+		key := fmt.Sprint(hops)
+		if seenPath[key] {
+			continue
+		}
+		seenPath[key] = true
+		paths = append(paths, pathSpec{hops: hops})
+	}
+
+	// --- Assemble the logical topology over used logical links. ---
+	used := map[[2]int]bool{}
+	for _, p := range paths {
+		for _, h := range p.hops {
+			used[h] = true
+		}
+	}
+	var keys [][2]int
+	for k := range used {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	b := topology.NewBuilder()
+	b.AddNodes(n) // reuse physical element IDs for visible nodes
+	net := &Network{Hidden: hidden, NumPhysicalLinks: len(plink)}
+	remap := map[[2]int]topology.LinkID{}
+	for _, key := range keys {
+		ll := logical[key]
+		id := b.AddLink(topology.NodeID(ll.src), topology.NodeID(ll.dst),
+			fmt.Sprintf("l%d-%d", ll.src, ll.dst))
+		remap[key] = id
+		backing := make([]int, 0, len(ll.backing))
+		for p := range ll.backing {
+			backing = append(backing, p)
+		}
+		sort.Ints(backing)
+		net.Backing = append(net.Backing, backing)
+		net.VisibleHops = append(net.VisibleHops, key)
+	}
+	for pi, p := range paths {
+		links := make([]topology.LinkID, len(p.hops))
+		for i, h := range p.hops {
+			links[i] = remap[h]
+		}
+		b.AddPath(fmt.Sprintf("P%d", pi), links...)
+	}
+	// Correlation sets: logical links sharing physical links, transitively.
+	for _, group := range shareGroups(net.Backing) {
+		if len(group) > 1 {
+			ids := make([]topology.LinkID, len(group))
+			for i, k := range group {
+				ids[i] = topology.LinkID(k)
+			}
+			b.Correlate(ids...)
+		}
+	}
+	top, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("trace: discovered topology invalid: %w", err)
+	}
+	net.Logical = top
+	return net, nil
+}
+
+// shareGroups unions logical-link indices sharing a physical link.
+func shareGroups(backing [][]int) [][]int {
+	parent := make([]int, len(backing))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	owner := map[int]int{}
+	for k, b := range backing {
+		for _, r := range b {
+			if o, ok := owner[r]; ok {
+				if ra, rb := find(o), find(k); ra != rb {
+					parent[ra] = rb
+				}
+			} else {
+				owner[r] = k
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for k := range backing {
+		groups[find(k)] = append(groups[find(k)], k)
+	}
+	var out [][]int
+	for k := range backing {
+		if g, ok := groups[find(k)]; ok && g[0] == k {
+			out = append(out, g)
+			delete(groups, find(k))
+		}
+	}
+	return out
+}
+
+type elemItem struct {
+	v int
+	d float64
+}
+
+type elemHeap []elemItem
+
+func (h elemHeap) Len() int            { return len(h) }
+func (h elemHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h elemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *elemHeap) Push(x interface{}) { *h = append(*h, x.(elemItem)) }
+func (h *elemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/congestion"
+	"repro/internal/topology"
+)
+
+func defaultCfg() Config {
+	return Config{Elements: 80, HiddenFrac: 0.3, VantagePoints: 14, Paths: 60, Seed: 1}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	if _, err := Discover(Config{Elements: 2, VantagePoints: 2, Paths: 1}); err == nil {
+		t.Fatal("tiny network accepted")
+	}
+	if _, err := Discover(Config{Elements: 20, VantagePoints: 1, Paths: 1}); err == nil {
+		t.Fatal("single vantage point accepted")
+	}
+	if _, err := Discover(Config{Elements: 20, VantagePoints: 4, Paths: 0}); err == nil {
+		t.Fatal("zero paths accepted")
+	}
+}
+
+func TestDiscoverShape(t *testing.T) {
+	net, err := Discover(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Logical
+	if top.NumPaths() != 60 {
+		t.Fatalf("paths = %d, want 60", top.NumPaths())
+	}
+	if top.NumLinks() != len(net.Backing) || top.NumLinks() != len(net.VisibleHops) {
+		t.Fatalf("inconsistent link bookkeeping: %d links, %d backings, %d hops",
+			top.NumLinks(), len(net.Backing), len(net.VisibleHops))
+	}
+	// Logical endpoints must be visible elements; hidden elements never
+	// appear as logical nodes with adjacent links.
+	for _, l := range top.Links() {
+		if net.Hidden[l.Src] || net.Hidden[l.Dst] {
+			t.Fatalf("logical link %q touches a hidden element", l.Name)
+		}
+	}
+	// Every backing is non-empty and references valid physical links.
+	for k, b := range net.Backing {
+		if len(b) == 0 {
+			t.Fatalf("logical link %d has no physical backing", k)
+		}
+		for _, p := range b {
+			if p < 0 || p >= net.NumPhysicalLinks {
+				t.Fatalf("logical link %d references physical link %d outside [0,%d)",
+					k, p, net.NumPhysicalLinks)
+			}
+		}
+	}
+}
+
+func TestDiscoverDeterministic(t *testing.T) {
+	a, err := Discover(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Discover(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Logical.NumLinks() != b.Logical.NumLinks() {
+		t.Fatal("same seed produced different discoveries")
+	}
+	for i := range a.Backing {
+		if len(a.Backing[i]) != len(b.Backing[i]) {
+			t.Fatal("same seed produced different backings")
+		}
+	}
+}
+
+// The discovery invariant of Figure 2: logical links that share a physical
+// link must land in the same correlation set, and multi-link sets exist when
+// elements are hidden.
+func TestCorrelationMatchesPhysicalSharing(t *testing.T) {
+	net, err := Discover(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := net.Logical
+	share := func(a, b int) bool {
+		for _, ra := range net.Backing[a] {
+			for _, rb := range net.Backing[b] {
+				if ra == rb {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	multi := 0
+	for a := 0; a < top.NumLinks(); a++ {
+		for b := a + 1; b < top.NumLinks(); b++ {
+			if share(a, b) {
+				if top.SetOf(topology.LinkID(a)) != top.SetOf(topology.LinkID(b)) {
+					t.Fatalf("links %d and %d share a physical link but are uncorrelated", a, b)
+				}
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no physical sharing discovered — hidden elements had no effect")
+	}
+}
+
+// A hidden element with multiple logical links through it produces logical
+// links whose backings overlap — the Figure 2(a) situation. The discovered
+// network must plug directly into a RouterBacked congestion model.
+func TestDiscoveredNetworkDrivesRouterBackedModel(t *testing.T) {
+	net, err := Discover(defaultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, net.NumPhysicalLinks)
+	for i := range probs {
+		probs[i] = 0.02
+	}
+	model, err := congestion.NewRouterBacked(net.Backing, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumLinks() != net.Logical.NumLinks() {
+		t.Fatalf("model covers %d links, topology has %d", model.NumLinks(), net.Logical.NumLinks())
+	}
+	// Longer backings ⇒ higher marginals; all marginals in (0, 1).
+	for k := 0; k < model.NumLinks(); k++ {
+		m := model.Marginal(topology.LinkID(k))
+		if m <= 0 || m >= 1 {
+			t.Fatalf("marginal of link %d = %v", k, m)
+		}
+	}
+}
+
+func TestHiddenFractionRespected(t *testing.T) {
+	cfg := defaultCfg()
+	net, err := Discover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := 0
+	for _, h := range net.Hidden {
+		if h {
+			hidden++
+		}
+	}
+	want := int(cfg.HiddenFrac * float64(cfg.Elements))
+	if hidden != want {
+		t.Fatalf("hidden elements = %d, want %d", hidden, want)
+	}
+}
+
+// With no hidden elements... HiddenFrac 0 falls back to the default, so use
+// a tiny value instead: discovery should produce mostly single-physical-link
+// logical links.
+func TestLowHiddenFraction(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.HiddenFrac = 0.01
+	net, err := Discover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := 0
+	for _, b := range net.Backing {
+		if len(b) == 1 {
+			single++
+		}
+	}
+	if single < net.Logical.NumLinks()/2 {
+		t.Fatalf("only %d of %d logical links are single-physical with 1%% hidden",
+			single, net.Logical.NumLinks())
+	}
+}

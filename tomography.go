@@ -1,0 +1,124 @@
+// Package tomography is the public facade of the correlated-links network
+// tomography library, a reproduction of "Network Tomography on Correlated
+// Links" (Ghita, Argyraki, Thiran — IMC 2010).
+//
+// The library identifies per-link congestion probabilities from end-to-end
+// Boolean path measurements when links may be correlated within known
+// correlation sets. The workflow is:
+//
+//  1. Describe the measurement topology — links, paths, correlation sets —
+//     with a Builder (or generate one with the brite/planetlab generators
+//     through the cmd/topogen tool).
+//  2. Collect per-snapshot path observations. The netsim engine simulates
+//     them from a ground-truth congestion model; a real deployment would
+//     fill a Record from probe measurements instead.
+//  3. Run Correlation (the paper's Section-4 algorithm), Independence (the
+//     Nguyen–Thiran baseline), or Theorem (the exact Appendix-A algorithm)
+//     to recover P(link congested) for every link.
+//
+// See examples/quickstart for a complete end-to-end program.
+package tomography
+
+import (
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Re-exported topology types. See internal/topology for full documentation.
+type (
+	// Topology is an immutable measurement topology: links, paths and
+	// correlation sets.
+	Topology = topology.Topology
+	// Builder accumulates nodes, links, paths and correlation sets.
+	Builder = topology.Builder
+	// NodeID identifies a node.
+	NodeID = topology.NodeID
+	// LinkID identifies a logical link.
+	LinkID = topology.LinkID
+	// PathID identifies a measurement path.
+	PathID = topology.PathID
+)
+
+// Re-exported measurement types.
+type (
+	// Record holds per-snapshot congested-path observations.
+	Record = netsim.Record
+	// Source supplies P(path set all-good) estimates to the algorithms.
+	Source = measure.Source
+	// Empirical estimates probabilities from a Record.
+	Empirical = measure.Empirical
+)
+
+// Re-exported algorithm types.
+type (
+	// Result is the output of the practical algorithms.
+	Result = core.Result
+	// Options tunes the practical algorithms.
+	Options = core.Options
+	// TheoremResult is the output of the exact algorithm.
+	TheoremResult = core.TheoremResult
+	// TheoremOptions tunes the exact algorithm.
+	TheoremOptions = core.TheoremOptions
+)
+
+// Model is a ground-truth congestion process (used with Simulate).
+type Model = congestion.Model
+
+// SimConfig parameterizes Simulate.
+type SimConfig = netsim.Config
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder { return topology.NewBuilder() }
+
+// Figure1A returns the toy topology of the paper's Figure 1(a).
+func Figure1A() *Topology { return topology.Figure1A() }
+
+// Figure1B returns the toy topology of the paper's Figure 1(b), which
+// violates Assumption 4.
+func Figure1B() *Topology { return topology.Figure1B() }
+
+// Simulate runs the snapshot simulator and returns the observation record.
+func Simulate(cfg SimConfig) (*Record, error) { return netsim.Run(cfg) }
+
+// NewEmpirical wraps a record into a measurement source.
+func NewEmpirical(rec *Record) *Empirical { return measure.NewEmpirical(rec) }
+
+// Correlation runs the paper's correlation-aware algorithm (Section 4):
+// it forms log-linear equations only from paths and pairs of paths that
+// traverse at most one link per correlation set, and solves for every
+// link's congestion probability.
+func Correlation(top *Topology, src Source, opts Options) (*Result, error) {
+	return core.Correlation(top, src, opts)
+}
+
+// Independence runs the Nguyen–Thiran baseline, which assumes all links are
+// uncorrelated. When links are correlated its equations factorize joint
+// probabilities incorrectly; the paper (and this library's benchmarks)
+// quantify the resulting error.
+func Independence(top *Topology, src Source, opts Options) (*Result, error) {
+	return core.Independence(top, src, opts)
+}
+
+// Theorem runs the exact algorithm extracted from the proof of Theorem 1
+// (Appendix A). It requires Assumption 4 and small correlation sets, and
+// additionally needs exact-congestion-pattern probabilities, which the
+// Empirical source provides.
+func Theorem(top *Topology, src measure.PatternSource, opts TheoremOptions) (*TheoremResult, error) {
+	return core.Theorem(top, src, opts)
+}
+
+// CheckIdentifiability verifies Assumption 4 for a topology (subsetCap ≤ 0
+// uses the default enumeration budget). See the paper's Section 3.3 for what
+// to do when it fails — including MergeTransform.
+func CheckIdentifiability(top *Topology, subsetCap int) topology.CheckResult {
+	return topology.CheckIdentifiability(top, subsetCap)
+}
+
+// MergeTransform applies the Section-3.3 link-merge transformation, removing
+// structural Assumption-4 violations at reduced granularity.
+func MergeTransform(top *Topology) (*Topology, topology.MergeMap, error) {
+	return topology.MergeTransform(top)
+}

@@ -1,0 +1,105 @@
+package tomography_test
+
+import (
+	"math"
+	"testing"
+
+	tomography "repro"
+	"repro/internal/bitset"
+	"repro/internal/congestion"
+)
+
+// TestPublicAPIEndToEnd exercises the whole facade the way a downstream user
+// would: build a topology, simulate measurements, infer with all three
+// algorithms, check identifiability, and apply the merge transformation.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// Build Figure 1(a) by hand through the public Builder.
+	b := tomography.NewBuilder()
+	v1, v2, v3, v4, v5 := b.AddNode(), b.AddNode(), b.AddNode(), b.AddNode(), b.AddNode()
+	e1 := b.AddLink(v4, v3, "e1")
+	e2 := b.AddLink(v5, v3, "e2")
+	e3 := b.AddLink(v3, v1, "e3")
+	e4 := b.AddLink(v3, v2, "e4")
+	b.AddPath("P1", e1, e3)
+	b.AddPath("P2", e2, e3)
+	b.AddPath("P3", e2, e4)
+	b.Correlate(e1, e2)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res := tomography.CheckIdentifiability(top, 0); !res.Identifiable {
+		t.Fatal("Figure 1(a) must be identifiable")
+	}
+
+	model, err := congestion.NewTable(4, []congestion.GroupTable{
+		{
+			Links: []int{0, 1},
+			States: []congestion.SubsetProb{
+				{Links: bitset.New(0), P: 0.60},
+				{Links: bitset.FromIndices(0), P: 0.10},
+				{Links: bitset.FromIndices(1), P: 0.12},
+				{Links: bitset.FromIndices(0, 1), P: 0.18},
+			},
+		},
+		{Links: []int{2}, States: []congestion.SubsetProb{
+			{Links: bitset.New(0), P: 0.8}, {Links: bitset.FromIndices(2), P: 0.2},
+		}},
+		{Links: []int{3}, States: []congestion.SubsetProb{
+			{Links: bitset.New(0), P: 0.9}, {Links: bitset.FromIndices(3), P: 0.1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tomography.Simulate(tomography.SimConfig{
+		Topology: top, Model: model, Snapshots: 150000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tomography.NewEmpirical(rec)
+
+	truth := congestion.Marginals(model)
+	corr, err := tomography.Correlation(top, src, tomography.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range truth {
+		if math.Abs(corr.CongestionProb[k]-w) > 0.02 {
+			t.Fatalf("correlation link %d: %v vs truth %v", k, corr.CongestionProb[k], w)
+		}
+	}
+
+	if _, err := tomography.Independence(top, src, tomography.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	thm, err := tomography.Theorem(top, src, tomography.TheoremOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range truth {
+		if math.Abs(thm.CongestionProb[k]-w) > 0.02 {
+			t.Fatalf("theorem link %d: %v vs truth %v", k, thm.CongestionProb[k], w)
+		}
+	}
+}
+
+func TestPublicMergeTransform(t *testing.T) {
+	top := tomography.Figure1B()
+	if res := tomography.CheckIdentifiability(top, 0); res.Identifiable {
+		t.Fatal("Figure 1(b) must violate Assumption 4")
+	}
+	merged, mm, err := tomography.MergeTransform(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumLinks() != 2 {
+		t.Fatalf("merged links = %d, want 2", merged.NumLinks())
+	}
+	if len(mm.OriginalLinks) != 2 {
+		t.Fatalf("merge map has %d entries", len(mm.OriginalLinks))
+	}
+}
