@@ -1,6 +1,6 @@
 // Benchmark harness: one benchmark per table/figure of the paper's
-// evaluation (Section 5), plus ablation benchmarks for the design choices
-// called out in DESIGN.md.
+// evaluation (Section 5), plus ablation benchmarks for the repo's design
+// choices and a serial-vs-parallel comparison of the runner engine.
 //
 // Every BenchmarkFigureNx regenerates the corresponding figure at the
 // "small" scale (the full pipeline — topology generation, scenario
@@ -21,6 +21,7 @@
 package tomography_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -38,8 +39,8 @@ import (
 )
 
 // benchParams returns the standard benchmark parameters. Benchmarks use the
-// small scale so the whole suite stays within a CI budget; EXPERIMENTS.md
-// records medium/paper-scale results.
+// small scale so the whole suite stays within a CI budget; regenerate
+// medium/paper-scale results with cmd/experiment (see README.md).
 func benchParams() experiments.Params {
 	return experiments.Params{Scale: experiments.Small, Seed: 1}
 }
@@ -51,7 +52,7 @@ func benchFigureCDF(b *testing.B, id string) {
 	var fig *experiments.Figure
 	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Run(id, benchParams())
+		fig, err = experiments.Run(context.Background(), id, benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func benchFigureSweep(b *testing.B, id string) {
 	var fig *experiments.Figure
 	var err error
 	for i := 0; i < b.N; i++ {
-		fig, err = experiments.Run(id, benchParams())
+		fig, err = experiments.Run(context.Background(), id, benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,32 @@ func BenchmarkFigure5c(b *testing.B) { benchFigureCDF(b, "5c") }
 // BenchmarkFigure5d: 50% of congested links mislabeled (PlanetLab).
 func BenchmarkFigure5d(b *testing.B) { benchFigureCDF(b, "5d") }
 
-// --- Ablations (design choices from DESIGN.md). ---
+// --- Runner throughput: serial vs parallel sweep. ---
+
+// benchSweepWorkers runs the Figure-3a sweep (5 points × 2 trials, reduced
+// snapshot budget) with the given worker-pool size. Comparing the Serial and
+// Parallel variants measures the speedup of the internal/runner engine; the
+// figures they produce are bit-identical.
+func benchSweepWorkers(b *testing.B, workers int) {
+	b.Helper()
+	p := benchParams()
+	p.Workers = workers
+	p.Trials = 2
+	p.Snapshots = 400
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3a(context.Background(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial: the Figure-3a sweep on a single worker.
+func BenchmarkSweepSerial(b *testing.B) { benchSweepWorkers(b, 1) }
+
+// BenchmarkSweepParallel: the same sweep on GOMAXPROCS workers.
+func BenchmarkSweepParallel(b *testing.B) { benchSweepWorkers(b, 0) }
+
+// --- Ablations (quantifying the repo's design choices). ---
 
 // benchScenario builds the standard ablation scenario (Figure-3c setup) and
 // its measurement source once per benchmark invocation.

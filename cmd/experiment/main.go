@@ -3,18 +3,25 @@
 // Usage:
 //
 //	experiment -figure 3a [-scale small|medium|paper] [-seed N] [-snapshots N]
-//	experiment -figure all [-scale medium] [-out results/]
+//	experiment -figure all [-scale medium] [-trials 5] [-out results/]
 //
 // Each figure is printed as a text table with the same series the paper
-// plots (Correlation vs Independence). See EXPERIMENTS.md for the recorded
-// paper-vs-measured comparison.
+// plots (Correlation vs Independence). Figures, Monte-Carlo trials and
+// snapshot simulation are sharded across -workers CPU cores by the
+// internal/runner engine; results are bit-identical for every worker count,
+// and ^C cancels a run cleanly. See README.md for how the reproduction
+// compares to the published figures.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -27,8 +34,11 @@ func main() {
 		scale     = flag.String("scale", "small", "experiment scale: small | medium | paper")
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		snapshots = flag.Int("snapshots", 0, "override snapshot count (0 = scale default)")
+		trials    = flag.Int("trials", 1, "Monte-Carlo trials per figure point (merged before summarizing)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
 		packet    = flag.Bool("packet-level", false, "simulate probe packets and loss rates instead of state-level measurement")
 		packets   = flag.Int("packets-per-path", 0, "probes per path per snapshot in packet-level mode (0 = default)")
+		progress  = flag.Bool("progress", false, "report progress on stderr (per trial; per figure with -figure all)")
 		outDir    = flag.String("out", "", "directory to write per-figure .tsv files (default: stdout only)")
 	)
 	flag.Parse()
@@ -39,59 +49,106 @@ func main() {
 		os.Exit(2)
 	}
 
+	// ^C / SIGTERM cancels the worker pool between trials and snapshots.
+	// Once cancellation is underway, restore default signal handling so a
+	// second ^C force-quits instead of being swallowed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	params := experiments.Params{
 		Scale:          experiments.Scale(*scale),
 		Seed:           *seed,
 		Snapshots:      *snapshots,
+		Trials:         *trials,
+		Workers:        *workers,
 		PacketsPerPath: *packets,
 	}
 	if *packet {
 		params.Mode = netsim.PacketLevel
 	}
 
-	var ids []string
 	if *figure == "all" {
-		for _, r := range experiments.Runners {
-			ids = append(ids, r.ID)
-		}
-	} else {
-		ids = []string{*figure}
+		runAll(ctx, params, *progress, *outDir)
+		return
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		fig, err := experiments.Run(id, params)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment: figure %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== Figure %s (%.1fs)\n", id, time.Since(start).Seconds())
-		if err := fig.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment: rendering %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Println()
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
-				os.Exit(1)
-			}
-			path := filepath.Join(*outDir, fmt.Sprintf("figure-%s.tsv", id))
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
-				os.Exit(1)
-			}
-			if err := fig.Render(f); err != nil {
-				f.Close()
-				fmt.Fprintf(os.Stderr, "experiment: writing %s: %v\n", path, err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "experiment: closing %s: %v\n", path, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n", path)
+	if *progress {
+		params.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "figure %s: trial %d/%d\n", *figure, done, total)
 		}
 	}
+	start := time.Now()
+	fig, err := experiments.Run(ctx, *figure, params)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("=== Figure %s (%.1fs)\n", *figure, time.Since(start).Seconds())
+	emit(fig, *outDir)
+	fmt.Println()
+}
+
+// runAll regenerates every figure concurrently, then prints them in the
+// paper's order.
+func runAll(ctx context.Context, params experiments.Params, progress bool, outDir string) {
+	var ids []string
+	for _, r := range experiments.Runners {
+		ids = append(ids, r.ID)
+	}
+	var figProgress func(id string, done, total int)
+	if progress {
+		figProgress = func(id string, done, total int) {
+			fmt.Fprintf(os.Stderr, "figure %s done (%d/%d)\n", id, done, total)
+		}
+	}
+	start := time.Now()
+	figs, err := experiments.RunAll(ctx, ids, params, figProgress)
+	if err != nil {
+		fail(err)
+	}
+	for _, fig := range figs {
+		fmt.Printf("=== Figure %s\n", fig.ID)
+		emit(fig, outDir)
+		fmt.Println()
+	}
+	fmt.Printf("=== %d figures in %.1fs\n", len(figs), time.Since(start).Seconds())
+}
+
+// emit renders a figure to stdout and, when outDir is set, to
+// outDir/figure-<id>.tsv.
+func emit(fig *experiments.Figure, outDir string) {
+	if err := fig.Render(os.Stdout); err != nil {
+		fail(fmt.Errorf("rendering %s: %w", fig.ID, err))
+	}
+	if outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fail(err)
+	}
+	path := filepath.Join(outDir, fmt.Sprintf("figure-%s.tsv", fig.ID))
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := fig.Render(f); err != nil {
+		f.Close()
+		fail(fmt.Errorf("writing %s: %w", path, err))
+	}
+	if err := f.Close(); err != nil {
+		fail(fmt.Errorf("closing %s: %w", path, err))
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "experiment: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+	os.Exit(1)
 }

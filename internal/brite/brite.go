@@ -452,9 +452,12 @@ func shareGroups(backing [][]int) [][]int {
 
 // SharedRouterIndex returns, for each router-level link, the AS-level links
 // whose backing contains it — the inverted index scenario builders use to
-// pick clusters of correlated links.
-func (n *Network) SharedRouterIndex() map[int][]int {
-	idx := make(map[int][]int)
+// pick clusters of correlated links. The index is a slice keyed by router
+// link (not a map) so that iterating it is deterministic: scenario
+// construction must be a pure function of its seed, or parallel experiment
+// runs could not be reproduced.
+func (n *Network) SharedRouterIndex() [][]int {
+	idx := make([][]int, n.NumRouterLinks)
 	for k, b := range n.Backing {
 		for _, r := range b {
 			idx[r] = append(idx[r], k)

@@ -303,6 +303,9 @@ func TestTheoremRejectsHugeSets(t *testing.T) {
 }
 
 func TestTheoremOnEmpiricalMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow convergence test; run without -short")
+	}
 	top := topology.Figure1A()
 	model := fig1aTable(t)
 	rec, err := netsim.Run(netsim.Config{
@@ -324,6 +327,9 @@ func TestTheoremOnEmpiricalMeasurements(t *testing.T) {
 }
 
 func TestCorrelationOnEmpiricalMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow convergence test; run without -short")
+	}
 	top := topology.Figure1A()
 	model := fig1aTable(t)
 	rec, err := netsim.Run(netsim.Config{
@@ -481,6 +487,9 @@ func TestTheoremExactOnRandomGrids(t *testing.T) {
 }
 
 func TestUseAllEquationsLeastSquares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow convergence test; run without -short")
+	}
 	top := topology.Figure1A()
 	model := fig1aTable(t)
 	rec, err := netsim.Run(netsim.Config{

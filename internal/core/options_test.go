@@ -110,6 +110,9 @@ func TestGF2ThresholdPath(t *testing.T) {
 }
 
 func TestCorrelationOnPacketLevelMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow convergence test; run without -short")
+	}
 	// End-to-end through the full packet-level data path. Probe count
 	// matters: with few probes the binomial noise of a good path's measured
 	// loss fraction straddles the threshold tp and inflates the estimates

@@ -4,12 +4,21 @@
 // independence baseline (Nguyen–Thiran), and reports the same series the
 // paper plots. The runners are shared by cmd/experiment and by the
 // repository's benchmark harness (bench_test.go).
+//
+// All Monte-Carlo work — the sweep points of Figures 3(a)/(b) and the
+// repeated trials behind every figure point — is sharded across the
+// internal/runner worker pool. Per-trial seeds are derived from Params.Seed
+// with runner.DeriveSeed, so results are bit-identical for any
+// Params.Workers setting, and every figure runner accepts a context for
+// cancellation.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/brite"
 	"repro/internal/core"
@@ -17,6 +26,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/planetlab"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -62,6 +72,57 @@ type Params struct {
 	Mode netsim.Mode
 	// PacketsPerPath for packet-level mode (0 ⇒ default).
 	PacketsPerPath int
+	// Trials is the number of Monte-Carlo trials behind every figure point
+	// (0 ⇒ 1). Each trial re-simulates the same scenario with an
+	// independently derived seed; the error samples of all trials are merged
+	// before the summary statistic, tightening the estimate.
+	Trials int
+	// Workers caps the worker pool shared by sweep points and trials
+	// (0 ⇒ GOMAXPROCS, 1 ⇒ fully serial). Results are identical for every
+	// setting; only wall-clock time changes.
+	Workers int
+	// Progress, when non-nil, is called after each completed trial with the
+	// number of trials finished and the figure's total. Calls are serialized.
+	Progress func(done, total int)
+}
+
+// trials resolves the effective trial count.
+func (p Params) trials() int {
+	if p.Trials > 0 {
+		return p.Trials
+	}
+	return 1
+}
+
+// pool builds the worker pool configured by Params.
+func (p Params) pool() *runner.Runner {
+	return &runner.Runner{Workers: p.Workers}
+}
+
+// tracker adapts Params.Progress to figure-level accounting: a figure knows
+// its total trial count up front, and every completed trial ticks the shared
+// counter no matter which sweep point it belongs to. Callback invocations
+// are serialized.
+type tracker struct {
+	total int
+	mu    sync.Mutex
+	done  int
+	fn    func(done, total int)
+}
+
+func (p Params) tracker(total int) *tracker {
+	return &tracker{total: total, fn: p.Progress}
+}
+
+// tick records one completed trial. Safe for concurrent use.
+func (t *tracker) tick() {
+	if t == nil || t.fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.done++
+	t.fn(t.done, t.total)
+	t.mu.Unlock()
 }
 
 // Series is one plotted line.
@@ -114,25 +175,46 @@ func (f *Figure) Render(w io.Writer) error {
 	return nil
 }
 
-// algorithmErrors runs both algorithms on a scenario and returns the sorted
-// absolute errors over the potentially congested links.
-func algorithmErrors(s *scenario.Scenario, p Params, snapshots int) (corrErrs, indepErrs []float64, notes []string, err error) {
-	rec, err := netsim.Run(netsim.Config{
+// trialResult is the outcome of one Monte-Carlo trial: both algorithms'
+// sorted error samples plus the bookkeeping notes.
+type trialResult struct {
+	corrErrs, indepErrs []float64
+	notes               []string
+}
+
+// trialSeed derives the simulation seed for one trial. Trial 0 reproduces
+// the historical single-trial seed (p.Seed + 1000003) so recorded figures
+// stay stable; later trials branch off it with independent streams.
+func trialSeed(p Params, trial int) int64 {
+	root := p.Seed + 1000003
+	if trial == 0 {
+		return root
+	}
+	return runner.DeriveSeed(root, trial)
+}
+
+// runTrial simulates one trial of a scenario and runs both algorithms on
+// it. ctx must be the enclosing pool task's ctx: it carries this trial's
+// share of the worker budget, which sizes the nested snapshot-simulator
+// pool so total concurrency stays within p.Workers.
+func runTrial(ctx context.Context, s *scenario.Scenario, p Params, snapshots, trial int) (trialResult, error) {
+	rec, err := netsim.RunContext(ctx, netsim.Config{
 		Topology:       s.Topology,
 		Model:          s.Model,
 		Snapshots:      snapshots,
-		Seed:           p.Seed + 1000003,
+		Seed:           trialSeed(p, trial),
 		Mode:           p.Mode,
 		PacketsPerPath: p.PacketsPerPath,
+		Parallelism:    p.Workers,
 	})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("simulating %s: %w", s.Name, err)
+		return trialResult{}, fmt.Errorf("simulating %s: %w", s.Name, err)
 	}
 	src := measure.NewEmpirical(rec)
 
 	corr, err := core.Correlation(s.Topology, src, core.Options{})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("correlation algorithm on %s: %w", s.Name, err)
+		return trialResult{}, fmt.Errorf("correlation algorithm on %s: %w", s.Name, err)
 	}
 	// The independence baseline emulates Nguyen–Thiran: it uses all its
 	// (incorrectly factorized, when links are correlated) observations in a
@@ -141,20 +223,48 @@ func algorithmErrors(s *scenario.Scenario, p Params, snapshots int) (corrErrs, i
 	// and mask exactly the modelling error the paper measures.
 	indep, err := core.Independence(s.Topology, src, core.Options{UseAllEquations: true})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("independence algorithm on %s: %w", s.Name, err)
+		return trialResult{}, fmt.Errorf("independence algorithm on %s: %w", s.Name, err)
 	}
-	corrErrs = eval.AbsErrors(s.Truth, corr.CongestionProb, s.PotentiallyCongested)
-	indepErrs = eval.AbsErrors(s.Truth, indep.CongestionProb, s.PotentiallyCongested)
-	notes = []string{
-		fmt.Sprintf("scenario %s: links=%d paths=%d congested=%d potentially-congested=%d snapshots=%d mode=%s",
-			s.Name, s.Topology.NumLinks(), s.Topology.NumPaths(),
-			s.CongestedLinks.Len(), s.PotentiallyCongested.Len(), snapshots, p.Mode),
-		fmt.Sprintf("correlation: rank=%d/%d singles=%d pairs=%d solver=%s",
-			corr.System.Rank, s.Topology.NumLinks(), corr.System.SinglePathEqs, corr.System.PairEqs, corr.Solver),
-		fmt.Sprintf("independence: rank=%d/%d singles=%d pairs=%d solver=%s",
-			indep.System.Rank, s.Topology.NumLinks(), indep.System.SinglePathEqs, indep.System.PairEqs, indep.Solver),
+	res := trialResult{
+		corrErrs:  eval.AbsErrors(s.Truth, corr.CongestionProb, s.PotentiallyCongested),
+		indepErrs: eval.AbsErrors(s.Truth, indep.CongestionProb, s.PotentiallyCongested),
+		notes: []string{
+			fmt.Sprintf("scenario %s: links=%d paths=%d congested=%d potentially-congested=%d snapshots=%d mode=%s trials=%d",
+				s.Name, s.Topology.NumLinks(), s.Topology.NumPaths(),
+				s.CongestedLinks.Len(), s.PotentiallyCongested.Len(), snapshots, p.Mode, p.trials()),
+			fmt.Sprintf("correlation: rank=%d/%d singles=%d pairs=%d solver=%s",
+				corr.System.Rank, s.Topology.NumLinks(), corr.System.SinglePathEqs, corr.System.PairEqs, corr.Solver),
+			fmt.Sprintf("independence: rank=%d/%d singles=%d pairs=%d solver=%s",
+				indep.System.Rank, s.Topology.NumLinks(), indep.System.SinglePathEqs, indep.System.PairEqs, indep.Solver),
+		},
 	}
-	return corrErrs, indepErrs, notes, nil
+	return res, nil
+}
+
+// algorithmErrors runs p.trials() Monte-Carlo trials of both algorithms on a
+// scenario — sharded across the worker pool — and returns the merged sorted
+// absolute errors over the potentially congested links. Results are
+// bit-identical for every worker count: each trial's randomness is a
+// function of (p.Seed, trial) only, and the sorted merge is order-blind.
+func algorithmErrors(ctx context.Context, s *scenario.Scenario, p Params, snapshots int, tr *tracker) (corrErrs, indepErrs []float64, notes []string, err error) {
+	trials := p.trials()
+	results, err := runner.Map(ctx, p.pool(), trials, func(ctx context.Context, t int) (trialResult, error) {
+		res, err := runTrial(ctx, s, p, snapshots, t)
+		if err == nil {
+			tr.tick()
+		}
+		return res, err
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	corrParts := make([][]float64, trials)
+	indepParts := make([][]float64, trials)
+	for t, r := range results {
+		corrParts[t] = r.corrErrs
+		indepParts[t] = r.indepErrs
+	}
+	return runner.MergeSorted(corrParts), runner.MergeSorted(indepParts), results[0].notes, nil
 }
 
 func (p Params) snapshots(sz sizes) int {
@@ -186,8 +296,11 @@ func planetlabNetwork(p Params, sz sizes) (*planetlab.Network, error) {
 var CongestedFractions = []float64{0.05, 0.10, 0.15, 0.20, 0.25}
 
 // figure3Sweep runs the Figure-3(a)/(b) sweep and summarizes each point with
-// the given statistic over the absolute errors.
-func figure3Sweep(p Params, id, title, ylabel string, stat func([]float64) float64) (*Figure, error) {
+// the given statistic over the absolute errors. The sweep points (and the
+// trials inside each point) run concurrently on the worker pool; each
+// point's scenario seed depends only on the point index, so the figure is
+// identical for every worker count.
+func figure3Sweep(ctx context.Context, p Params, id, title, ylabel string, stat func([]float64) float64) (*Figure, error) {
 	sz, err := p.Scale.sizes()
 	if err != nil {
 		return nil, err
@@ -200,25 +313,37 @@ func figure3Sweep(p Params, id, title, ylabel string, stat func([]float64) float
 		ID: id, Title: title,
 		XLabel: "congested links (% of all links)", YLabel: ylabel,
 	}
-	corrSeries := Series{Label: "Correlation"}
-	indepSeries := Series{Label: "Independence"}
-	for i, frac := range CongestedFractions {
+	tr := p.tracker(len(CongestedFractions) * p.trials())
+	type point struct {
+		corr, indep float64
+		notes       []string
+	}
+	pts, err := runner.Map(ctx, p.pool(), len(CongestedFractions), func(ctx context.Context, i int) (point, error) {
+		frac := CongestedFractions[i]
 		s, err := scenario.Brite(scenario.BriteConfig{
 			Net: net, FracCongested: frac, Level: scenario.HighCorrelation,
 			Seed: p.Seed + int64(100*i),
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		ce, ie, notes, err := algorithmErrors(s, p, p.snapshots(sz))
+		ce, ie, notes, err := algorithmErrors(ctx, s, p, p.snapshots(sz), tr)
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		corrSeries.X = append(corrSeries.X, 100*frac)
-		corrSeries.Y = append(corrSeries.Y, stat(ce))
-		indepSeries.X = append(indepSeries.X, 100*frac)
-		indepSeries.Y = append(indepSeries.Y, stat(ie))
-		fig.Notes = append(fig.Notes, notes...)
+		return point{corr: stat(ce), indep: stat(ie), notes: notes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	corrSeries := Series{Label: "Correlation"}
+	indepSeries := Series{Label: "Independence"}
+	for i, pt := range pts {
+		corrSeries.X = append(corrSeries.X, 100*CongestedFractions[i])
+		corrSeries.Y = append(corrSeries.Y, pt.corr)
+		indepSeries.X = append(indepSeries.X, 100*CongestedFractions[i])
+		indepSeries.Y = append(indepSeries.Y, pt.indep)
+		fig.Notes = append(fig.Notes, pt.notes...)
 	}
 	fig.Series = []Series{corrSeries, indepSeries}
 	return fig, nil
@@ -226,23 +351,25 @@ func figure3Sweep(p Params, id, title, ylabel string, stat func([]float64) float
 
 // Figure3a reproduces Figure 3(a): mean absolute error vs the fraction of
 // congested links, Brite topology, highly correlated congestion.
-func Figure3a(p Params) (*Figure, error) {
-	return figure3Sweep(p, "3a",
+func Figure3a(ctx context.Context, p Params) (*Figure, error) {
+	return figure3Sweep(ctx, p, "3a",
 		"Mean absolute error, highly correlated congested links (Brite)",
 		"mean absolute error", eval.Mean)
 }
 
 // Figure3b reproduces Figure 3(b): 90th percentile of the absolute error.
-func Figure3b(p Params) (*Figure, error) {
-	return figure3Sweep(p, "3b",
+func Figure3b(ctx context.Context, p Params) (*Figure, error) {
+	return figure3Sweep(ctx, p, "3b",
 		"90th percentile of the absolute error, highly correlated congested links (Brite)",
 		"90th percentile of absolute error",
 		func(xs []float64) float64 { return eval.Percentile(xs, 90) })
 }
 
-// cdfFigure renders the two algorithms' error CDFs for one scenario.
-func cdfFigure(s *scenario.Scenario, p Params, snapshots int, id, title string) (*Figure, error) {
-	ce, ie, notes, err := algorithmErrors(s, p, snapshots)
+// cdfFigure renders the two algorithms' error CDFs for one scenario. With
+// Trials > 1 the CDF is computed over the merged error samples of all
+// trials.
+func cdfFigure(ctx context.Context, s *scenario.Scenario, p Params, snapshots int, id, title string) (*Figure, error) {
+	ce, ie, notes, err := algorithmErrors(ctx, s, p, snapshots, p.tracker(p.trials()))
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +388,7 @@ func cdfFigure(s *scenario.Scenario, p Params, snapshots int, id, title string) 
 
 // Figure3c reproduces Figure 3(c): error CDF with 10% congested links,
 // highly correlated, Brite topology.
-func Figure3c(p Params) (*Figure, error) {
+func Figure3c(ctx context.Context, p Params) (*Figure, error) {
 	sz, err := p.Scale.sizes()
 	if err != nil {
 		return nil, err
@@ -276,13 +403,13 @@ func Figure3c(p Params) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cdfFigure(s, p, p.snapshots(sz), "3c",
+	return cdfFigure(ctx, s, p, p.snapshots(sz), "3c",
 		"Error CDF, 10% congested, highly correlated (Brite)")
 }
 
 // Figure3d reproduces Figure 3(d): error CDF with 10% congested links,
 // loosely correlated (≤2 congested links per correlation set).
-func Figure3d(p Params) (*Figure, error) {
+func Figure3d(ctx context.Context, p Params) (*Figure, error) {
 	sz, err := p.Scale.sizes()
 	if err != nil {
 		return nil, err
@@ -297,12 +424,12 @@ func Figure3d(p Params) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cdfFigure(s, p, p.snapshots(sz), "3d",
+	return cdfFigure(ctx, s, p, p.snapshots(sz), "3d",
 		"Error CDF, 10% congested, loosely correlated (Brite)")
 }
 
 // figure4 builds the unidentifiable-links scenarios of Figure 4.
-func figure4(p Params, topo string, unidentFrac float64, id string) (*Figure, error) {
+func figure4(ctx context.Context, p Params, topo string, unidentFrac float64, id string) (*Figure, error) {
 	sz, err := p.Scale.sizes()
 	if err != nil {
 		return nil, err
@@ -317,11 +444,11 @@ func figure4(p Params, topo string, unidentFrac float64, id string) (*Figure, er
 	}
 	title := fmt.Sprintf("Error CDF, %d%% of congested links unidentifiable (%s), 10%% congested",
 		int(100*unidentFrac), topo)
-	return cdfFigure(s, p, p.snapshots(sz), id, title)
+	return cdfFigure(ctx, s, p, p.snapshots(sz), id, title)
 }
 
 // figure5 builds the mislabeled-links scenarios of Figure 5.
-func figure5(p Params, topo string, mislabeledFrac float64, id string) (*Figure, error) {
+func figure5(ctx context.Context, p Params, topo string, mislabeledFrac float64, id string) (*Figure, error) {
 	sz, err := p.Scale.sizes()
 	if err != nil {
 		return nil, err
@@ -336,7 +463,7 @@ func figure5(p Params, topo string, mislabeledFrac float64, id string) (*Figure,
 	}
 	title := fmt.Sprintf("Error CDF, %d%% of congested links mislabeled (%s), 10%% congested",
 		int(100*mislabeledFrac), topo)
-	return cdfFigure(s, p, p.snapshots(sz), id, title)
+	return cdfFigure(ctx, s, p, p.snapshots(sz), id, title)
 }
 
 func baseScenario(p Params, sz sizes, topo string) (*scenario.Scenario, error) {
@@ -363,33 +490,49 @@ func baseScenario(p Params, sz sizes, topo string) (*scenario.Scenario, error) {
 }
 
 // Figure4a: 25% unidentifiable, Brite.
-func Figure4a(p Params) (*Figure, error) { return figure4(p, "brite", 0.25, "4a") }
+func Figure4a(ctx context.Context, p Params) (*Figure, error) {
+	return figure4(ctx, p, "brite", 0.25, "4a")
+}
 
 // Figure4b: 50% unidentifiable, Brite.
-func Figure4b(p Params) (*Figure, error) { return figure4(p, "brite", 0.50, "4b") }
+func Figure4b(ctx context.Context, p Params) (*Figure, error) {
+	return figure4(ctx, p, "brite", 0.50, "4b")
+}
 
 // Figure4c: 25% unidentifiable, PlanetLab.
-func Figure4c(p Params) (*Figure, error) { return figure4(p, "planetlab", 0.25, "4c") }
+func Figure4c(ctx context.Context, p Params) (*Figure, error) {
+	return figure4(ctx, p, "planetlab", 0.25, "4c")
+}
 
 // Figure4d: 50% unidentifiable, PlanetLab.
-func Figure4d(p Params) (*Figure, error) { return figure4(p, "planetlab", 0.50, "4d") }
+func Figure4d(ctx context.Context, p Params) (*Figure, error) {
+	return figure4(ctx, p, "planetlab", 0.50, "4d")
+}
 
 // Figure5a: 25% mislabeled, Brite.
-func Figure5a(p Params) (*Figure, error) { return figure5(p, "brite", 0.25, "5a") }
+func Figure5a(ctx context.Context, p Params) (*Figure, error) {
+	return figure5(ctx, p, "brite", 0.25, "5a")
+}
 
 // Figure5b: 50% mislabeled, Brite.
-func Figure5b(p Params) (*Figure, error) { return figure5(p, "brite", 0.50, "5b") }
+func Figure5b(ctx context.Context, p Params) (*Figure, error) {
+	return figure5(ctx, p, "brite", 0.50, "5b")
+}
 
 // Figure5c: 25% mislabeled, PlanetLab.
-func Figure5c(p Params) (*Figure, error) { return figure5(p, "planetlab", 0.25, "5c") }
+func Figure5c(ctx context.Context, p Params) (*Figure, error) {
+	return figure5(ctx, p, "planetlab", 0.25, "5c")
+}
 
 // Figure5d: 50% mislabeled, PlanetLab.
-func Figure5d(p Params) (*Figure, error) { return figure5(p, "planetlab", 0.50, "5d") }
+func Figure5d(ctx context.Context, p Params) (*Figure, error) {
+	return figure5(ctx, p, "planetlab", 0.50, "5d")
+}
 
 // Runners maps figure IDs to their runners, in the paper's order.
 var Runners = []struct {
 	ID  string
-	Run func(Params) (*Figure, error)
+	Run func(context.Context, Params) (*Figure, error)
 }{
 	{"3a", Figure3a}, {"3b", Figure3b}, {"3c", Figure3c}, {"3d", Figure3d},
 	{"4a", Figure4a}, {"4b", Figure4b}, {"4c", Figure4c}, {"4d", Figure4d},
@@ -397,11 +540,47 @@ var Runners = []struct {
 }
 
 // Run dispatches a figure by ID ("3a" .. "5d").
-func Run(id string, p Params) (*Figure, error) {
+func Run(ctx context.Context, id string, p Params) (*Figure, error) {
 	for _, r := range Runners {
 		if r.ID == id {
-			return r.Run(p)
+			return r.Run(ctx, p)
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// RunAll runs the given figures concurrently on the worker pool and returns
+// them in input order. Figure-level and trial-level parallelism share one
+// worker budget; results are identical to running each figure alone. If
+// figProgress is non-nil it is called (serialized) as each figure
+// completes. p.Progress, if set, still reports per-trial completions with
+// per-figure (done, total) counts; RunAll serializes those calls across the
+// concurrently running figures.
+func RunAll(ctx context.Context, ids []string, p Params, figProgress func(id string, done, total int)) ([]*Figure, error) {
+	var mu sync.Mutex
+	completed := 0
+	if p.Progress != nil {
+		// Each figure gets its own tracker; without this shared wrapper two
+		// figures' trackers could invoke the user callback concurrently.
+		orig := p.Progress
+		var pmu sync.Mutex
+		p.Progress = func(done, total int) {
+			pmu.Lock()
+			orig(done, total)
+			pmu.Unlock()
+		}
+	}
+	return runner.Map(ctx, p.pool(), len(ids), func(ctx context.Context, i int) (*Figure, error) {
+		fig, err := Run(ctx, ids[i], p)
+		if err != nil {
+			return nil, fmt.Errorf("figure %s: %w", ids[i], err)
+		}
+		if figProgress != nil {
+			mu.Lock()
+			completed++
+			figProgress(ids[i], completed, len(ids))
+			mu.Unlock()
+		}
+		return fig, nil
+	})
 }

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -13,13 +16,13 @@ func fastParams() Params {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	if _, err := Run("9z", fastParams()); err == nil {
+	if _, err := Run(context.Background(), "9z", fastParams()); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
 
 func TestUnknownScale(t *testing.T) {
-	if _, err := Figure3c(Params{Scale: "galactic"}); err == nil {
+	if _, err := Figure3c(context.Background(), Params{Scale: "galactic"}); err == nil {
 		t.Fatal("unknown scale accepted")
 	}
 }
@@ -31,7 +34,7 @@ func TestEveryFigureRuns(t *testing.T) {
 	for _, r := range Runners {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
-			fig, err := r.Run(fastParams())
+			fig, err := r.Run(context.Background(), fastParams())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,7 +65,7 @@ func TestEveryFigureRuns(t *testing.T) {
 // correlation algorithm must dominate the independence baseline at the 0.1
 // error level.
 func TestCorrelationBeatsIndependenceOnFigure3c(t *testing.T) {
-	fig, err := Figure3c(Params{Scale: Small, Seed: 1})
+	fig, err := Figure3c(context.Background(), Params{Scale: Small, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,6 +80,103 @@ func TestCorrelationBeatsIndependenceOnFigure3c(t *testing.T) {
 	if at01["Correlation"] <= at01["Independence"] {
 		t.Fatalf("correlation (%.1f%%) does not beat independence (%.1f%%) at error 0.1",
 			at01["Correlation"], at01["Independence"])
+	}
+}
+
+// TestParallelFigureMatchesSerial is the engine's determinism regression:
+// a figure computed on one worker must be bit-identical to the same figure
+// computed on many workers, both for the multi-point sweep (3a: parallelism
+// across sweep points and trials) and for a CDF figure (3c: parallelism
+// across trials). Run under -race this also exercises the whole
+// experiments→runner→netsim stack for data races.
+func TestParallelFigureMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, id := range []string{"3a", "3c"} {
+		t.Run(id, func(t *testing.T) {
+			p := Params{Scale: Small, Seed: 7, Snapshots: 300, Trials: 3}
+			p.Workers = 1
+			serial, err := Run(context.Background(), id, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Workers = 8
+			parallel, err := Run(context.Background(), id, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("figure %s differs between serial and 8-worker runs", id)
+			}
+		})
+	}
+}
+
+// TestTrialsTickProgress checks the per-trial progress plumbing: a sweep
+// figure reports points×trials completions, ending at (total, total).
+func TestTrialsTickProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := fastParams()
+	p.Trials = 2
+	p.Snapshots = 150
+	var got []int
+	var want int
+	p.Progress = func(done, total int) {
+		got = append(got, done)
+		want = total
+	}
+	if _, err := Figure3a(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	if want != len(CongestedFractions)*2 {
+		t.Fatalf("progress total = %d, want %d", want, len(CongestedFractions)*2)
+	}
+	if len(got) != want {
+		t.Fatalf("%d progress calls, want %d", len(got), want)
+	}
+	if got[len(got)-1] != want {
+		t.Fatalf("last progress done = %d, want %d", got[len(got)-1], want)
+	}
+}
+
+// TestFigureCancellation: a cancelled context aborts a figure run promptly
+// with context.Canceled.
+func TestFigureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Figure3a(ctx, fastParams())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAllPreservesOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := fastParams()
+	p.Snapshots = 150
+	ids := []string{"3c", "3d"}
+	var completions []string
+	figs, err := RunAll(context.Background(), ids, p, func(id string, done, total int) {
+		completions = append(completions, id)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != len(ids) {
+		t.Fatalf("%d figures, want %d", len(figs), len(ids))
+	}
+	for i, fig := range figs {
+		if fig.ID != ids[i] {
+			t.Fatalf("figs[%d].ID = %q, want %q (order not preserved)", i, fig.ID, ids[i])
+		}
+	}
+	if len(completions) != len(ids) {
+		t.Fatalf("%d figure-progress calls, want %d", len(completions), len(ids))
 	}
 }
 

@@ -1,0 +1,18 @@
+// Package linalg provides the dense linear algebra needed by the tomography
+// algorithms: LU solves for square systems, Householder-QR least squares for
+// overdetermined systems, minimum-norm solutions for underdetermined ones,
+// and an incremental orthogonal row basis used to select linearly
+// independent measurement equations.
+//
+// Paper mapping (Ghita, Argyraki, Thiran — IMC 2010): Section 4 reduces
+// inference to the log-linear system built from the single-path equations
+// (Eq. 9) and pair equations (Eq. 10); this package supplies the solvers
+// that internal/core applies to that system, and RowBasis implements the
+// "just enough independent equations" selection the algorithm performs
+// while scanning candidate paths and pairs. The GF(2) basis supports the
+// Assumption-4 identifiability check of Section 3 (internal/topology).
+//
+// Everything is stdlib-only and sized for the problem at hand (up to a few
+// thousand unknowns), favouring clarity and numerical robustness over BLAS-
+// level performance.
+package linalg

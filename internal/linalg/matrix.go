@@ -1,12 +1,3 @@
-// Package linalg provides the dense linear algebra needed by the tomography
-// algorithms: LU solves for square systems, Householder-QR least squares for
-// overdetermined systems, minimum-norm solutions for underdetermined ones,
-// and an incremental orthogonal row basis used to select linearly independent
-// measurement equations (Section 4 of the paper).
-//
-// Everything is stdlib-only and sized for the problem at hand (up to a few
-// thousand unknowns), favouring clarity and numerical robustness over BLAS-
-// level performance.
 package linalg
 
 import (

@@ -1,26 +1,3 @@
-// Package locate implements per-snapshot congested-link localization — the
-// follow-up problem the paper outlines in Section 3.3 ("Can our result help
-// determine whether a link was congested or not?"): given the congestion
-// probabilities learned by tomography and the set of paths observed
-// congested during one snapshot, determine which particular links were
-// congested.
-//
-// This is the classic ill-posed Boolean inverse problem of [13, 10, 12]:
-// many link sets explain the same path observations. Following the paper's
-// argument, the right disambiguation is to pick the most likely feasible
-// explanation — which requires the very probabilities Theorem 1 makes
-// identifiable under correlation:
-//
-//   - Independent scores each candidate link by its learned marginal
-//     probability and solves the resulting weighted set-cover problem
-//     (greedy with local pruning) — the [12]-style approach.
-//   - Correlated additionally consumes learned per-correlation-set joint
-//     state probabilities (e.g. from the Theorem algorithm), so that a
-//     correlation set whose links usually fail together is charged once for
-//     the joint event rather than once per link.
-//
-// Both return a feasible explanation: every congested path is covered and no
-// good path touches a reported link.
 package locate
 
 import (

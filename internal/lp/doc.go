@@ -1,0 +1,19 @@
+// Package lp implements a dense two-phase primal simplex solver and the two
+// L1 objectives the tomography solvers need:
+//
+//   - MinimizeL1Residual: min ‖A·x − y‖₁ (robust regression, used when the
+//     measurement system is overdetermined but noisy), and
+//   - BasisPursuit: min ‖x‖₁ subject to A·x = y and a sign constraint
+//     (used when the system is underdetermined).
+//
+// Paper mapping: Section 4's practical algorithm solves the log-linear
+// system of Eqs. 9–10 for the link variables; when Assumption 4 holds only
+// partially and the collected equations leave the system underdetermined,
+// the paper completes it with the solution that "minimizes the L1 norm
+// error" — BasisPursuit is exactly that completion, and
+// MinimizeL1Residual is its overdetermined counterpart used by the
+// UseAllEquations ablation (bench_test.go).
+//
+// An IRLS (iteratively reweighted least squares) approximation is provided
+// as a fast fallback for systems too large for the dense simplex.
+package lp

@@ -1,14 +1,3 @@
-// Package lp implements a dense two-phase primal simplex solver and the two
-// L1 objectives the tomography solvers need:
-//
-//   - MinimizeL1Residual: min ‖A·x − y‖₁ (robust regression, used when the
-//     measurement system is overdetermined but noisy), and
-//   - BasisPursuit: min ‖x‖₁ subject to A·x = y and a sign constraint
-//     (used when the system is underdetermined, Section 4 of the paper:
-//     "we pick the one that minimizes the L1 norm error").
-//
-// An IRLS (iteratively reweighted least squares) approximation is provided
-// as a fast fallback for systems too large for the dense simplex.
 package lp
 
 import (

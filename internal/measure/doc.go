@@ -1,0 +1,19 @@
+// Package measure turns simulation records into the probability estimates
+// the tomography algorithms consume, and provides exact (closed-form)
+// counterparts computed directly from a congestion model for validation.
+//
+// Two query interfaces cover the two algorithm families:
+//
+//   - Source supplies P(a set of paths is all-good) — the only measurement
+//     the practical Section-4 algorithm needs: the left-hand sides of the
+//     single-path equations (Eq. 9) and pair equations (Eq. 10) are
+//     logarithms of exactly these probabilities.
+//   - PatternSource supplies P(the congested-path set is exactly Q) — the
+//     finer-grained measurement the Appendix-A theorem algorithm needs to
+//     solve Eq. 18.
+//
+// Empirical estimates both from an observed netsim.Record (Section 5's
+// simulated measurements); Exact computes them in closed form from a
+// congestion model, which is how the tests separate estimation error from
+// algorithmic error.
+package measure

@@ -1,13 +1,3 @@
-// Package measure turns simulation records into the probability estimates
-// the tomography algorithms consume, and provides exact (closed-form)
-// counterparts computed directly from a congestion model for validation.
-//
-// Two query interfaces cover the two algorithm families:
-//
-//   - Source supplies P(a set of paths is all-good) — the only measurement
-//     the practical Section-4 algorithm needs (single paths and pairs).
-//   - PatternSource supplies P(the congested-path set is exactly Q) — the
-//     measurement the Appendix-A theorem algorithm needs.
 package measure
 
 import (

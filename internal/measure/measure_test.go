@@ -118,6 +118,9 @@ func TestExactPatternDistributionSumsToOne(t *testing.T) {
 }
 
 func TestEmpiricalConvergesToExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow convergence test; run without -short")
+	}
 	top := topology.Figure1A()
 	model := fig1aTable(t)
 	rec, err := netsim.Run(netsim.Config{

@@ -25,6 +25,9 @@ func simulate(t *testing.T, top *topology.Topology, model congestion.Model, n in
 }
 
 func TestEstimateRecoversIndependentTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow convergence test; run without -short")
+	}
 	top := topology.Figure1A()
 	model, err := congestion.NewIndependent([]float64{0.25, 0.15, 0.2, 0.1})
 	if err != nil {
@@ -66,6 +69,9 @@ func TestEstimateValidation(t *testing.T) {
 // least one of e1/e2/e3/e4 noticeably, where the correlation algorithm is
 // exact.
 func TestEstimateBiasedUnderCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow convergence test; run without -short")
+	}
 	top := topology.Figure1A()
 	model, err := congestion.NewTable(4, []congestion.GroupTable{
 		{

@@ -10,20 +10,22 @@
 //     the threshold tp — the full data path of the paper's simulator,
 //     including measurement noise.
 //
-// Snapshots are independent, so the engine shards them across goroutines;
-// per-snapshot RNGs are derived deterministically from the seed, making runs
-// reproducible regardless of parallelism.
+// Snapshots are independent, so the engine shards them across the
+// internal/runner worker pool; per-snapshot RNGs are derived
+// deterministically from the seed (runner.DeriveSeed), making runs
+// reproducible regardless of parallelism, and RunContext honours
+// cancellation between snapshots.
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/congestion"
 	"repro/internal/loss"
+	"repro/internal/runner"
 	"repro/internal/topology"
 )
 
@@ -80,8 +82,15 @@ type Record struct {
 // Snapshots returns the number of recorded snapshots.
 func (r *Record) Snapshots() int { return len(r.CongestedPaths) }
 
-// Run executes the simulation and returns the observation record.
+// Run executes the simulation and returns the observation record. It is
+// RunContext with a background context.
 func Run(cfg Config) (*Record, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the simulation on the runner worker pool, honouring
+// ctx between snapshots, and returns the observation record.
+func RunContext(ctx context.Context, cfg Config) (*Record, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("netsim: nil topology")
 	}
@@ -109,14 +118,6 @@ func Run(cfg Config) (*Record, error) {
 	if packets < 0 {
 		return nil, fmt.Errorf("netsim: packets per path = %d", packets)
 	}
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Snapshots {
-		workers = cfg.Snapshots
-	}
-
 	rec := &Record{
 		NumPaths:       cfg.Topology.NumPaths(),
 		CongestedPaths: make([]*bitset.Set, cfg.Snapshots),
@@ -125,38 +126,27 @@ func Run(cfg Config) (*Record, error) {
 		rec.LinkStates = make([]*bitset.Set, cfg.Snapshots)
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			linkState := bitset.New(cfg.Topology.NumLinks())
-			for snap := worker; snap < cfg.Snapshots; snap += workers {
-				// Derive a deterministic per-snapshot RNG so results do not
-				// depend on the worker count.
-				rng := rand.New(rand.NewSource(snapshotSeed(cfg.Seed, snap)))
-				cfg.Model.Sample(rng, linkState)
-				if cfg.RecordLinkStates {
-					rec.LinkStates[snap] = linkState.Clone()
-				}
-				rec.CongestedPaths[snap] = observePaths(cfg.Topology, linkState, rng, cfg.Mode, tl, packets)
+	// Each snapshot is an independent task on the shared pool; the scratch
+	// link-state bitset is allocated once per worker and reused across the
+	// snapshots that worker executes. Every task writes only its own rec
+	// slot, and the per-snapshot RNG is derived from (seed, snapshot) alone,
+	// so the record is bit-identical for any worker count.
+	pool := &runner.Runner{Workers: cfg.Parallelism}
+	_, err := runner.MapScratch(ctx, pool, cfg.Snapshots,
+		func() *bitset.Set { return bitset.New(cfg.Topology.NumLinks()) },
+		func(_ context.Context, snap int, linkState *bitset.Set) (struct{}, error) {
+			rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, snap)))
+			cfg.Model.Sample(rng, linkState)
+			if cfg.RecordLinkStates {
+				rec.LinkStates[snap] = linkState.Clone()
 			}
-		}(w)
+			rec.CongestedPaths[snap] = observePaths(cfg.Topology, linkState, rng, cfg.Mode, tl, packets)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return rec, nil
-}
-
-// snapshotSeed mixes the experiment seed with the snapshot index.
-func snapshotSeed(seed int64, snap int) int64 {
-	x := uint64(seed) ^ (uint64(snap)+1)*0x9e3779b97f4a7c15
-	// splitmix64 finalizer
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int64(x)
 }
 
 // observePaths derives the congested-path set for one snapshot.

@@ -1,0 +1,30 @@
+// Package scenario builds the congestion scenarios of the paper's evaluation
+// (Section 5): which links are congested, how strongly they are correlated,
+// which links are unidentifiable (Assumption-4 violations, Figure 4), and
+// which are mislabeled (hidden attack correlation, Figure 5). Each builder
+// returns a Scenario bundling the measurement topology, the ground-truth
+// congestion model, the exact per-link truth P(Xek = 1), and the
+// bookkeeping the evaluation metrics need.
+//
+// Paper mapping:
+//
+//   - Brite reproduces the paper's Brite setup: congestion probabilities
+//     live on router-level links, AS-level marginals and joints are derived
+//     from them, and correlation arises from AS links sharing a router-level
+//     link. CorrelationLevel matches the Figure-3 captions: High means more
+//     than 2 congested links per correlation set, Loose at most 2.
+//   - PlanetLab reproduces the PlanetLab-like mesh with shared-cause
+//     congestion per contiguous link cluster (the shared LAN / domain
+//     resource).
+//   - WithUnidentifiable (Figure 4) and WithMislabeled (Figure 5) perturb a
+//     base scenario to measure robustness to Assumption-4 violations and to
+//     correlation-set labeling errors.
+//   - FromTopology is the generic entry point (used by cmd/tomo and the
+//     facade's NewScenario): a shared-cause process over an arbitrary
+//     topology's own correlation sets.
+//
+// Scenario construction is a pure function of its Config (including Seed):
+// builders must not iterate Go maps or consult any other unordered source,
+// because the parallel experiment engine (internal/runner) relies on
+// scenarios being bit-identical across runs and worker counts.
+package scenario

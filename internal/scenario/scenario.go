@@ -1,9 +1,3 @@
-// Package scenario builds the congestion scenarios of the paper's evaluation
-// (Section 5): which links are congested, how strongly they are correlated,
-// which links are unidentifiable (Assumption-4 violations), and which are
-// mislabeled (hidden attack correlation). Each builder returns a Scenario
-// bundling the measurement topology, the ground-truth congestion model, the
-// exact per-link truth, and the bookkeeping the evaluation metrics need.
 package scenario
 
 import (

@@ -303,7 +303,7 @@ func TestDecodeRejectsBadInput(t *testing.T) {
 }
 
 // Property: ψ is monotone and distributes over union (invariants from
-// DESIGN.md), checked on random line/star topologies.
+// docs/ARCHITECTURE.md), checked on random line/star topologies.
 func TestCoverageAlgebra(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {

@@ -16,14 +16,26 @@
 //     Nguyen–Thiran baseline), or Theorem (the exact Appendix-A algorithm)
 //     to recover P(link congested) for every link.
 //
+// For evaluating many scenarios at once — parameter sweeps, what-if
+// studies, large Monte-Carlo campaigns — EvaluateBatch shards simulation
+// and inference across a worker pool (internal/runner) with deterministic
+// per-scenario seeding: results are bit-identical regardless of the worker
+// count.
+//
 // See examples/quickstart for a complete end-to-end program.
 package tomography
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/congestion"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/measure"
 	"repro/internal/netsim"
+	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 )
 
@@ -69,6 +81,25 @@ type Model = congestion.Model
 
 // SimConfig parameterizes Simulate.
 type SimConfig = netsim.Config
+
+// SimMode selects the simulator's measurement fidelity.
+type SimMode = netsim.Mode
+
+// Re-exported simulator modes.
+const (
+	// StateLevel derives path states from link states (Assumption 2).
+	StateLevel = netsim.StateLevel
+	// PacketLevel simulates loss rates and probe packets per snapshot.
+	PacketLevel = netsim.PacketLevel
+)
+
+// Scenario is a fully specified experiment input: a topology, a ground-truth
+// congestion model, and the per-link truth the evaluation compares against.
+// See internal/scenario for full documentation.
+type Scenario = scenario.Scenario
+
+// ScenarioConfig parameterizes NewScenario.
+type ScenarioConfig = scenario.FromTopologyConfig
 
 // NewBuilder returns an empty topology builder.
 func NewBuilder() *Builder { return topology.NewBuilder() }
@@ -121,4 +152,107 @@ func CheckIdentifiability(top *Topology, subsetCap int) topology.CheckResult {
 // structural Assumption-4 violations at reduced granularity.
 func MergeTransform(top *Topology) (*Topology, topology.MergeMap, error) {
 	return topology.MergeTransform(top)
+}
+
+// NewScenario builds a congestion scenario for an arbitrary measurement
+// topology: a shared-cause process over the topology's correlation sets,
+// with congested links placed according to the requested correlation level.
+// Scenarios built here feed EvaluateBatch (or Simulate directly).
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	return scenario.FromTopology(cfg)
+}
+
+// BatchOptions tunes EvaluateBatch.
+type BatchOptions struct {
+	// Snapshots per scenario simulation (must be > 0).
+	Snapshots int
+	// Seed is the root seed; each scenario's simulation seed is derived from
+	// (Seed, index), so batch results are reproducible and independent of
+	// Workers.
+	Seed int64
+	// Workers caps the worker pool (0 ⇒ GOMAXPROCS, 1 ⇒ serial).
+	Workers int
+	// Mode selects state-level (default) or packet-level measurement.
+	Mode SimMode
+	// PacketsPerPath for packet-level mode (0 ⇒ default).
+	PacketsPerPath int
+	// Algorithm tunes the two practical algorithms.
+	Algorithm Options
+	// Progress, when non-nil, is called after each completed scenario with
+	// (done, total). Calls are serialized.
+	Progress func(done, total int)
+}
+
+// BatchResult is the evaluation of one scenario in a batch.
+type BatchResult struct {
+	// Scenario is the evaluated input.
+	Scenario *Scenario
+	// Correlation and Independence are the two algorithms' outputs; nil when
+	// Err is set.
+	Correlation  *Result
+	Independence *Result
+	// CorrErrors and IndepErrors are the sorted absolute errors versus the
+	// scenario's ground truth over its potentially congested links — ready
+	// for eval-style CDF/mean/percentile summaries.
+	CorrErrors  []float64
+	IndepErrors []float64
+	// Err records a per-scenario failure; the rest of the batch still runs.
+	Err error
+}
+
+// EvaluateBatch evaluates many scenarios concurrently on a bounded worker
+// pool: each scenario is simulated for opts.Snapshots snapshots with a seed
+// derived from (opts.Seed, its index), then both the correlation algorithm
+// and the independence baseline run on the simulated record. Results arrive
+// in input order and are bit-identical for every opts.Workers setting.
+//
+// A scenario that fails records its error in its own BatchResult and does
+// not abort the batch; EvaluateBatch itself returns an error only for
+// invalid options or a cancelled context.
+func EvaluateBatch(ctx context.Context, scenarios []*Scenario, opts BatchOptions) ([]BatchResult, error) {
+	if opts.Snapshots <= 0 {
+		return nil, fmt.Errorf("tomography: EvaluateBatch snapshots = %d, want > 0", opts.Snapshots)
+	}
+	pool := &runner.Runner{Workers: opts.Workers, Progress: opts.Progress}
+	return runner.Map(ctx, pool, len(scenarios), func(ctx context.Context, i int) (BatchResult, error) {
+		res := BatchResult{Scenario: scenarios[i]}
+		res.fill(ctx, opts, runner.DeriveSeed(opts.Seed, i))
+		return res, nil
+	})
+}
+
+// fill runs simulation + both algorithms for one scenario, recording any
+// failure in res.Err.
+func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, seed int64) {
+	s := res.Scenario
+	rec, err := netsim.RunContext(ctx, netsim.Config{
+		Topology:       s.Topology,
+		Model:          s.Model,
+		Snapshots:      opts.Snapshots,
+		Seed:           seed,
+		Mode:           opts.Mode,
+		PacketsPerPath: opts.PacketsPerPath,
+		// A fanned-out batch forces this nested pool serial; a one-scenario
+		// batch hands it the full budget.
+		Parallelism: opts.Workers,
+	})
+	if err != nil {
+		res.Err = err
+		return
+	}
+	src := measure.NewEmpirical(rec)
+	corr, err := core.Correlation(s.Topology, src, opts.Algorithm)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	indep, err := core.Independence(s.Topology, src, opts.Algorithm)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.Correlation = corr
+	res.Independence = indep
+	res.CorrErrors = eval.AbsErrors(s.Truth, corr.CongestionProb, s.PotentiallyCongested)
+	res.IndepErrors = eval.AbsErrors(s.Truth, indep.CongestionProb, s.PotentiallyCongested)
 }

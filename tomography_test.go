@@ -1,12 +1,15 @@
 package tomography_test
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	tomography "repro"
 	"repro/internal/bitset"
 	"repro/internal/congestion"
+	"repro/internal/scenario"
 )
 
 // TestPublicAPIEndToEnd exercises the whole facade the way a downstream user
@@ -84,6 +87,96 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if math.Abs(thm.CongestionProb[k]-w) > 0.02 {
 			t.Fatalf("theorem link %d: %v vs truth %v", k, thm.CongestionProb[k], w)
 		}
+	}
+}
+
+// batchScenarios builds a small fleet of scenarios over the Figure-1(a)
+// topology, varying seed and congested fraction.
+func batchScenarios(t *testing.T) []*tomography.Scenario {
+	t.Helper()
+	var out []*tomography.Scenario
+	for i := 0; i < 4; i++ {
+		s, err := tomography.NewScenario(tomography.ScenarioConfig{
+			Topology:      tomography.Figure1A(),
+			FracCongested: 0.25 + 0.25*float64(i%2),
+			Level:         scenario.LooseCorrelation,
+			Seed:          int64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestEvaluateBatch exercises the facade's parallel scenario-batch API:
+// results must arrive in input order, carry both algorithms' outputs and
+// error samples, and be bit-identical between a serial and a parallel run
+// of the same batch (the runner's determinism guarantee).
+func TestEvaluateBatch(t *testing.T) {
+	scenarios := batchScenarios(t)
+	opts := tomography.BatchOptions{Snapshots: 3000, Seed: 9, Workers: 1}
+
+	var progress []int
+	opts.Progress = func(done, total int) {
+		progress = append(progress, done)
+		if total != len(scenarios) {
+			t.Errorf("progress total = %d, want %d", total, len(scenarios))
+		}
+	}
+	serial, err := tomography.EvaluateBatch(context.Background(), scenarios, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(scenarios) {
+		t.Fatalf("%d results, want %d", len(serial), len(scenarios))
+	}
+	if len(progress) != len(scenarios) {
+		t.Fatalf("%d progress calls, want %d", len(progress), len(scenarios))
+	}
+	for i, res := range serial {
+		if res.Err != nil {
+			t.Fatalf("scenario %d failed: %v", i, res.Err)
+		}
+		if res.Scenario != scenarios[i] {
+			t.Fatalf("result %d out of order", i)
+		}
+		if res.Correlation == nil || res.Independence == nil {
+			t.Fatalf("scenario %d missing algorithm results", i)
+		}
+		want := res.Scenario.PotentiallyCongested.Len()
+		if len(res.CorrErrors) != want || len(res.IndepErrors) != want {
+			t.Fatalf("scenario %d: %d/%d error samples, want %d",
+				i, len(res.CorrErrors), len(res.IndepErrors), want)
+		}
+		for j := 1; j < len(res.CorrErrors); j++ {
+			if res.CorrErrors[j] < res.CorrErrors[j-1] {
+				t.Fatalf("scenario %d: CorrErrors not sorted", i)
+			}
+		}
+	}
+
+	opts.Progress = nil
+	opts.Workers = 4
+	parallel, err := tomography.EvaluateBatch(context.Background(), scenarios, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel batch differs from serial batch")
+	}
+}
+
+func TestEvaluateBatchValidation(t *testing.T) {
+	if _, err := tomography.EvaluateBatch(context.Background(), nil, tomography.BatchOptions{}); err == nil {
+		t.Fatal("zero snapshots accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := tomography.EvaluateBatch(ctx, batchScenarios(t), tomography.BatchOptions{Snapshots: 100})
+	if err == nil {
+		t.Fatal("cancelled context not reported")
 	}
 }
 
