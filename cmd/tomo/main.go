@@ -64,7 +64,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	src := measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		fatal(err)
+	}
 
 	type run struct {
 		name  string

@@ -122,7 +122,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	src := tomography.NewEmpirical(rec)
+	src, err := tomography.NewEmpirical(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	corr, err := tomography.Correlation(top, src, tomography.Options{})
 	if err != nil {

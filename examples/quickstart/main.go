@@ -64,7 +64,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	src := tomography.NewEmpirical(rec)
+	src, err := tomography.NewEmpirical(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The practical algorithm (Section 4): forms the log-linear system
 	// y1 = x1+x3, y2 = x2+x3, y3 = x2+x4, y23 = x2+x3+x4 and solves it.

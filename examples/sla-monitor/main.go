@@ -128,7 +128,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := tomography.Correlation(top, tomography.NewEmpirical(rec), tomography.Options{})
+	src, err := tomography.NewEmpirical(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tomography.Correlation(top, src, tomography.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -73,7 +73,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	src := measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := core.Correlation(top, src, core.Options{})
 	if err != nil {
 		log.Fatal(err)
@@ -90,14 +93,14 @@ func main() {
 
 	// 3. Per-snapshot localization with the learned probabilities.
 	var inferred []*bitset.Set
-	for _, obs := range rec.CongestedPaths {
-		lr, err := locate.Independent(top, res.CongestionProb, obs)
+	for t := 0; t < rec.Snapshots(); t++ {
+		lr, err := locate.Independent(top, res.CongestionProb, rec.PathSnapshot(t))
 		if err != nil {
 			log.Fatal(err)
 		}
 		inferred = append(inferred, lr.Congested)
 	}
-	m, err := locate.Evaluate(rec.LinkStates, inferred)
+	m, err := locate.Evaluate(rec.Links.Rows(), inferred)
 	if err != nil {
 		log.Fatal(err)
 	}

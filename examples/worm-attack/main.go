@@ -63,7 +63,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	src := measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	corr, err := core.Correlation(top, src, core.Options{})
 	if err != nil {

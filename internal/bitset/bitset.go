@@ -292,6 +292,58 @@ func (s *Set) String() string {
 	return b.String()
 }
 
+// Words exposes the set's backing words (least-significant bit of word 0 is
+// element 0). The returned slice aliases the set's storage and must be
+// treated as read-only; it is invalidated by any mutation that grows the
+// set. It exists so columnar consumers (internal/snapstore) can run the
+// word-level kernels below directly against set storage.
+func (s *Set) Words() []uint64 { return s.words }
+
+// --- Word-level kernels. ---
+//
+// The columnar snapshot store keeps one packed []uint64 bit column per path;
+// its hot queries are OR-reductions and popcounts over such columns. The
+// kernels live here so the store and the set share one implementation of the
+// word arithmetic.
+
+// OrWords sets dst |= src element-wise over the common prefix.
+func OrWords(dst, src []uint64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// AndNotWords sets dst &^= src element-wise over the common prefix.
+func AndNotWords(dst, src []uint64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] &^= src[i]
+	}
+}
+
+// PopCountWords returns the total number of set bits across the words.
+func PopCountWords(ws []uint64) int {
+	c := 0
+	for _, w := range ws {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ZeroWords clears every word.
+func ZeroWords(ws []uint64) {
+	for i := range ws {
+		ws[i] = 0
+	}
+}
+
 // EnumerateSubsets calls fn for every non-empty subset of the given elements,
 // in an order that guarantees subsets with fewer elements are visited before
 // their supersets is NOT guaranteed; callers needing an ordering should sort.

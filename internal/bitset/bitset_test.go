@@ -291,3 +291,48 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+func TestWordKernels(t *testing.T) {
+	a := []uint64{0b1010, 0xff00, 1}
+	b := []uint64{0b0110, 0x00ff}
+
+	or := append([]uint64(nil), a...)
+	OrWords(or, b)
+	if or[0] != 0b1110 || or[1] != 0xffff || or[2] != 1 {
+		t.Fatalf("OrWords: %x", or)
+	}
+
+	an := append([]uint64(nil), a...)
+	AndNotWords(an, b)
+	if an[0] != 0b1000 || an[1] != 0xff00 || an[2] != 1 {
+		t.Fatalf("AndNotWords: %x", an)
+	}
+
+	if got := PopCountWords(a); got != 2+8+1 {
+		t.Fatalf("PopCountWords = %d, want 11", got)
+	}
+
+	z := append([]uint64(nil), a...)
+	ZeroWords(z)
+	if PopCountWords(z) != 0 {
+		t.Fatalf("ZeroWords left bits: %x", z)
+	}
+
+	// Kernels over mismatched lengths only touch the common prefix.
+	short := []uint64{^uint64(0)}
+	OrWords(short, a)
+	if len(short) != 1 {
+		t.Fatal("OrWords grew dst")
+	}
+}
+
+func TestWordsView(t *testing.T) {
+	s := FromIndices(0, 64, 65)
+	ws := s.Words()
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 0b11 {
+		t.Fatalf("Words() = %x", ws)
+	}
+	if got := PopCountWords(ws); got != s.Len() {
+		t.Fatalf("popcount %d != Len %d", got, s.Len())
+	}
+}

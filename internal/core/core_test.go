@@ -12,6 +12,16 @@ import (
 	"repro/internal/topology"
 )
 
+// mustEmpirical wraps a record, failing the test on an empty record.
+func mustEmpirical(t *testing.T, rec *netsim.Record) *measure.Empirical {
+	t.Helper()
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
 // fig1aTable is the Figure-1(a) ground truth used across the core tests:
 // correlation set {e1,e2} with a genuinely correlated joint (P(both) = 0.18
 // >> 0.10·0.12), plus independent e3 and e4.
@@ -314,7 +324,7 @@ func TestTheoremOnEmpiricalMeasurements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Theorem(top, measure.NewEmpirical(rec), TheoremOptions{})
+	res, err := Theorem(top, mustEmpirical(t, rec), TheoremOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +348,7 @@ func TestCorrelationOnEmpiricalMeasurements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Correlation(top, measure.NewEmpirical(rec), Options{})
+	res, err := Correlation(top, mustEmpirical(t, rec), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,7 +508,7 @@ func TestUseAllEquationsLeastSquares(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Correlation(top, measure.NewEmpirical(rec), Options{UseAllEquations: true})
+	res, err := Correlation(top, mustEmpirical(t, rec), Options{UseAllEquations: true})
 	if err != nil {
 		t.Fatal(err)
 	}

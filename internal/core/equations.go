@@ -178,16 +178,32 @@ func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOption
 		basis = newFloatTracker(nl)
 	}
 
+	// admissible reports whether the link set touches every correlation
+	// group at most once. The group-seen scratch is one slice reused across
+	// all candidates (generation-stamped, so no clearing between calls)
+	// instead of a per-call map — this check runs for every single-path and
+	// pair candidate, so its allocations would dominate BuildEquations.
+	maxGroup := 0
+	for _, g := range opts.SetOf {
+		if g < 0 {
+			return nil, fmt.Errorf("core: negative correlation group %d in SetOf", g)
+		}
+		if g >= maxGroup {
+			maxGroup = g + 1
+		}
+	}
+	groupMark := make([]int, maxGroup)
+	gen := 0
 	admissible := func(links *bitset.Set) bool {
-		seen := make(map[int]bool)
+		gen++
 		ok := true
 		links.ForEach(func(k int) bool {
 			g := opts.SetOf[k]
-			if seen[g] {
+			if groupMark[g] == gen {
 				ok = false
 				return false
 			}
-			seen[g] = true
+			groupMark[g] = gen
 			return true
 		})
 		return ok
@@ -201,15 +217,31 @@ func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOption
 		return basis.full()
 	}
 
-	addEq := func(links *bitset.Set, paths ...topology.PathID) bool {
-		if !opts.CollectAll && !basis.wouldIncrease(links) {
-			return false
+	// Single-path and pair probabilities go through the source's fast path
+	// when it has one (Empirical answers them from cached bit-column
+	// popcounts); only larger sets materialize a path bitset.
+	fast, hasFast := src.(measure.FastPairSource)
+	probPaths := func(paths []topology.PathID) float64 {
+		if hasFast {
+			switch len(paths) {
+			case 1:
+				return fast.ProbPathGood(paths[0])
+			case 2:
+				return fast.ProbPairGood(paths[0], paths[1])
+			}
 		}
 		pathSet := bitset.New(top.NumPaths())
 		for _, p := range paths {
 			pathSet.Add(int(p))
 		}
-		prob := src.ProbPathsGood(pathSet)
+		return src.ProbPathsGood(pathSet)
+	}
+
+	addEq := func(links *bitset.Set, paths ...topology.PathID) bool {
+		if !opts.CollectAll && !basis.wouldIncrease(links) {
+			return false
+		}
+		prob := probPaths(paths)
 		if prob <= opts.MinProb {
 			sys.SkippedZeroProb++
 			return false
@@ -251,7 +283,11 @@ func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOption
 		for _, p := range admissiblePaths {
 			isAdmissiblePath[p] = true
 		}
-		seen := make(map[int64]bool)
+		// Pair dedup: one lazily allocated partner bitset per admissible
+		// path, replacing a per-run map whose boxed int64 keys were a top
+		// allocation site. Memory is bounded by admissible paths that
+		// actually see candidates × one word per 64 paths.
+		paired := make([]*bitset.Set, top.NumPaths())
 		candidates := 0
 	pairLoop:
 		for k := 0; k < nl; k++ {
@@ -266,11 +302,13 @@ func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOption
 					if !isAdmissiblePath[j] {
 						continue
 					}
-					key := int64(i)*int64(top.NumPaths()) + int64(j)
-					if seen[key] {
+					if paired[i] == nil {
+						paired[i] = bitset.New(top.NumPaths())
+					}
+					if paired[i].Contains(int(j)) {
 						continue
 					}
-					seen[key] = true
+					paired[i].Add(int(j))
 					candidates++
 					if candidates > opts.MaxPairCandidates {
 						break pairLoop

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/congestion"
-	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 )
@@ -127,7 +126,7 @@ func TestCorrelationOnPacketLevelMeasurements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Correlation(top, measure.NewEmpirical(rec), Options{})
+	res, err := Correlation(top, mustEmpirical(t, rec), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -210,7 +210,10 @@ func runTrial(ctx context.Context, s *scenario.Scenario, p Params, snapshots, tr
 	if err != nil {
 		return trialResult{}, fmt.Errorf("simulating %s: %w", s.Name, err)
 	}
-	src := measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		return trialResult{}, fmt.Errorf("wrapping record for %s: %w", s.Name, err)
+	}
 
 	corr, err := core.Correlation(s.Topology, src, core.Options{})
 	if err != nil {

@@ -138,7 +138,7 @@ func TestFeasibilityInvariant(t *testing.T) {
 			{Links: bitset.FromIndices(0, 1), P: 0.18},
 		},
 	}}
-	for snap, obs := range rec.CongestedPaths {
+	for snap, obs := range rec.Paths.Rows() {
 		for name, run := range map[string]func() (*Result, error){
 			"independent": func() (*Result, error) { return Independent(top, probs, obs) },
 			"correlated":  func() (*Result, error) { return Correlated(top, probs, states, obs) },
@@ -170,7 +170,10 @@ func TestCorrelatedLocalizationBeatsIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Learn with the theorem algorithm (joints) and the independence
 	// baseline (marginals only).
@@ -200,14 +203,14 @@ func TestCorrelatedLocalizationBeatsIndependent(t *testing.T) {
 
 	eval := func(run func(obs *bitset.Set) (*Result, error)) Metrics {
 		var inferred []*bitset.Set
-		for _, obs := range rec.CongestedPaths {
+		for _, obs := range rec.Paths.Rows() {
 			res, err := run(obs)
 			if err != nil {
 				t.Fatal(err)
 			}
 			inferred = append(inferred, res.Congested)
 		}
-		m, err := Evaluate(rec.LinkStates, inferred)
+		m, err := Evaluate(rec.Links.Rows(), inferred)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
-// Package measure turns simulation records into the probability estimates
-// the tomography algorithms consume, and provides exact (closed-form)
-// counterparts computed directly from a congestion model for validation.
+// Package measure turns snapshot observations into the probability
+// estimates the tomography algorithms consume, and provides exact
+// (closed-form) counterparts computed directly from a congestion model for
+// validation.
 //
 // Two query interfaces cover the two algorithm families:
 //
@@ -12,8 +13,21 @@
 //     finer-grained measurement the Appendix-A theorem algorithm needs to
 //     solve Eq. 18.
 //
-// Empirical estimates both from an observed netsim.Record (Section 5's
-// simulated measurements); Exact computes them in closed form from a
-// congestion model, which is how the tests separate estimation error from
-// algorithmic error.
+// FastPairSource is an optional third interface: an O(1)-amortized route
+// for the single-path and path-pair queries that dominate equation
+// building, bypassing path-set materialization entirely.
+//
+// Empirical estimates all three from columnar observations (a path-major
+// snapstore.Store, as produced by netsim or fed incrementally): each query
+// is an OR of bit columns plus a popcount rather than a scan over row-major
+// snapshots, and repeated queries hit per-path, per-pair, and per-set memo
+// caches. Construct it with NewEmpirical over a finished netsim.Record, or
+// with NewStreaming and Append for online estimation — the pattern
+// histogram is maintained incrementally, so estimates can be queried
+// mid-stream and are always identical to a one-shot batch over the same
+// snapshots.
+//
+// Exact computes the same quantities in closed form from a congestion
+// model, which is how the tests separate estimation error from algorithmic
+// error.
 package measure

@@ -2,10 +2,13 @@ package measure
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/congestion"
 	"repro/internal/netsim"
+	"repro/internal/snapstore"
 	"repro/internal/topology"
 )
 
@@ -25,69 +28,247 @@ type PatternSource interface {
 	ProbExactCongestedPaths(paths *bitset.Set) float64
 }
 
-// Empirical estimates probabilities as frequencies over a simulation record.
-type Empirical struct {
-	rec *netsim.Record
-	// patternCount caches pattern-key → number of snapshots.
-	patternCount map[string]int
+// FastPairSource is an optional fast path over Source: sources that answer
+// single-path and path-pair queries without materializing a path set.
+// BuildEquations routes its (dominant) one- and two-path lookups through it
+// when available.
+type FastPairSource interface {
+	// ProbPathGood returns P(path i good).
+	ProbPathGood(i topology.PathID) float64
+	// ProbPairGood returns P(paths i and j both good).
+	ProbPairGood(i, j topology.PathID) float64
 }
 
-// NewEmpirical wraps a simulation record.
-func NewEmpirical(rec *netsim.Record) *Empirical {
-	e := &Empirical{rec: rec, patternCount: make(map[string]int)}
-	for _, s := range rec.CongestedPaths {
-		e.patternCount[s.Key()]++
+// cache-size caps: when a memo map outgrows its cap it is reset wholesale.
+// The workloads that hit the caches (equation building, repeated estimation
+// rounds on a stream) re-query a bounded set of keys, so resets are rare and
+// a full LRU chain is not worth its overhead.
+const (
+	maxMemoEntries = 1 << 17
+	maxPairEntries = 1 << 19
+)
+
+// Empirical estimates probabilities as frequencies over columnar snapshot
+// observations. Queries run on the path-major bit columns of a
+// snapstore.Store: P(path set all good) is an OR of the set's columns plus a
+// popcount, O(snapshots/64 · |paths|) with sequential memory access.
+//
+// Repeated queries are memoized: single-path and pair probabilities (the
+// bulk of BuildEquations' lookups) in dedicated caches, arbitrary path sets
+// in a bounded memo keyed by the set's content key. All methods are safe for
+// concurrent use, except Append which must not run concurrently with
+// queries or other Appends.
+type Empirical struct {
+	store *snapstore.Store
+	// streaming marks estimators that own their store (NewStreaming).
+	// Record-backed estimators alias the record's path store, where an
+	// Append would silently desync the record's link store — so only
+	// streaming estimators accept Append.
+	streaming bool
+
+	mu      sync.Mutex
+	scratch []uint64           // word buffer for multi-column OR queries
+	single  []float64          // per-path P(good); NaN = not yet computed
+	pairs   map[int64]float64  // i*NumPaths+j (i<j) → P(both good)
+	memo    map[string]float64 // path-set key → P(all good), for |set| > 2
+	// patterns is the congested-pattern histogram (pattern key → snapshot
+	// count). nil until a PatternSource query materializes it; maintained
+	// incrementally by Append afterwards.
+	patterns map[string]int
+}
+
+// NewEmpirical wraps a simulation record. It returns an error for a nil or
+// empty record: zero snapshots admit no frequency estimates (every query
+// would be 0/0).
+func NewEmpirical(rec *netsim.Record) (*Empirical, error) {
+	if rec == nil || rec.Paths == nil {
+		return nil, fmt.Errorf("measure: nil record")
 	}
+	if rec.Snapshots() == 0 {
+		return nil, fmt.Errorf("measure: record has no snapshots; estimates would be 0/0")
+	}
+	return newEmpirical(rec.Paths), nil
+}
+
+// NewStreaming returns an empty streaming estimator over numPaths paths.
+// Feed it snapshots with Append and query at any point; until the first
+// Append every probability is reported as 0 (and the empty-set probability
+// as 1), never NaN.
+func NewStreaming(numPaths int) *Empirical {
+	e := newEmpirical(snapstore.New(numPaths))
+	e.streaming = true
 	return e
 }
 
+func newEmpirical(store *snapstore.Store) *Empirical {
+	return &Empirical{
+		store: store,
+		pairs: make(map[int64]float64),
+		memo:  make(map[string]float64),
+	}
+}
+
+// Store exposes the underlying columnar snapshot store (read-only).
+func (e *Empirical) Store() *snapstore.Store { return e.store }
+
+// Append ingests one more snapshot (the set of congested paths) and keeps
+// the pattern histogram current, so PatternSource queries stay valid
+// mid-stream. The probability caches are reset: every estimate's
+// denominator just changed. Append must not run concurrently with queries,
+// and panics on a record-backed estimator (whose store is a read-only view
+// of the record — appending there would desync the record's link store).
+func (e *Empirical) Append(congested *bitset.Set) {
+	if !e.streaming {
+		panic("measure: Append requires a streaming estimator (NewStreaming); record-backed estimators are read-only views")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store.Append(congested)
+	if e.patterns != nil {
+		e.patterns[congested.Key()]++
+	}
+	e.single = nil
+	if len(e.pairs) > 0 {
+		e.pairs = make(map[int64]float64)
+	}
+	if len(e.memo) > 0 {
+		e.memo = make(map[string]float64)
+	}
+}
+
 // NumPaths implements Source.
-func (e *Empirical) NumPaths() int { return e.rec.NumPaths }
+func (e *Empirical) NumPaths() int { return e.store.NumSeries() }
 
 // Snapshots returns the number of snapshots backing the estimates.
-func (e *Empirical) Snapshots() int { return e.rec.Snapshots() }
+func (e *Empirical) Snapshots() int { return e.store.Snapshots() }
 
 // ProbPathsGood implements Source: the fraction of snapshots in which no
 // path of the set was congested.
 func (e *Empirical) ProbPathsGood(paths *bitset.Set) float64 {
-	hits := 0
-	for _, s := range e.rec.CongestedPaths {
-		if !s.Intersects(paths) {
-			hits++
+	idx := paths.Indices()
+	switch len(idx) {
+	case 0:
+		return 1
+	case 1:
+		return e.ProbPathGood(topology.PathID(idx[0]))
+	case 2:
+		return e.ProbPairGood(topology.PathID(idx[0]), topology.PathID(idx[1]))
+	}
+	n := e.store.Snapshots()
+	if n == 0 {
+		return 0
+	}
+	key := paths.Key()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.memo[key]; ok {
+		return p
+	}
+	if cap(e.scratch) < e.store.Words() {
+		e.scratch = make([]uint64, e.store.Words())
+	}
+	p := float64(e.store.CountAllGood(idx, e.scratch)) / float64(n)
+	if len(e.memo) >= maxMemoEntries {
+		e.memo = make(map[string]float64)
+	}
+	e.memo[key] = p
+	return p
+}
+
+// ProbPathGood implements FastPairSource via the per-path cache.
+func (e *Empirical) ProbPathGood(i topology.PathID) float64 {
+	n := e.store.Snapshots()
+	if n == 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.single == nil {
+		e.single = make([]float64, e.store.NumSeries())
+		for k := range e.single {
+			e.single[k] = math.NaN()
 		}
 	}
-	return float64(hits) / float64(e.rec.Snapshots())
+	if p := e.single[i]; !math.IsNaN(p) {
+		return p
+	}
+	p := float64(n-e.store.CongestedCount(int(i))) / float64(n)
+	e.single[i] = p
+	return p
 }
 
-// ProbPathGood returns P(path i good).
-func (e *Empirical) ProbPathGood(i topology.PathID) float64 {
-	return e.ProbPathsGood(bitset.FromIndices(int(i)))
-}
-
-// ProbPairGood returns P(paths i and j both good).
+// ProbPairGood implements FastPairSource via the pair cache.
 func (e *Empirical) ProbPairGood(i, j topology.PathID) float64 {
-	return e.ProbPathsGood(bitset.FromIndices(int(i), int(j)))
+	if i == j {
+		return e.ProbPathGood(i)
+	}
+	if j < i {
+		i, j = j, i
+	}
+	n := e.store.Snapshots()
+	if n == 0 {
+		return 0
+	}
+	key := int64(i)*int64(e.store.NumSeries()) + int64(j)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.pairs[key]; ok {
+		return p
+	}
+	if cap(e.scratch) < e.store.Words() {
+		e.scratch = make([]uint64, e.store.Words())
+	}
+	good := e.store.Snapshots() - e.countPairCongested(int(i), int(j))
+	p := float64(good) / float64(n)
+	if len(e.pairs) >= maxPairEntries {
+		e.pairs = make(map[int64]float64)
+	}
+	e.pairs[key] = p
+	return p
 }
 
-// ProbExactCongestedPaths implements PatternSource via the cached pattern
-// histogram.
+// countPairCongested is the two-column OR+popcount, inlined without an index
+// slice. Caller holds e.mu (for scratch).
+func (e *Empirical) countPairCongested(i, j int) int {
+	a, b := e.store.Column(i), e.store.Column(j)
+	e.scratch = e.scratch[:e.store.Words()]
+	copy(e.scratch, a)
+	bitset.OrWords(e.scratch, b)
+	return bitset.PopCountWords(e.scratch)
+}
+
+// ProbExactCongestedPaths implements PatternSource via the pattern
+// histogram, materialized lazily from the columns on first use and kept
+// current by Append.
 func (e *Empirical) ProbExactCongestedPaths(paths *bitset.Set) float64 {
-	return float64(e.patternCount[paths.Key()]) / float64(e.rec.Snapshots())
+	n := e.store.Snapshots()
+	if n == 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.patterns == nil {
+		e.patterns = make(map[string]int)
+		row := bitset.New(e.store.NumSeries())
+		for t := 0; t < n; t++ {
+			e.store.RowInto(t, row)
+			e.patterns[row.Key()]++
+		}
+	}
+	return float64(e.patterns[paths.Key()]) / float64(n)
 }
 
 // PathCongestionFrequency returns, per path, the fraction of snapshots in
-// which it was congested — the paper's E(YPi).
+// which it was congested — the paper's E(YPi). The result is all-zero while
+// a streaming estimator is still empty.
 func (e *Empirical) PathCongestionFrequency() []float64 {
-	out := make([]float64, e.rec.NumPaths)
-	for _, s := range e.rec.CongestedPaths {
-		s.ForEach(func(i int) bool {
-			out[i]++
-			return true
-		})
+	out := make([]float64, e.store.NumSeries())
+	n := float64(e.store.Snapshots())
+	if n == 0 {
+		return out
 	}
-	n := float64(e.rec.Snapshots())
 	for i := range out {
-		out[i] /= n
+		out[i] = float64(e.store.CongestedCount(i)) / n
 	}
 	return out
 }

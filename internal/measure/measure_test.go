@@ -129,7 +129,10 @@ func TestEmpiricalConvergesToExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	emp := NewEmpirical(rec)
+	emp, err := NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ex, _ := NewExact(top, model)
 
 	if emp.NumPaths() != 3 || emp.Snapshots() != 200000 {
@@ -173,7 +176,10 @@ func TestEmpiricalHelpers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	emp := NewEmpirical(rec)
+	emp, err := NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got, want := emp.ProbPathGood(0), emp.ProbPathsGood(bitset.FromIndices(0)); got != want {
 		t.Fatalf("ProbPathGood mismatch: %v vs %v", got, want)
 	}

@@ -21,7 +21,11 @@ func simulate(t *testing.T, top *topology.Topology, model congestion.Model, n in
 	if err != nil {
 		t.Fatal(err)
 	}
-	return measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
 }
 
 func TestEstimateRecoversIndependentTruth(t *testing.T) {
@@ -146,7 +150,10 @@ func TestEstimateCompetitiveWithLinearOnIndependentScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	mleRes, err := Estimate(top, src, Options{})
 	if err != nil {

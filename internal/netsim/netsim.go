@@ -11,10 +11,15 @@
 //     including measurement noise.
 //
 // Snapshots are independent, so the engine shards them across the
-// internal/runner worker pool; per-snapshot RNGs are derived
-// deterministically from the seed (runner.DeriveSeed), making runs
-// reproducible regardless of parallelism, and RunContext honours
-// cancellation between snapshots.
+// internal/runner worker pool in 64-snapshot-aligned blocks; per-snapshot
+// RNGs are derived deterministically from the seed (runner.DeriveSeed),
+// making runs reproducible regardless of parallelism, and RunContext
+// honours cancellation between blocks.
+//
+// Observations land directly in columnar snapstore.Store columns (one bit
+// column per path over snapshots). Because every block owns whole words of
+// every column, the shards never share a word: the deterministic "merge" is
+// the layout itself, and no post-processing pass is needed.
 package netsim
 
 import (
@@ -26,6 +31,7 @@ import (
 	"repro/internal/congestion"
 	"repro/internal/loss"
 	"repro/internal/runner"
+	"repro/internal/snapstore"
 	"repro/internal/topology"
 )
 
@@ -71,16 +77,44 @@ type Config struct {
 	RecordLinkStates bool
 }
 
-// Record holds the observations of one experiment: for each snapshot, the
-// set of congested paths (and optionally the true set of congested links).
+// Record holds the observations of one experiment as a thin view over
+// columnar snapshot stores: one bit column per path (and, optionally, per
+// link) over snapshots. Row-major access is available through PathSnapshot,
+// LinkSnapshot, and the stores' Rows method, but the algorithms consume the
+// columns directly via measure.Empirical.
 type Record struct {
-	NumPaths       int
-	CongestedPaths []*bitset.Set // per snapshot
-	LinkStates     []*bitset.Set // per snapshot; nil unless recorded
+	// Paths holds the congested-path observations, path-major.
+	Paths *snapstore.Store
+	// Links holds the true congested-link states, link-major; nil unless
+	// Config.RecordLinkStates was set.
+	Links *snapstore.Store
 }
 
+// NewRecordFromRows is the compatibility constructor for row-major
+// observations: rows[t] is the congested-path set of snapshot t. A real
+// deployment feeding probe measurements one snapshot at a time should use
+// measure.NewStreaming instead.
+func NewRecordFromRows(numPaths int, rows []*bitset.Set) *Record {
+	return &Record{Paths: snapstore.FromRows(numPaths, rows)}
+}
+
+// NumPaths returns the number of paths observed per snapshot.
+func (r *Record) NumPaths() int { return r.Paths.NumSeries() }
+
 // Snapshots returns the number of recorded snapshots.
-func (r *Record) Snapshots() int { return len(r.CongestedPaths) }
+func (r *Record) Snapshots() int { return r.Paths.Snapshots() }
+
+// PathSnapshot materializes snapshot t's congested-path set.
+func (r *Record) PathSnapshot(t int) *bitset.Set { return r.Paths.Row(t) }
+
+// LinkSnapshot materializes snapshot t's true congested-link set; it panics
+// unless link states were recorded.
+func (r *Record) LinkSnapshot(t int) *bitset.Set {
+	if r.Links == nil {
+		panic("netsim: link states were not recorded (Config.RecordLinkStates)")
+	}
+	return r.Links.Row(t)
+}
 
 // Run executes the simulation and returns the observation record. It is
 // RunContext with a background context.
@@ -119,28 +153,48 @@ func RunContext(ctx context.Context, cfg Config) (*Record, error) {
 		return nil, fmt.Errorf("netsim: packets per path = %d", packets)
 	}
 	rec := &Record{
-		NumPaths:       cfg.Topology.NumPaths(),
-		CongestedPaths: make([]*bitset.Set, cfg.Snapshots),
+		Paths: snapstore.NewFixed(cfg.Topology.NumPaths(), cfg.Snapshots),
 	}
 	if cfg.RecordLinkStates {
-		rec.LinkStates = make([]*bitset.Set, cfg.Snapshots)
+		rec.Links = snapstore.NewFixed(cfg.Topology.NumLinks(), cfg.Snapshots)
 	}
 
-	// Each snapshot is an independent task on the shared pool; the scratch
-	// link-state bitset is allocated once per worker and reused across the
-	// snapshots that worker executes. Every task writes only its own rec
-	// slot, and the per-snapshot RNG is derived from (seed, snapshot) alone,
-	// so the record is bit-identical for any worker count.
+	// Tasks are 64-snapshot-aligned blocks: block b owns word b of every
+	// column, so concurrent writers never share a word and the columnar
+	// record needs no merge pass. The per-snapshot RNG is still derived from
+	// (seed, snapshot) alone, so the record is bit-identical for any worker
+	// count. Scratch bitsets are allocated once per worker and reused.
+	blocks := (cfg.Snapshots + snapstore.BlockSnapshots - 1) / snapstore.BlockSnapshots
+	type scratch struct{ linkState, pathState *bitset.Set }
 	pool := &runner.Runner{Workers: cfg.Parallelism}
-	_, err := runner.MapScratch(ctx, pool, cfg.Snapshots,
-		func() *bitset.Set { return bitset.New(cfg.Topology.NumLinks()) },
-		func(_ context.Context, snap int, linkState *bitset.Set) (struct{}, error) {
-			rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, snap)))
-			cfg.Model.Sample(rng, linkState)
-			if cfg.RecordLinkStates {
-				rec.LinkStates[snap] = linkState.Clone()
+	_, err := runner.MapScratch(ctx, pool, blocks,
+		func() *scratch {
+			return &scratch{
+				linkState: bitset.New(cfg.Topology.NumLinks()),
+				pathState: bitset.New(cfg.Topology.NumPaths()),
 			}
-			rec.CongestedPaths[snap] = observePaths(cfg.Topology, linkState, rng, cfg.Mode, tl, packets)
+		},
+		func(_ context.Context, block int, sc *scratch) (struct{}, error) {
+			lo := block * snapstore.BlockSnapshots
+			hi := lo + snapstore.BlockSnapshots
+			if hi > cfg.Snapshots {
+				hi = cfg.Snapshots
+			}
+			for snap := lo; snap < hi; snap++ {
+				rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, snap)))
+				cfg.Model.Sample(rng, sc.linkState)
+				if rec.Links != nil {
+					sc.linkState.ForEach(func(k int) bool {
+						rec.Links.SetBit(k, snap)
+						return true
+					})
+				}
+				observePaths(cfg.Topology, sc.linkState, rng, cfg.Mode, tl, packets, sc.pathState)
+				sc.pathState.ForEach(func(p int) bool {
+					rec.Paths.SetBit(p, snap)
+					return true
+				})
+			}
 			return struct{}{}, nil
 		})
 	if err != nil {
@@ -149,9 +203,10 @@ func RunContext(ctx context.Context, cfg Config) (*Record, error) {
 	return rec, nil
 }
 
-// observePaths derives the congested-path set for one snapshot.
-func observePaths(top *topology.Topology, linkState *bitset.Set, rng *rand.Rand, mode Mode, tl float64, packets int) *bitset.Set {
-	out := bitset.New(top.NumPaths())
+// observePaths derives the congested-path set for one snapshot into out
+// (cleared first).
+func observePaths(top *topology.Topology, linkState *bitset.Set, rng *rand.Rand, mode Mode, tl float64, packets int, out *bitset.Set) {
+	out.Clear()
 	switch mode {
 	case StateLevel:
 		for _, p := range top.Paths() {
@@ -170,5 +225,4 @@ func observePaths(top *topology.Topology, linkState *bitset.Set, rng *rand.Rand,
 	default:
 		panic(fmt.Sprintf("netsim: unknown mode %d", int(mode)))
 	}
-	return out
 }

@@ -52,6 +52,7 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 		rec, err := Run(Config{
 			Topology: top, Model: model, Snapshots: 500, Seed: 42,
 			Mode: mode, Parallelism: par, PacketsPerPath: 50,
+			RecordLinkStates: true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -60,10 +61,11 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 	}
 	for _, mode := range []Mode{StateLevel, PacketLevel} {
 		a, b := run(1, mode), run(8, mode)
-		for i := range a.CongestedPaths {
-			if !a.CongestedPaths[i].Equal(b.CongestedPaths[i]) {
-				t.Fatalf("%v: snapshot %d differs between parallelism 1 and 8", mode, i)
-			}
+		if !a.Paths.Equal(b.Paths) {
+			t.Fatalf("%v: path columns differ between parallelism 1 and 8", mode)
+		}
+		if !a.Links.Equal(b.Links) {
+			t.Fatalf("%v: link columns differ between parallelism 1 and 8", mode)
 		}
 	}
 }
@@ -78,10 +80,11 @@ func TestStateLevelSeparability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for snap, links := range rec.LinkStates {
+	for snap := 0; snap < rec.Snapshots(); snap++ {
+		links := rec.LinkSnapshot(snap)
 		for _, p := range top.Paths() {
 			want := top.PathLinkSet(p.ID).Intersects(links)
-			got := rec.CongestedPaths[snap].Contains(int(p.ID))
+			got := rec.Paths.Bit(int(p.ID), snap)
 			if got != want {
 				t.Fatalf("snapshot %d path %s: congested=%v, links=%v", snap, p.Name, got, links)
 			}
@@ -99,12 +102,7 @@ func TestStateLevelFrequenciesMatchModel(t *testing.T) {
 	// P(path P1 good) = P(e1 good ∧ e3 good) exactly.
 	for _, p := range top.Paths() {
 		want := model.ProbAllGood(top.PathLinkSet(p.ID))
-		good := 0
-		for _, s := range rec.CongestedPaths {
-			if !s.Contains(int(p.ID)) {
-				good++
-			}
-		}
+		good := rec.Snapshots() - rec.Paths.CongestedCount(int(p.ID))
 		got := float64(good) / float64(rec.Snapshots())
 		if math.Abs(got-want) > 0.01 {
 			t.Fatalf("path %s: empirical P(good) = %v, exact %v", p.Name, got, want)
@@ -129,7 +127,7 @@ func TestPacketLevelApproximatesStateLevel(t *testing.T) {
 	for pid := 0; pid < top.NumPaths(); pid++ {
 		disagree := 0
 		for i := 0; i < n; i++ {
-			if recS.CongestedPaths[i].Contains(pid) != recP.CongestedPaths[i].Contains(pid) {
+			if recS.Paths.Bit(pid, i) != recP.Paths.Bit(pid, i) {
 				disagree++
 			}
 		}
@@ -154,12 +152,33 @@ func TestRecordLinkStatesOptional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec.LinkStates != nil {
+	if rec.Links != nil {
 		t.Fatal("link states recorded without being requested")
 	}
-	if rec.Snapshots() != 10 || rec.NumPaths != 3 {
-		t.Fatalf("record shape: %d snapshots, %d paths", rec.Snapshots(), rec.NumPaths)
+	if rec.Snapshots() != 10 || rec.NumPaths() != 3 {
+		t.Fatalf("record shape: %d snapshots, %d paths", rec.Snapshots(), rec.NumPaths())
 	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LinkSnapshot without recorded link states must panic")
+		}
+	}()
+	rec.LinkSnapshot(0)
 }
 
-var _ = bitset.New // silence potential unused import during refactors
+func TestNewRecordFromRows(t *testing.T) {
+	rows := []*bitset.Set{
+		bitset.FromIndices(0, 2),
+		bitset.New(3),
+		bitset.FromIndices(1),
+	}
+	rec := NewRecordFromRows(3, rows)
+	if rec.Snapshots() != 3 || rec.NumPaths() != 3 {
+		t.Fatalf("record shape: %d snapshots, %d paths", rec.Snapshots(), rec.NumPaths())
+	}
+	for tt, row := range rows {
+		if !rec.PathSnapshot(tt).Equal(row) {
+			t.Fatalf("snapshot %d: %v != %v", tt, rec.PathSnapshot(tt), row)
+		}
+	}
+}

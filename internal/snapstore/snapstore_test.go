@@ -1,0 +1,151 @@
+package snapstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// randomRows draws n random rows over the given number of series.
+func randomRows(rng *rand.Rand, series, n int) []*bitset.Set {
+	rows := make([]*bitset.Set, n)
+	for t := range rows {
+		s := bitset.New(series)
+		for i := 0; i < series; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		rows[t] = s
+	}
+	return rows
+}
+
+func TestAppendMatchesFromRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		series := 1 + rng.Intn(70)
+		n := rng.Intn(200)
+		rows := randomRows(rng, series, n)
+
+		batch := FromRows(series, rows)
+		stream := New(series)
+		for _, r := range rows {
+			stream.Append(r)
+		}
+		if !stream.Equal(batch) {
+			t.Fatalf("trial %d: streaming store differs from batch store", trial)
+		}
+		if stream.Snapshots() != n || stream.NumSeries() != series {
+			t.Fatalf("trial %d: shape %d×%d, want %d×%d",
+				trial, stream.NumSeries(), stream.Snapshots(), series, n)
+		}
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := randomRows(rng, 67, 130) // series straddle a word boundary
+	st := FromRows(67, rows)
+	back := st.Rows()
+	for i := range rows {
+		if !rows[i].Equal(back[i]) {
+			t.Fatalf("row %d: %v != %v", i, back[i], rows[i])
+		}
+	}
+	// RowInto reuses its destination.
+	scratch := bitset.New(67)
+	for i := range rows {
+		st.RowInto(i, scratch)
+		if !scratch.Equal(rows[i]) {
+			t.Fatalf("RowInto(%d): %v != %v", i, scratch, rows[i])
+		}
+	}
+}
+
+func TestCountsMatchRowMajorReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	series, n := 40, 500
+	rows := randomRows(rng, series, n)
+	st := FromRows(series, rows)
+
+	var scratch []uint64
+	for trial := 0; trial < 100; trial++ {
+		q := bitset.New(series)
+		for i := 0; i < series; i++ {
+			if rng.Intn(8) == 0 {
+				q.Add(i)
+			}
+		}
+		want := 0
+		for _, r := range rows {
+			if r.Intersects(q) {
+				want++
+			}
+		}
+		if got := st.CountAnyCongested(q.Indices(), scratch); got != want {
+			t.Fatalf("CountAnyCongested(%v) = %d, want %d", q, got, want)
+		}
+		if got := st.CountAllGood(q.Indices(), scratch); got != n-want {
+			t.Fatalf("CountAllGood(%v) = %d, want %d", q, got, n-want)
+		}
+	}
+	for i := 0; i < series; i++ {
+		want := 0
+		for _, r := range rows {
+			if r.Contains(i) {
+				want++
+			}
+		}
+		if got := st.CongestedCount(i); got != want {
+			t.Fatalf("CongestedCount(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if st.CountAnyCongested(nil, nil) != 0 || st.CountAllGood(nil, nil) != n {
+		t.Fatal("empty query must count every snapshot good")
+	}
+}
+
+func TestFixedSetBit(t *testing.T) {
+	st := NewFixed(3, 130)
+	st.SetBit(0, 0)
+	st.SetBit(1, 64)
+	st.SetBit(2, 129)
+	for _, c := range []struct {
+		i, t int
+		want bool
+	}{
+		{0, 0, true}, {0, 1, false}, {1, 64, true}, {2, 129, true}, {2, 128, false},
+	} {
+		if st.Bit(c.i, c.t) != c.want {
+			t.Fatalf("Bit(%d,%d) = %v", c.i, c.t, !c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBit outside the fixed range must panic")
+		}
+	}()
+	st.SetBit(0, 130)
+}
+
+func TestAppendAfterFixed(t *testing.T) {
+	// Appending to a converted/fixed store must not corrupt sibling columns
+	// that share the original backing array.
+	st := FromRows(2, []*bitset.Set{bitset.FromIndices(0), bitset.FromIndices(1)})
+	st.Append(bitset.FromIndices(0, 1))
+	if st.Snapshots() != 3 || !st.Bit(0, 2) || !st.Bit(1, 2) || !st.Bit(0, 0) || st.Bit(0, 1) {
+		t.Fatal("append after FromRows corrupted the store")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	a, b := NewFixed(2, 10), NewFixed(2, 11)
+	if a.Equal(b) {
+		t.Fatal("different snapshot counts reported equal")
+	}
+	if !NewFixed(2, 10).Equal(a) {
+		t.Fatal("identical empty stores reported unequal")
+	}
+}

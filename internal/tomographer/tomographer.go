@@ -122,12 +122,14 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("tomographer: no path can be held out without orphaning a link")
 	}
 
-	src := measure.NewEmpirical(cfg.Record)
+	src, err := measure.NewEmpirical(cfg.Record)
+	if err != nil {
+		return nil, fmt.Errorf("tomographer: %w", err)
+	}
 	opts := cfg.Options
 	opts.PathFilter = func(id topology.PathID) bool { return !heldOut[id] }
 
 	var res *core.Result
-	var err error
 	switch cfg.Algorithm {
 	case Correlation:
 		res, err = core.Correlation(top, src, opts)

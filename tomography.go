@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/congestion"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/snapstore"
 	"repro/internal/topology"
 )
 
@@ -56,11 +58,19 @@ type (
 
 // Re-exported measurement types.
 type (
-	// Record holds per-snapshot congested-path observations.
+	// Record holds per-snapshot congested-path observations as a thin view
+	// over columnar SnapshotStores.
 	Record = netsim.Record
+	// SnapshotStore is the columnar measurement store: one packed bit
+	// column per path (or link) over snapshots.
+	SnapshotStore = snapstore.Store
+	// PathSet is a set of path indices — the per-snapshot observation fed
+	// to Empirical.Append and returned by Record.PathSnapshot. Build one
+	// with NewPathSet.
+	PathSet = bitset.Set
 	// Source supplies P(path set all-good) estimates to the algorithms.
 	Source = measure.Source
-	// Empirical estimates probabilities from a Record.
+	// Empirical estimates probabilities from columnar observations.
 	Empirical = measure.Empirical
 )
 
@@ -114,8 +124,28 @@ func Figure1B() *Topology { return topology.Figure1B() }
 // Simulate runs the snapshot simulator and returns the observation record.
 func Simulate(cfg SimConfig) (*Record, error) { return netsim.Run(cfg) }
 
-// NewEmpirical wraps a record into a measurement source.
-func NewEmpirical(rec *Record) *Empirical { return measure.NewEmpirical(rec) }
+// NewEmpirical wraps a record into a measurement source. It fails on a nil
+// or empty record (zero snapshots admit no frequency estimates).
+func NewEmpirical(rec *Record) (*Empirical, error) { return measure.NewEmpirical(rec) }
+
+// NewStreaming returns an empty streaming measurement source over numPaths
+// paths: feed it observed snapshots one at a time with Append (build each
+// observation with NewPathSet) and run the algorithms at any point —
+// estimates over the first N appended snapshots are identical to a
+// one-shot batch over the same data. See examples/streaming-monitor.
+func NewStreaming(numPaths int) *Empirical { return measure.NewStreaming(numPaths) }
+
+// NewPathSet returns the set containing exactly the given path indices —
+// one snapshot's congested-path observation for Empirical.Append or
+// NewRecordFromRows.
+func NewPathSet(paths ...int) *PathSet { return bitset.FromIndices(paths...) }
+
+// NewRecordFromRows converts legacy row-major observations (one congested-
+// path set per snapshot) into a columnar Record — the compatibility path
+// for callers that assemble snapshots themselves.
+func NewRecordFromRows(numPaths int, rows []*PathSet) *Record {
+	return netsim.NewRecordFromRows(numPaths, rows)
+}
 
 // Correlation runs the paper's correlation-aware algorithm (Section 4):
 // it forms log-linear equations only from paths and pairs of paths that
@@ -240,7 +270,11 @@ func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, seed int64)
 		res.Err = err
 		return
 	}
-	src := measure.NewEmpirical(rec)
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		res.Err = err
+		return
+	}
 	corr, err := core.Correlation(s.Topology, src, opts.Algorithm)
 	if err != nil {
 		res.Err = err

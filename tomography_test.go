@@ -62,7 +62,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := tomography.NewEmpirical(rec)
+	src, err := tomography.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	truth := congestion.Marginals(model)
 	corr, err := tomography.Correlation(top, src, tomography.Options{})
