@@ -422,7 +422,12 @@ var benchSink float64
 // artifact of every benchmark run (CI runs this in smoke mode).
 func writeBenchJSON(b *testing.B, bench string, metrics map[string]float64) {
 	b.Helper()
-	const path = "BENCH_measure.json"
+	writeBenchJSONFile(b, "BENCH_measure.json", bench, metrics)
+}
+
+// writeBenchJSONFile merges the metrics into the named benchmark artifact.
+func writeBenchJSONFile(b *testing.B, path, bench string, metrics map[string]float64) {
+	b.Helper()
 	all := map[string]map[string]float64{}
 	if data, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(data, &all)

@@ -1,13 +1,15 @@
 // Command tomo runs the full tomography pipeline on a topology: it loads a
 // JSON topology (from cmd/topogen), synthesizes a congestion scenario over
-// its correlation sets, simulates end-to-end measurements, runs the selected
-// inference algorithm(s), and prints per-link true vs inferred congestion
+// its correlation sets, simulates end-to-end measurements, compiles the
+// topology into an inference plan, runs the selected estimator(s) from the
+// estimator registry, and prints per-link true vs inferred congestion
 // probabilities.
 //
 // Usage:
 //
 //	topogen -family brite -ases 60 -paths 300 | tomo -frac 0.1 -snapshots 2000
-//	tomo -topology pl.json -algorithm both -summary
+//	tomo -topology pl.json -estimator correlation,independence -summary
+//	tomo -topology toy.json -estimator mle
 package main
 
 import (
@@ -15,56 +17,66 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/eval"
-	"repro/internal/measure"
-	"repro/internal/netsim"
-	"repro/internal/scenario"
+	tomography "repro"
 	"repro/internal/topology"
 )
 
 func main() {
+	estimators := strings.Join(tomography.EstimatorNames(), " | ")
 	var (
 		topoPath  = flag.String("topology", "-", "topology JSON file ('-' = stdin)")
 		frac      = flag.Float64("frac", 0.10, "fraction of links congested in the synthetic scenario")
 		loose     = flag.Bool("loose", false, "loose correlation (≤2 congested links per correlation set)")
 		snapshots = flag.Int("snapshots", 2000, "number of measurement snapshots")
 		seed      = flag.Int64("seed", 1, "seed for scenario and simulation")
-		algo      = flag.String("algorithm", "correlation", "algorithm: correlation | independence | both | theorem")
+		estimator = flag.String("estimator", "", "registered estimator(s), comma-separated: "+estimators+" (also: both = correlation,independence)")
+		algo      = flag.String("algorithm", "", "deprecated alias for -estimator")
 		packet    = flag.Bool("packet-level", false, "simulate probe packets and loss rates")
 		summary   = flag.Bool("summary", false, "print error summary instead of the per-link table")
 		topN      = flag.Int("top", 0, "print only the N links with the highest inferred congestion probability")
 	)
 	flag.Parse()
 
+	names, err := resolveEstimators(*estimator, *algo)
+	if err != nil {
+		fatal(err)
+	}
+
 	top, err := loadTopology(*topoPath)
 	if err != nil {
 		fatal(err)
 	}
 
-	level := scenario.HighCorrelation
+	level := tomography.HighCorrelation
 	if *loose {
-		level = scenario.LooseCorrelation
+		level = tomography.LooseCorrelation
 	}
-	scn, err := scenario.FromTopology(scenario.FromTopologyConfig{
+	scn, err := tomography.NewScenario(tomography.ScenarioConfig{
 		Topology: top, FracCongested: *frac, Level: level, Seed: *seed,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	mode := netsim.StateLevel
+	mode := tomography.StateLevel
 	if *packet {
-		mode = netsim.PacketLevel
+		mode = tomography.PacketLevel
 	}
-	rec, err := netsim.Run(netsim.Config{
+	rec, err := tomography.Simulate(tomography.SimConfig{
 		Topology: top, Model: scn.Model, Snapshots: *snapshots, Seed: *seed + 99, Mode: mode,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	src, err := measure.NewEmpirical(rec)
+	src, err := tomography.NewEmpirical(rec)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One compiled plan serves every selected estimator.
+	plan, err := tomography.Compile(top, tomography.PlanOptions{Lazy: true})
 	if err != nil {
 		fatal(err)
 	}
@@ -74,52 +86,38 @@ func main() {
 		probs []float64
 	}
 	var runs []run
-	wantCorr := *algo == "correlation" || *algo == "both"
-	wantIndep := *algo == "independence" || *algo == "both"
-	switch {
-	case *algo == "theorem":
-		res, err := core.Theorem(top, src, core.TheoremOptions{})
+	for _, name := range names {
+		opts := tomography.EstimateOptions{}
+		if name == "independence" {
+			// The Nguyen–Thiran baseline uses all its observations in a
+			// least-squares fit (the historical tomo behavior).
+			opts.Algorithm.UseAllEquations = true
+		}
+		res, err := tomography.Estimate(name, plan, src, opts)
 		if err != nil {
 			fatal(err)
 		}
-		runs = append(runs, run{"theorem", res.CongestionProb})
-	case wantCorr || wantIndep:
-		if wantCorr {
-			res, err := core.Correlation(top, src, core.Options{})
-			if err != nil {
-				fatal(err)
-			}
-			runs = append(runs, run{"correlation", res.CongestionProb})
-		}
-		if wantIndep {
-			res, err := core.Independence(top, src, core.Options{UseAllEquations: true})
-			if err != nil {
-				fatal(err)
-			}
-			runs = append(runs, run{"independence", res.CongestionProb})
-		}
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+		runs = append(runs, run{res.Estimator, res.CongestionProb})
 	}
 
 	if *summary {
 		for _, r := range runs {
-			errs := eval.AbsErrors(scn.Truth, r.probs, scn.PotentiallyCongested)
+			errs := tomography.AbsErrors(scn.Truth, r.probs, scn.PotentiallyCongested)
 			fmt.Printf("%-13s mean=%.4f p90=%.4f frac<=0.1=%.1f%% (over %d potentially congested links)\n",
-				r.name, eval.Mean(errs), eval.Percentile(errs, 90),
-				100*eval.FracBelow(errs, 0.1), len(errs))
+				r.name, tomography.Mean(errs), tomography.Percentile(errs, 90),
+				100*tomography.FracBelow(errs, 0.1), len(errs))
 		}
 		return
 	}
 
 	// Per-link table, optionally limited to the top-N inferred.
 	type row struct {
-		link topology.LinkID
+		link tomography.LinkID
 		vals []float64
 	}
 	rows := make([]row, top.NumLinks())
 	for k := range rows {
-		rows[k].link = topology.LinkID(k)
+		rows[k].link = tomography.LinkID(k)
 		for _, r := range runs {
 			rows[k].vals = append(rows[k].vals, r.probs[k])
 		}
@@ -145,7 +143,38 @@ func main() {
 	}
 }
 
-func loadTopology(path string) (*topology.Topology, error) {
+// resolveEstimators turns the -estimator (or legacy -algorithm) selection
+// into a list of registry names, validating each against the registry.
+func resolveEstimators(estimator, algo string) ([]string, error) {
+	sel := estimator
+	if sel == "" {
+		sel = algo
+	}
+	if sel == "" {
+		sel = "correlation"
+	}
+	if sel == "both" {
+		sel = "correlation,independence"
+	}
+	var names []string
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := tomography.LookupEstimator(name); !ok {
+			return nil, fmt.Errorf("unknown estimator %q (registered: %s)",
+				name, strings.Join(tomography.EstimatorNames(), ", "))
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no estimator selected (registered: %s)", strings.Join(tomography.EstimatorNames(), ", "))
+	}
+	return names, nil
+}
+
+func loadTopology(path string) (*tomography.Topology, error) {
 	if path == "-" {
 		return topology.Decode(os.Stdin)
 	}

@@ -1,0 +1,195 @@
+package tomography
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/measure"
+	"repro/internal/mle"
+)
+
+// EstimateOptions bundles the per-family tuning knobs an estimator may
+// consume. Each estimator reads only its own field: the linear estimators
+// (correlation, independence) read Algorithm, the exact algorithm reads
+// Theorem, the composite-likelihood estimator reads MLE. The zero value is
+// a sensible default for every estimator.
+type EstimateOptions struct {
+	// Algorithm tunes the practical linear algorithms.
+	Algorithm Options
+	// Theorem tunes the exact algorithm.
+	Theorem TheoremOptions
+	// MLE tunes the composite-likelihood optimizer.
+	MLE MLEOptions
+}
+
+// EstimateResult is the uniform output of every registered estimator.
+// CongestionProb is always populated; exactly one of the family-specific
+// fields carries the estimator's full native output.
+type EstimateResult struct {
+	// Estimator is the name of the estimator that produced the result.
+	Estimator string
+	// CongestionProb[k] is the inferred P(link k congested).
+	CongestionProb []float64
+	// Linear is the native output of the correlation and independence
+	// estimators; nil otherwise.
+	Linear *Result
+	// Theorem is the native output of the theorem estimator; nil otherwise.
+	Theorem *TheoremResult
+	// MLE is the native output of the mle estimator; nil otherwise.
+	MLE *MLEResult
+}
+
+// Estimator is one pluggable inference flavor over the shared measurement
+// model: given a compiled plan for a topology and a measurement source, it
+// infers every link's congestion probability. Implementations must be safe
+// for concurrent use; the built-in estimators additionally guarantee
+// results bit-identical to their pre-registry entry points
+// (Correlation, Independence, Theorem, MLE).
+type Estimator interface {
+	// Name is the estimator's registry key (e.g. "correlation").
+	Name() string
+	// Estimate runs inference through the compiled plan.
+	Estimate(plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Estimator{}
+)
+
+// RegisterEstimator adds an estimator to the registry under its Name. It
+// panics on an empty name or a duplicate registration — estimator wiring is
+// a program-initialization concern, like database/sql drivers.
+func RegisterEstimator(e Estimator) {
+	name := e.Name()
+	if name == "" {
+		panic("tomography: RegisterEstimator with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("tomography: RegisterEstimator called twice for " + name)
+	}
+	registry[name] = e
+}
+
+// LookupEstimator returns the registered estimator with the given name.
+func LookupEstimator(name string) (Estimator, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// EstimatorNames returns the names of all registered estimators, sorted.
+func EstimatorNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Estimate resolves an estimator by name and runs it: the dynamic entry
+// point used by tools that select estimators from configuration or flags.
+func Estimate(name string, plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	e, ok := LookupEstimator(name)
+	if !ok {
+		return nil, fmt.Errorf("tomography: unknown estimator %q (registered: %v)", name, EstimatorNames())
+	}
+	return e.Estimate(plan, src, opts)
+}
+
+// --- Built-in estimators. ---
+
+func init() {
+	RegisterEstimator(correlationEstimator{})
+	RegisterEstimator(independenceEstimator{})
+	RegisterEstimator(theoremEstimator{})
+	RegisterEstimator(mleEstimator{})
+}
+
+// correlationEstimator runs the paper's Section-4 correlation-aware
+// algorithm.
+type correlationEstimator struct{}
+
+func (correlationEstimator) Name() string { return "correlation" }
+
+func (correlationEstimator) Estimate(plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	res, err := plan.Correlation(src, opts.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimateResult{
+		Estimator:      "correlation",
+		CongestionProb: res.CongestionProb,
+		Linear:         res,
+	}, nil
+}
+
+// independenceEstimator runs the Nguyen–Thiran uncorrelated-links baseline.
+type independenceEstimator struct{}
+
+func (independenceEstimator) Name() string { return "independence" }
+
+func (independenceEstimator) Estimate(plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	res, err := plan.Independence(src, opts.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimateResult{
+		Estimator:      "independence",
+		CongestionProb: res.CongestionProb,
+		Linear:         res,
+	}, nil
+}
+
+// theoremEstimator runs the exact Appendix-A algorithm. It needs
+// congestion-pattern probabilities, so the source must implement
+// PatternSource (Empirical does).
+type theoremEstimator struct{}
+
+func (theoremEstimator) Name() string { return "theorem" }
+
+func (theoremEstimator) Estimate(plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	ps, ok := src.(measure.PatternSource)
+	if !ok {
+		return nil, fmt.Errorf("tomography: the theorem estimator needs exact congestion-pattern probabilities (measure.PatternSource); %T does not provide them", src)
+	}
+	res, err := plan.Theorem(ps, opts.Theorem)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimateResult{
+		Estimator:      "theorem",
+		CongestionProb: res.CongestionProb,
+		Theorem:        res,
+	}, nil
+}
+
+// mleEstimator runs the composite-likelihood maximum-likelihood estimator.
+// It needs per-path and per-pair good-frequencies, so the source must
+// implement the fast pair queries (Empirical does).
+type mleEstimator struct{}
+
+func (mleEstimator) Name() string { return "mle" }
+
+func (mleEstimator) Estimate(plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	ms, ok := src.(mle.Source)
+	if !ok {
+		return nil, fmt.Errorf("tomography: the mle estimator needs per-path and per-pair good-frequencies (FastPairSource); %T does not provide them", src)
+	}
+	res, err := plan.MLE(ms, opts.MLE)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimateResult{
+		Estimator:      "mle",
+		CongestionProb: res.CongestionProb,
+		MLE:            res,
+	}, nil
+}

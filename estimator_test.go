@@ -1,0 +1,213 @@
+package tomography_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	tomography "repro"
+	"repro/internal/brite"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/mle"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+)
+
+// randomFixture builds a randomized Brite topology with a correlated
+// scenario and an empirical source over a short simulation.
+func randomFixture(t testing.TB, seed int64, paths int) (*topology.Topology, *measure.Empirical) {
+	t.Helper()
+	net, err := brite.Generate(brite.Config{ASes: 20 + int(seed%17), EdgesPerAS: 2, Paths: paths, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Brite(scenario.BriteConfig{
+		Net: net, FracCongested: 0.10 + 0.02*float64(seed%4), Level: scenario.HighCorrelation, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := netsim.Run(netsim.Config{
+		Topology: s.Topology, Model: s.Model, Snapshots: 700, Seed: seed + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Topology, src
+}
+
+func TestEstimatorRegistry(t *testing.T) {
+	names := tomography.EstimatorNames()
+	want := []string{"correlation", "independence", "mle", "theorem"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registered estimators = %v, want %v", names, want)
+	}
+	for _, n := range want {
+		e, ok := tomography.LookupEstimator(n)
+		if !ok {
+			t.Fatalf("estimator %q not found", n)
+		}
+		if e.Name() != n {
+			t.Fatalf("estimator %q reports name %q", n, e.Name())
+		}
+	}
+	if _, err := tomography.Estimate("bogus", nil, nil, tomography.EstimateOptions{}); err == nil {
+		t.Fatal("unknown estimator accepted")
+	}
+}
+
+// legacyReference runs the pre-registry one-shot entry point for one
+// estimator name directly against internal/core and internal/mle — the
+// fused implementations the redesign must stay bit-identical to.
+func legacyReference(name string, top *topology.Topology, src *measure.Empirical, opts tomography.EstimateOptions) ([]float64, error) {
+	switch name {
+	case "correlation":
+		res, err := core.Correlation(top, src, opts.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		return res.CongestionProb, nil
+	case "independence":
+		res, err := core.Independence(top, src, opts.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		return res.CongestionProb, nil
+	case "theorem":
+		res, err := core.Theorem(top, src, opts.Theorem)
+		if err != nil {
+			return nil, err
+		}
+		return res.CongestionProb, nil
+	case "mle":
+		res, err := mle.Estimate(top, src, opts.MLE)
+		if err != nil {
+			return nil, err
+		}
+		return res.CongestionProb, nil
+	}
+	return nil, fmt.Errorf("no legacy reference for %q", name)
+}
+
+// TestCompileOnceEstimateManyMatchesLegacy is the redesign's core property:
+// compile a plan once, run every registered estimator against it many
+// times, and require bit-identical output to the legacy one-shot paths —
+// including identical errors where an estimator rejects the topology (the
+// theorem algorithm on non-Assumption-4 random graphs).
+func TestCompileOnceEstimateManyMatchesLegacy(t *testing.T) {
+	opts := tomography.EstimateOptions{MLE: tomography.MLEOptions{MaxIters: 50}}
+	for _, seed := range []int64{2, 29, 57, 83} {
+		top, src := randomFixture(t, seed, 60+int(seed))
+		plan, err := tomography.Compile(top, tomography.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range tomography.EstimatorNames() {
+			wantProbs, wantErr := legacyReference(name, top, src, opts)
+			for round := 0; round < 3; round++ {
+				got, gotErr := tomography.Estimate(name, plan, src, opts)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d %s round %d: error mismatch: legacy %v, plan %v", seed, name, round, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if wantErr.Error() != gotErr.Error() {
+						t.Fatalf("seed %d %s: error text diverged:\nlegacy: %v\nplan:   %v", seed, name, wantErr, gotErr)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(wantProbs, got.CongestionProb) {
+					t.Fatalf("seed %d %s round %d: plan probabilities differ from legacy one-shot", seed, name, round)
+				}
+				if got.Estimator != name {
+					t.Fatalf("result names estimator %q, want %q", got.Estimator, name)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedPlanConcurrentEstimates runs every estimator from many
+// goroutines against one shared plan (exercised under -race in CI): every
+// result must be bit-identical to the serial reference.
+func TestSharedPlanConcurrentEstimates(t *testing.T) {
+	top, src := randomFixture(t, 41, 70)
+	plan, err := tomography.Compile(top, tomography.PlanOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := tomography.EstimateOptions{MLE: tomography.MLEOptions{MaxIters: 40}}
+
+	type ref struct {
+		probs []float64
+		err   error
+	}
+	refs := map[string]ref{}
+	for _, name := range tomography.EstimatorNames() {
+		probs, err := legacyReference(name, top, src, opts)
+		refs[name] = ref{probs, err}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				for _, name := range tomography.EstimatorNames() {
+					want := refs[name]
+					got, err := tomography.Estimate(name, plan, src, opts)
+					if (want.err == nil) != (err == nil) {
+						errs <- fmt.Errorf("goroutine %d %s: error mismatch: %v vs %v", g, name, want.err, err)
+						return
+					}
+					if err != nil {
+						continue
+					}
+					if !reflect.DeepEqual(want.probs, got.CongestionProb) {
+						errs <- fmt.Errorf("goroutine %d %s: concurrent estimate differs from serial reference", g, name)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimatorSourceRequirements: estimators with richer source needs must
+// reject sources that cannot serve them, not panic or mis-infer.
+func TestEstimatorSourceRequirements(t *testing.T) {
+	top, _ := randomFixture(t, 3, 40)
+	plan, err := tomography.Compile(top, tomography.PlanOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bare Source without pattern or pair queries.
+	src := plainSource{numPaths: top.NumPaths()}
+	if _, err := tomography.Estimate("theorem", plan, src, tomography.EstimateOptions{}); err == nil {
+		t.Fatal("theorem accepted a source without pattern probabilities")
+	}
+	if _, err := tomography.Estimate("mle", plan, src, tomography.EstimateOptions{}); err == nil {
+		t.Fatal("mle accepted a source without pair frequencies")
+	}
+}
+
+// plainSource implements only the minimal Source interface.
+type plainSource struct{ numPaths int }
+
+func (s plainSource) NumPaths() int { return s.numPaths }
+func (s plainSource) ProbPathsGood(paths *tomography.PathSet) float64 {
+	return 1
+}

@@ -127,11 +127,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	corr, err := tomography.Correlation(top, src, tomography.Options{})
+	// One compiled plan serves both estimators.
+	plan, err := tomography.Compile(top, tomography.PlanOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	indep, err := tomography.Independence(top, src, tomography.Options{UseAllEquations: true})
+	corr, err := plan.Correlation(src, tomography.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	indep, err := plan.Independence(src, tomography.Options{UseAllEquations: true})
 	if err != nil {
 		log.Fatal(err)
 	}

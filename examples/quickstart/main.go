@@ -2,9 +2,11 @@
 //
 // We build the toy topology of Figure 1(a) — four links, three paths, links
 // e1 and e2 correlated — define a ground-truth congestion process in which
-// e1 and e2 really are correlated, simulate end-to-end measurements, and
-// recover every link's congestion probability with both the practical
-// Section-4 algorithm and the exact Appendix-A theorem algorithm.
+// e1 and e2 really are correlated, simulate end-to-end measurements,
+// compile the topology into a reusable inference plan, and recover every
+// link's congestion probability with two estimators from the registry: the
+// practical Section-4 correlation algorithm and the exact Appendix-A
+// theorem algorithm.
 //
 // Run with:
 //
@@ -27,10 +29,19 @@ func main() {
 	top := tomography.Figure1A()
 	fmt.Println("topology:", top)
 
+	// Compile the topology into an inference plan: admissible path/pair
+	// selection, equation structure and the identifiability check are
+	// computed once here and shared by every estimator run below (and by
+	// any future run over new measurements of this topology).
+	plan, err := tomography.Compile(top, tomography.PlanOptions{Identifiability: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Assumption 4 holds on this topology (the paper proves identifiability
 	// under it), so every link's congestion probability is recoverable.
-	check := tomography.CheckIdentifiability(top, 0)
-	fmt.Println("Assumption 4 (identifiability):", check.Identifiable)
+	fmt.Println("Assumption 4 (identifiability):", plan.Identifiability(0).Identifiable)
+	fmt.Println("registered estimators:", tomography.EstimatorNames())
 
 	// Ground truth: e1 and e2 are congested together far more often than
 	// independence would allow (P(both) = 0.18 >> 0.10·0.12); e3 and e4 are
@@ -71,26 +82,30 @@ func main() {
 
 	// The practical algorithm (Section 4): forms the log-linear system
 	// y1 = x1+x3, y2 = x2+x3, y3 = x2+x4, y23 = x2+x3+x4 and solves it.
-	res, err := tomography.Correlation(top, src, tomography.Options{})
+	// Estimators resolve by name through the registry; all of them run
+	// against the shared compiled plan.
+	corr, err := tomography.Estimate("correlation", plan, src, tomography.EstimateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys := corr.Linear.System
 	fmt.Printf("\npractical algorithm: %d single-path + %d pair equations, rank %d, solver %s\n",
-		res.System.SinglePathEqs, res.System.PairEqs, res.System.Rank, res.Solver)
+		sys.SinglePathEqs, sys.PairEqs, sys.Rank, corr.Linear.Solver)
 
 	// The exact theorem algorithm (Appendix A): computes the congestion
 	// factors αA for every correlation subset, then the marginals.
-	thm, err := tomography.Theorem(top, src, tomography.TheoremOptions{})
+	res, err := tomography.Estimate("theorem", plan, src, tomography.EstimateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	thm := res.Theorem
 
 	truth := congestion.Marginals(model)
 	fmt.Printf("\n%-6s %-8s %-12s %-12s\n", "link", "truth", "correlation", "theorem")
 	for k := 0; k < top.NumLinks(); k++ {
 		fmt.Printf("%-6s %-8.3f %-12.3f %-12.3f\n",
 			top.Link(tomography.LinkID(k)).Name, truth[k],
-			res.CongestionProb[k], thm.CongestionProb[k])
+			corr.CongestionProb[k], thm.CongestionProb[k])
 	}
 
 	// The theorem algorithm also recovers the joint: P(e1 ∧ e2 congested).

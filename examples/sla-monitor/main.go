@@ -132,7 +132,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := tomography.Correlation(top, src, tomography.Options{})
+	plan, err := tomography.Compile(top, tomography.PlanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tomography.Estimate("correlation", plan, src, tomography.EstimateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,13 +7,14 @@
 //     construction); logical links that share hidden physical links form
 //     correlation sets;
 //  2. learn every logical link's congestion probability from end-to-end
-//     snapshots (the Section-4 correlation algorithm);
+//     snapshots (the Section-4 correlation algorithm, run through a
+//     compiled inference plan);
 //  3. use the learned probabilities to localize which links were congested
-//     in each individual snapshot (internal/locate — the follow-up problem
-//     the paper outlines in Section 3.3), and score detection quality
-//     against ground truth;
+//     in each individual snapshot (Localize — the follow-up problem the
+//     paper outlines in Section 3.3), and score detection quality against
+//     ground truth;
 //  4. cross-check the inference with indirect validation [13]
-//     (internal/tomographer — the paper's "Ongoing Work" experiment).
+//     (CompareValidation — the paper's "Ongoing Work" experiment).
 //
 // Run with:
 //
@@ -24,13 +25,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/bitset"
+	tomography "repro"
 	"repro/internal/congestion"
-	"repro/internal/core"
-	"repro/internal/locate"
-	"repro/internal/measure"
 	"repro/internal/netsim"
-	"repro/internal/tomographer"
 	"repro/internal/trace"
 )
 
@@ -73,11 +70,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	src, err := measure.NewEmpirical(rec)
+	src, err := tomography.NewEmpirical(rec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Correlation(top, src, core.Options{})
+	plan, err := tomography.Compile(top, tomography.PlanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tomography.Estimate("correlation", plan, src, tomography.EstimateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,18 +90,18 @@ func main() {
 		}
 	}
 	fmt.Printf("tomography: rank %d/%d, solver %s, worst per-link error %.3f\n",
-		res.System.Rank, top.NumLinks(), res.Solver, worst)
+		res.Linear.System.Rank, top.NumLinks(), res.Linear.Solver, worst)
 
 	// 3. Per-snapshot localization with the learned probabilities.
-	var inferred []*bitset.Set
+	var inferred []*tomography.PathSet
 	for t := 0; t < rec.Snapshots(); t++ {
-		lr, err := locate.Independent(top, res.CongestionProb, rec.PathSnapshot(t))
+		lr, err := tomography.Localize(top, res.CongestionProb, rec.PathSnapshot(t))
 		if err != nil {
 			log.Fatal(err)
 		}
 		inferred = append(inferred, lr.Congested)
 	}
-	m, err := locate.Evaluate(rec.Links.Rows(), inferred)
+	m, err := tomography.EvaluateLocalization(rec.Links.Rows(), inferred)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func main() {
 		m.Snapshots, 100*m.DetectionRate, 100*m.FalsePositiveRate)
 
 	// 4. Indirect validation (hold out 20% of paths, predict their behavior).
-	cmp, err := tomographer.Compare(top, rec, 0.2, 17)
+	cmp, err := tomography.CompareValidation(top, rec, 0.2, 17)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,10 +21,9 @@ import (
 	"fmt"
 	"log"
 
+	tomography "repro"
 	"repro/internal/brite"
-	"repro/internal/core"
 	"repro/internal/eval"
-	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/scenario"
 )
@@ -63,16 +62,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	src, err := measure.NewEmpirical(rec)
+	src, err := tomography.NewEmpirical(rec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	corr, err := core.Correlation(top, src, core.Options{})
+	// One compiled plan serves both estimators over the same record.
+	plan, err := tomography.Compile(top, tomography.PlanOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	indep, err := core.Independence(top, src, core.Options{UseAllEquations: true})
+	corr, err := tomography.Estimate("correlation", plan, src, tomography.EstimateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	indep, err := tomography.Estimate("independence", plan, src, tomography.EstimateOptions{
+		Algorithm: tomography.Options{UseAllEquations: true},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

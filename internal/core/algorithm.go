@@ -65,12 +65,26 @@ func (o *Options) fill() {
 	if o.MaxLPSize <= 0 {
 		o.MaxLPSize = 600
 	}
+	if o.MinProb <= 0 {
+		o.MinProb = 1e-9
+	}
+	if o.MaxPairCandidates <= 0 {
+		o.MaxPairCandidates = 200000
+	}
+}
+
+// Normalized returns the options with every unset field replaced by its
+// default — the canonical form, so zero values and explicit defaults
+// compare equal (plan memoization relies on this).
+func (o Options) Normalized() Options {
+	o.fill()
+	return o
 }
 
 // Correlation runs the paper's Section-4 algorithm with the topology's own
 // correlation sets.
 func Correlation(top *topology.Topology, src measure.Source, opts Options) (*Result, error) {
-	return runLinear(top, src, nil, opts)
+	return runLinear(top, src, false, opts)
 }
 
 // Independence runs the Nguyen–Thiran baseline: identical machinery with
@@ -78,33 +92,31 @@ func Correlation(top *topology.Topology, src measure.Source, opts Options) (*Res
 // products over any link set are (incorrectly, when links are correlated)
 // assumed to factorize.
 func Independence(top *topology.Topology, src measure.Source, opts Options) (*Result, error) {
-	setOf := make([]int, top.NumLinks())
-	for k := range setOf {
-		setOf[k] = k
-	}
-	return runLinear(top, src, setOf, opts)
+	return runLinear(top, src, true, opts)
 }
 
-func runLinear(top *topology.Topology, src measure.Source, setOf []int, opts Options) (*Result, error) {
+func runLinear(top *topology.Topology, src measure.Source, identity bool, opts Options) (*Result, error) {
 	opts.fill()
-	sys, err := BuildEquations(top, src, BuildOptions{
-		SetOf:             setOf,
-		MinProb:           opts.MinProb,
-		MaxPairCandidates: opts.MaxPairCandidates,
-		CollectAll:        opts.UseAllEquations,
-		DisablePairs:      opts.DisablePairs,
-		PathFilter:        opts.PathFilter,
-	})
+	sys, err := BuildEquations(top, src, buildOptions(top, identity, opts))
 	if err != nil {
 		return nil, err
 	}
+	return solveSystem(sys, opts)
+}
+
+// solveSystem solves a built equation system with the configured completion
+// strategy — the shared back half of the practical algorithms, used by both
+// the fused one-shot path (runLinear) and the compiled-plan path
+// (LinearPlan.Run). opts must already be filled.
+func solveSystem(sys *EquationSystem, opts Options) (*Result, error) {
 	if len(sys.Equations) == 0 {
 		return nil, fmt.Errorf("core: no usable equations (all admissible observations had zero good-probability)")
 	}
 
 	a, y := sys.Matrix()
-	nl := top.NumLinks()
+	nl := sys.NumLinks
 	var x []float64
+	var err error
 	var kind SolverKind
 
 	switch {

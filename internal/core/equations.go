@@ -157,36 +157,59 @@ func (t *gf2Tracker) add(links *bitset.Set)                { t.b.Add(links) }
 func (t *gf2Tracker) rank() int                            { return t.b.Rank() }
 func (t *gf2Tracker) full() bool                           { return t.b.Rank() == t.dim }
 
-// BuildEquations runs the Section-4 selection: all admissible single-path
-// equations first, then admissible pair equations, keeping only rows that
-// increase the rank, until |E| equations are collected or candidates run out.
-func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOptions) (*EquationSystem, error) {
-	if src.NumPaths() != top.NumPaths() {
-		return nil, fmt.Errorf("core: source has %d paths, topology %d", src.NumPaths(), top.NumPaths())
-	}
-	opts.fill(top)
-	if len(opts.SetOf) != top.NumLinks() {
-		return nil, fmt.Errorf("core: SetOf has %d entries, want %d", len(opts.SetOf), top.NumLinks())
-	}
-
-	nl := top.NumLinks()
-	sys := &EquationSystem{NumLinks: nl, Covered: bitset.New(nl)}
-	var basis rankTracker
+// newRankTracker picks the rank tracker for an nl-link system per the
+// configured GF2 threshold.
+func newRankTracker(nl int, opts *BuildOptions) rankTracker {
 	if nl > opts.GF2RankThreshold {
-		basis = &gf2Tracker{b: linalg.NewGF2Basis(), dim: nl}
-	} else {
-		basis = newFloatTracker(nl)
+		return &gf2Tracker{b: linalg.NewGF2Basis(), dim: nl}
 	}
+	return newFloatTracker(nl)
+}
 
+// probeFor returns the probability lookup for an equation's paths, routing
+// single-path and pair queries through the source's fast path when it has
+// one (Empirical answers them from cached bit-column popcounts); only larger
+// sets materialize a path bitset.
+func probeFor(top *topology.Topology, src measure.Source) func(paths []topology.PathID) float64 {
+	fast, hasFast := src.(measure.FastPairSource)
+	return func(paths []topology.PathID) float64 {
+		if hasFast {
+			switch len(paths) {
+			case 1:
+				return fast.ProbPathGood(paths[0])
+			case 2:
+				return fast.ProbPairGood(paths[0], paths[1])
+			}
+		}
+		pathSet := bitset.New(top.NumPaths())
+		for _, p := range paths {
+			pathSet.Add(int(p))
+		}
+		return src.ProbPathsGood(pathSet)
+	}
+}
+
+// enumerateCandidates drives the Section-4 candidate stream shared by the
+// fused BuildEquations and the structural compile phase: every admissible
+// single-path link set first (Eq. 9), then every deduped admissible pair
+// union (Eq. 10), in a deterministic order. visit returns false to stop the
+// enumeration (the caller gathered enough equations). The pair step is only
+// reached when the single-path step ran to completion, mirroring the fused
+// control flow.
+//
+// Ownership: a single-path candidate's link set is the topology's own and
+// must be cloned before retaining; a pair candidate's union is freshly
+// allocated and may be retained.
+func enumerateCandidates(top *topology.Topology, opts *BuildOptions, visit func(links *bitset.Set, pair bool, paths ...topology.PathID) bool) error {
 	// admissible reports whether the link set touches every correlation
 	// group at most once. The group-seen scratch is one slice reused across
 	// all candidates (generation-stamped, so no clearing between calls)
 	// instead of a per-call map — this check runs for every single-path and
-	// pair candidate, so its allocations would dominate BuildEquations.
+	// pair candidate, so its allocations would dominate the enumeration.
 	maxGroup := 0
 	for _, g := range opts.SetOf {
 		if g < 0 {
-			return nil, fmt.Errorf("core: negative correlation group %d in SetOf", g)
+			return fmt.Errorf("core: negative correlation group %d in SetOf", g)
 		}
 		if g >= maxGroup {
 			maxGroup = g + 1
@@ -209,32 +232,103 @@ func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOption
 		return ok
 	}
 
+	// Step 1: single-path candidates (Eq. 9 in the paper).
+	var admissiblePaths []topology.PathID
+	for _, p := range top.Paths() {
+		if opts.PathFilter != nil && !opts.PathFilter(p.ID) {
+			continue
+		}
+		links := top.PathLinkSet(p.ID)
+		if !admissible(links) {
+			continue
+		}
+		admissiblePaths = append(admissiblePaths, p.ID)
+		if !visit(links, false, p.ID) {
+			return nil
+		}
+	}
+
+	// Step 2: pair candidates (Eq. 10). Only pairs of admissible paths that
+	// share at least one link can be independent of the single-path rows,
+	// so candidates are enumerated per shared link.
+	if opts.DisablePairs {
+		return nil
+	}
+	isAdmissiblePath := make([]bool, top.NumPaths())
+	for _, p := range admissiblePaths {
+		isAdmissiblePath[p] = true
+	}
+	// Pair dedup: one lazily allocated partner bitset per admissible
+	// path, replacing a per-run map whose boxed int64 keys were a top
+	// allocation site. Memory is bounded by admissible paths that
+	// actually see candidates × one word per 64 paths.
+	paired := make([]*bitset.Set, top.NumPaths())
+	candidates := 0
+	for k := 0; k < top.NumLinks(); k++ {
+		through := top.PathsThroughLink(topology.LinkID(k))
+		for ai := 0; ai < len(through); ai++ {
+			i := through[ai]
+			if !isAdmissiblePath[i] {
+				continue
+			}
+			for bi := ai + 1; bi < len(through); bi++ {
+				j := through[bi]
+				if !isAdmissiblePath[j] {
+					continue
+				}
+				if paired[i] == nil {
+					paired[i] = bitset.New(top.NumPaths())
+				}
+				if paired[i].Contains(int(j)) {
+					continue
+				}
+				paired[i].Add(int(j))
+				candidates++
+				if candidates > opts.MaxPairCandidates {
+					return nil
+				}
+				union := bitset.Union(top.PathLinkSet(i), top.PathLinkSet(j))
+				if !admissible(union) {
+					continue
+				}
+				if !visit(union, true, i, j) {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BuildEquations runs the Section-4 selection: all admissible single-path
+// equations first, then admissible pair equations, keeping only rows that
+// increase the rank, until |E| equations are collected or candidates run out.
+//
+// This is the fused one-shot path: selection and probability lookup are
+// interleaved, so equations dropped for a near-zero measured probability
+// free their slot for later candidates. CompileStructure/Evaluate split the
+// same procedure into a reusable structural phase and a cheap per-source
+// fill (falling back to this function in the rare data-dependent case).
+func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOptions) (*EquationSystem, error) {
+	if src.NumPaths() != top.NumPaths() {
+		return nil, fmt.Errorf("core: source has %d paths, topology %d", src.NumPaths(), top.NumPaths())
+	}
+	opts.fill(top)
+	if len(opts.SetOf) != top.NumLinks() {
+		return nil, fmt.Errorf("core: SetOf has %d entries, want %d", len(opts.SetOf), top.NumLinks())
+	}
+
+	nl := top.NumLinks()
+	sys := &EquationSystem{NumLinks: nl, Covered: bitset.New(nl)}
+	basis := newRankTracker(nl, &opts)
+	probPaths := probeFor(top, src)
+
 	// done reports whether equation gathering should stop.
 	done := func() bool {
 		if opts.CollectAll {
 			return len(sys.Equations) >= opts.MaxEquations
 		}
 		return basis.full()
-	}
-
-	// Single-path and pair probabilities go through the source's fast path
-	// when it has one (Empirical answers them from cached bit-column
-	// popcounts); only larger sets materialize a path bitset.
-	fast, hasFast := src.(measure.FastPairSource)
-	probPaths := func(paths []topology.PathID) float64 {
-		if hasFast {
-			switch len(paths) {
-			case 1:
-				return fast.ProbPathGood(paths[0])
-			case 2:
-				return fast.ProbPairGood(paths[0], paths[1])
-			}
-		}
-		pathSet := bitset.New(top.NumPaths())
-		for _, p := range paths {
-			pathSet.Add(int(p))
-		}
-		return src.ProbPathsGood(pathSet)
 	}
 
 	addEq := func(links *bitset.Set, paths ...topology.PathID) bool {
@@ -256,76 +350,18 @@ func BuildEquations(top *topology.Topology, src measure.Source, opts BuildOption
 		return true
 	}
 
-	// Step 1: single-path equations (Eq. 9 in the paper).
-	var admissiblePaths []topology.PathID
-	for _, p := range top.Paths() {
-		if opts.PathFilter != nil && !opts.PathFilter(p.ID) {
-			continue
-		}
-		links := top.PathLinkSet(p.ID)
-		if !admissible(links) {
-			continue
-		}
-		admissiblePaths = append(admissiblePaths, p.ID)
-		if addEq(links, p.ID) {
-			sys.SinglePathEqs++
-		}
-		if done() {
-			break
-		}
-	}
-
-	// Step 2: pair equations (Eq. 10). Only pairs of admissible paths that
-	// share at least one link can be independent of the single-path rows,
-	// so candidates are enumerated per shared link.
-	if !done() && !opts.DisablePairs {
-		isAdmissiblePath := make([]bool, top.NumPaths())
-		for _, p := range admissiblePaths {
-			isAdmissiblePath[p] = true
-		}
-		// Pair dedup: one lazily allocated partner bitset per admissible
-		// path, replacing a per-run map whose boxed int64 keys were a top
-		// allocation site. Memory is bounded by admissible paths that
-		// actually see candidates × one word per 64 paths.
-		paired := make([]*bitset.Set, top.NumPaths())
-		candidates := 0
-	pairLoop:
-		for k := 0; k < nl; k++ {
-			through := top.PathsThroughLink(topology.LinkID(k))
-			for ai := 0; ai < len(through); ai++ {
-				i := through[ai]
-				if !isAdmissiblePath[i] {
-					continue
-				}
-				for bi := ai + 1; bi < len(through); bi++ {
-					j := through[bi]
-					if !isAdmissiblePath[j] {
-						continue
-					}
-					if paired[i] == nil {
-						paired[i] = bitset.New(top.NumPaths())
-					}
-					if paired[i].Contains(int(j)) {
-						continue
-					}
-					paired[i].Add(int(j))
-					candidates++
-					if candidates > opts.MaxPairCandidates {
-						break pairLoop
-					}
-					union := bitset.Union(top.PathLinkSet(i), top.PathLinkSet(j))
-					if !admissible(union) {
-						continue
-					}
-					if addEq(union, i, j) {
-						sys.PairEqs++
-					}
-					if done() {
-						break pairLoop
-					}
-				}
+	err := enumerateCandidates(top, &opts, func(links *bitset.Set, pair bool, paths ...topology.PathID) bool {
+		if addEq(links, paths...) {
+			if pair {
+				sys.PairEqs++
+			} else {
+				sys.SinglePathEqs++
 			}
 		}
+		return !done()
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	sys.Rank = basis.rank()

@@ -96,7 +96,7 @@ func TestGF2ThresholdPath(t *testing.T) {
 		t.Fatalf("GF2 rank %d != float rank %d", gf2.Rank, flt.Rank)
 	}
 	// And inference through the GF(2) path stays exact.
-	res, err := runLinear(top, src, nil, Options{})
+	res, err := runLinear(top, src, false, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,16 @@ type TheoremOptions struct {
 	MaxSubsetsPerSet int
 }
 
+// Normalized returns the options with every unset field replaced by its
+// default, so zero values and explicit defaults compare equal (plan
+// memoization relies on this).
+func (o TheoremOptions) Normalized() TheoremOptions {
+	if o.MaxSubsetsPerSet <= 0 {
+		o.MaxSubsetsPerSet = 4096
+	}
+	return o
+}
+
 // corrSubset is one correlation subset A ∈ C̃ with its path coverage.
 type corrSubset struct {
 	set      int
@@ -42,24 +52,36 @@ type corrSubset struct {
 	key      string
 }
 
-// Theorem runs the constructive algorithm extracted from the proof of
-// Theorem 1. It requires a PatternSource (exact or empirical estimates of
-// P(ψ(S) = Q)) and a topology satisfying Assumption 4; it returns the
-// congestion factors and per-link congestion probabilities.
-//
-// The computation follows the Appendix step by step:
-//
-//  1. enumerate the correlation subsets C̃ and order them by |ψ(A)|;
-//  2. for each A in order, enumerate the network states Sn with
-//     ψ(Sn) = ψ(A), split them by whether Sqn = A, and solve Eq. 18
-//     αA = (P(ψ(S)=ψ(A))/P(ψ(S)=∅) − ΓĀ)/ΓA, where ΓA and ΓĀ only involve
-//     congestion factors already computed (Lemma 1);
-//  3. recover P(Sᵖ = ∅) = 1/(1 + Σ αA) and P(Sᵖ = A) = αA·P(Sᵖ = ∅), then
-//     P(Xek = 1) = Σ_{A ∋ ek} P(Sᵖ = A) (Lemma 3).
-func Theorem(top *topology.Topology, src measure.PatternSource, opts TheoremOptions) (*TheoremResult, error) {
-	if opts.MaxSubsetsPerSet <= 0 {
-		opts.MaxSubsetsPerSet = 4096
-	}
+// TheoremPlan is the compiled structural phase of the exact algorithm:
+// everything that depends only on the topology — the correlation subsets C̃
+// with their path coverages, the Assumption-4 validation, the |ψ(A)|
+// computation order, and each subset's per-set Γ-candidate lists. One plan
+// serves any number of Run calls over different pattern sources; it is
+// immutable after CompileTheorem returns and safe for concurrent use.
+type TheoremPlan struct {
+	top     *topology.Topology
+	opts    TheoremOptions
+	subsets []*corrSubset   // ordered by |ψ(A)| ascending
+	bySet   [][]*corrSubset // per correlation set, enumeration order
+	// gammaCands[ai][p] lists, for ordered subset ai and correlation set p,
+	// the states of set p whose coverage fits inside ψ(A) — the structural
+	// filter of the Γ enumeration (Eq. 18), hoisted out of the data phase.
+	gammaCands [][][]gammaCand
+}
+
+// gammaCand is one precomputed Γ-enumeration state: a correlation subset
+// admissible for the current target, with isA marking the target state
+// itself (whose factor is 1 on the ΓA side rather than an α).
+type gammaCand struct {
+	sub *corrSubset
+	isA bool
+}
+
+// CompileTheorem runs the source-independent part of the exact algorithm:
+// subset enumeration, the Assumption-4 check, the computation ordering, and
+// the per-subset Γ-candidate lists.
+func CompileTheorem(top *topology.Topology, opts TheoremOptions) (*TheoremPlan, error) {
+	opts = opts.Normalized()
 
 	var subsets []*corrSubset
 	bySet := make([][]*corrSubset, top.NumSets())
@@ -94,22 +116,74 @@ func Theorem(top *topology.Topology, src measure.PatternSource, opts TheoremOpti
 		return subsets[i].coverage.Len() < subsets[j].coverage.Len()
 	})
 
+	pl := &TheoremPlan{top: top, opts: opts, subsets: subsets, bySet: bySet}
+	pl.gammaCands = make([][][]gammaCand, len(subsets))
+	for ai, a := range subsets {
+		perSet := make([][]gammaCand, len(bySet))
+		for p := range bySet {
+			for _, s := range bySet[p] {
+				if !s.coverage.IsSubsetOf(a.coverage) {
+					continue
+				}
+				perSet[p] = append(perSet[p], gammaCand{sub: s, isA: p == a.set && s.key == a.key})
+			}
+		}
+		pl.gammaCands[ai] = perSet
+	}
+	return pl, nil
+}
+
+// Topology returns the topology the plan was compiled for.
+func (pl *TheoremPlan) Topology() *topology.Topology { return pl.top }
+
+// Theorem runs the constructive algorithm extracted from the proof of
+// Theorem 1. It requires a PatternSource (exact or empirical estimates of
+// P(ψ(S) = Q)) and a topology satisfying Assumption 4; it returns the
+// congestion factors and per-link congestion probabilities.
+//
+// The computation follows the Appendix step by step:
+//
+//  1. enumerate the correlation subsets C̃ and order them by |ψ(A)|;
+//  2. for each A in order, enumerate the network states Sn with
+//     ψ(Sn) = ψ(A), split them by whether Sqn = A, and solve Eq. 18
+//     αA = (P(ψ(S)=ψ(A))/P(ψ(S)=∅) − ΓĀ)/ΓA, where ΓA and ΓĀ only involve
+//     congestion factors already computed (Lemma 1);
+//  3. recover P(Sᵖ = ∅) = 1/(1 + Σ αA) and P(Sᵖ = A) = αA·P(Sᵖ = ∅), then
+//     P(Xek = 1) = Σ_{A ∋ ek} P(Sᵖ = A) (Lemma 3).
+//
+// Theorem is the one-shot form; CompileTheorem + Run amortizes steps that
+// depend only on the topology across many sources.
+func Theorem(top *topology.Topology, src measure.PatternSource, opts TheoremOptions) (*TheoremResult, error) {
+	pl, err := CompileTheorem(top, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Run(src)
+}
+
+// Run executes the data-dependent phase of the exact algorithm against a
+// pattern source: solve Eq. 18 for every αA in the precompiled order, then
+// recover the joint and marginal probabilities via Lemma 3. The output is
+// bit-identical to Theorem on the same inputs. Run allocates its outputs
+// and is safe to call concurrently on a shared plan.
+func (pl *TheoremPlan) Run(src measure.PatternSource) (*TheoremResult, error) {
+	top := pl.top
 	p0 := src.ProbExactCongestedPaths(bitset.New(top.NumPaths()))
 	if p0 <= 0 {
 		return nil, fmt.Errorf("core: P(all paths good) = %v; the theorem algorithm needs a positive all-good probability", p0)
 	}
 
-	alpha := make(map[string]float64, len(subsets))
+	alpha := make(map[string]float64, len(pl.subsets))
 	res := &TheoremResult{
 		CongestionProb: make([]float64, top.NumLinks()),
 		Alpha:          alpha,
 		ProbSetEmpty:   make([]float64, top.NumSets()),
-		JointProb:      make(map[string]float64, len(subsets)),
+		JointProb:      make(map[string]float64, len(pl.subsets)),
 	}
 
-	for _, a := range subsets {
+	for ai, a := range pl.subsets {
 		res.Subsets = append(res.Subsets, a.links.Clone())
-		gammaA, gammaBar, err := gammaTerms(top, bySet, alpha, a)
+		gammaA, gammaBar, err := pl.gammaTerms(alpha, ai)
 		if err != nil {
 			return nil, err
 		}
@@ -127,12 +201,12 @@ func Theorem(top *topology.Topology, src measure.PatternSource, opts TheoremOpti
 	// Lemma 3: recover P(Sᵖ=∅), P(Sᵖ=A) and the per-link marginals.
 	for p := 0; p < top.NumSets(); p++ {
 		sum := 0.0
-		for _, s := range bySet[p] {
+		for _, s := range pl.bySet[p] {
 			sum += alpha[s.key]
 		}
 		pEmpty := 1 / (1 + sum)
 		res.ProbSetEmpty[p] = pEmpty
-		for _, s := range bySet[p] {
+		for _, s := range pl.bySet[p] {
 			joint := alpha[s.key] * pEmpty
 			res.JointProb[s.key] = joint
 			s.links.ForEach(func(k int) bool {
@@ -155,34 +229,31 @@ func Theorem(top *topology.Topology, src measure.PatternSource, opts TheoremOpti
 //	ΓĀ = Σ_{Sn: Sqn ≠ A} Π_p   α(Spn)
 //
 // with α(∅) = 1. All other α's needed are already present in the alpha map,
-// guaranteed by the |ψ(A)| ordering (Lemma 1).
-func gammaTerms(top *topology.Topology, bySet [][]*corrSubset, alpha map[string]float64, a *corrSubset) (gammaA, gammaBar float64, err error) {
-	// Per correlation set, the admissible states are ∅ plus the subsets
-	// whose coverage fits inside ψ(A).
+// guaranteed by the |ψ(A)| ordering (Lemma 1). The admissible states per
+// set were precomputed at compile time; only the α factors are data.
+func (pl *TheoremPlan) gammaTerms(alpha map[string]float64, ai int) (gammaA, gammaBar float64, err error) {
+	a := pl.subsets[ai]
 	type option struct {
 		coverage *bitset.Set
 		factor   float64 // α of the state; 1 for ∅
 		isA      bool    // true when this is state A itself in set q
 	}
-	options := make([][]option, len(bySet))
-	for p := range bySet {
-		opts := []option{{coverage: bitset.New(top.NumPaths()), factor: 1}}
-		for _, s := range bySet[p] {
-			if !s.coverage.IsSubsetOf(a.coverage) {
+	options := make([][]option, len(pl.bySet))
+	for p := range pl.bySet {
+		opts := []option{{coverage: bitset.New(pl.top.NumPaths()), factor: 1}}
+		for _, c := range pl.gammaCands[ai][p] {
+			if c.isA {
+				opts = append(opts, option{coverage: c.sub.coverage, factor: 1, isA: true})
 				continue
 			}
-			if p == a.set && s.key == a.key {
-				opts = append(opts, option{coverage: s.coverage, factor: 1, isA: true})
-				continue
-			}
-			av, ok := alpha[s.key]
+			av, ok := alpha[c.sub.key]
 			if !ok {
-				return 0, 0, fmt.Errorf("core: internal error: α for subset %v needed before it was computed (ordering bug)", s.links)
+				return 0, 0, fmt.Errorf("core: internal error: α for subset %v needed before it was computed (ordering bug)", c.sub.links)
 			}
 			if av == 0 {
 				continue // contributes nothing to either sum
 			}
-			opts = append(opts, option{coverage: s.coverage, factor: av})
+			opts = append(opts, option{coverage: c.sub.coverage, factor: av})
 		}
 		options[p] = opts
 	}
@@ -208,6 +279,6 @@ func gammaTerms(top *topology.Topology, bySet [][]*corrSubset, alpha map[string]
 			rec(p+1, next, prod*o.factor, sawA || o.isA)
 		}
 	}
-	rec(0, bitset.New(top.NumPaths()), 1, false)
+	rec(0, bitset.New(pl.top.NumPaths()), 1, false)
 	return gammaA, gammaBar, nil
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/measure"
 	"repro/internal/netsim"
+	"repro/internal/plan"
 	"repro/internal/planetlab"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -194,10 +195,11 @@ func trialSeed(p Params, trial int) int64 {
 }
 
 // runTrial simulates one trial of a scenario and runs both algorithms on
-// it. ctx must be the enclosing pool task's ctx: it carries this trial's
-// share of the worker budget, which sizes the nested snapshot-simulator
-// pool so total concurrency stays within p.Workers.
-func runTrial(ctx context.Context, s *scenario.Scenario, p Params, snapshots, trial int) (trialResult, error) {
+// it through the scenario's shared compiled plan. ctx must be the enclosing
+// pool task's ctx: it carries this trial's share of the worker budget,
+// which sizes the nested snapshot-simulator pool so total concurrency stays
+// within p.Workers.
+func runTrial(ctx context.Context, s *scenario.Scenario, pl *plan.Plan, p Params, snapshots, trial int) (trialResult, error) {
 	rec, err := netsim.RunContext(ctx, netsim.Config{
 		Topology:       s.Topology,
 		Model:          s.Model,
@@ -215,7 +217,7 @@ func runTrial(ctx context.Context, s *scenario.Scenario, p Params, snapshots, tr
 		return trialResult{}, fmt.Errorf("wrapping record for %s: %w", s.Name, err)
 	}
 
-	corr, err := core.Correlation(s.Topology, src, core.Options{})
+	corr, err := pl.Correlation(src, core.Options{})
 	if err != nil {
 		return trialResult{}, fmt.Errorf("correlation algorithm on %s: %w", s.Name, err)
 	}
@@ -224,7 +226,7 @@ func runTrial(ctx context.Context, s *scenario.Scenario, p Params, snapshots, tr
 	// least-squares fit, rather than the Section-4 just-enough/L1 strategy —
 	// a robust solver would quietly reject the wrong equations as outliers
 	// and mask exactly the modelling error the paper measures.
-	indep, err := core.Independence(s.Topology, src, core.Options{UseAllEquations: true})
+	indep, err := pl.Independence(src, core.Options{UseAllEquations: true})
 	if err != nil {
 		return trialResult{}, fmt.Errorf("independence algorithm on %s: %w", s.Name, err)
 	}
@@ -251,8 +253,15 @@ func runTrial(ctx context.Context, s *scenario.Scenario, p Params, snapshots, tr
 // function of (p.Seed, trial) only, and the sorted merge is order-blind.
 func algorithmErrors(ctx context.Context, s *scenario.Scenario, p Params, snapshots int, tr *tracker) (corrErrs, indepErrs []float64, notes []string, err error) {
 	trials := p.trials()
+	// One compiled plan per scenario: every trial re-simulates and re-solves,
+	// but the equation structure depends only on the topology and is shared.
+	// Lazy: the two structures the trials need compile (once) on first use.
+	pl, err := plan.Compile(s.Topology, plan.Options{Lazy: true})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("compiling plan for %s: %w", s.Name, err)
+	}
 	results, err := runner.Map(ctx, p.pool(), trials, func(ctx context.Context, t int) (trialResult, error) {
-		res, err := runTrial(ctx, s, p, snapshots, t)
+		res, err := runTrial(ctx, s, pl, p, snapshots, t)
 		if err == nil {
 			tr.tick()
 		}

@@ -26,9 +26,21 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/measure"
 	"repro/internal/topology"
 )
+
+// Source is the measurement interface the estimator consumes: empirical
+// good-frequencies of single paths and of path pairs. measure.Empirical
+// satisfies it; any source exposing the measure.Source + FastPairSource
+// pair does too.
+type Source interface {
+	// NumPaths returns the number of paths in the underlying experiment.
+	NumPaths() int
+	// ProbPathGood returns the empirical P(path i good).
+	ProbPathGood(i topology.PathID) float64
+	// ProbPairGood returns the empirical P(paths i and j both good).
+	ProbPairGood(i, j topology.PathID) float64
+}
 
 // Options tunes the optimizer.
 type Options struct {
@@ -71,29 +83,44 @@ const (
 	gClamp = 1e-9 // keep path-good probabilities inside (0, 1)
 )
 
-// Estimate runs the composite-likelihood MLE on the empirical per-path
-// good-frequencies of a measurement source.
-func Estimate(top *topology.Topology, src *measure.Empirical, opts Options) (*Result, error) {
-	if src.NumPaths() != top.NumPaths() {
-		return nil, fmt.Errorf("mle: source has %d paths, topology %d", src.NumPaths(), top.NumPaths())
+// obs is one composite-likelihood observation: the link set whose q-product
+// predicts the all-good frequency of a single path or a link-sharing path
+// pair. Which frequency to query is structural; the frequency itself is
+// data and is looked up per Estimate call.
+type obs struct {
+	links []int
+	i, j  topology.PathID // j < 0 for a single-path observation
+}
+
+// Plan is the compiled structural phase of the estimator: the observation
+// set (every path plus link-sharing pairs, capped at 2·|E|) and the
+// observation↔link incidence in both directions. Everything here depends
+// only on the topology, so one plan serves any number of Estimate calls;
+// it is immutable after Compile returns and safe for concurrent use.
+type Plan struct {
+	top          *topology.Topology
+	observations []obs
+	pathsOf      [][]int // link → observation indices
+	linksOf      [][]int // observation → link indices
+}
+
+// Compile builds the estimator's observation structure for a topology.
+func Compile(top *topology.Topology) (*Plan, error) {
+	if top == nil {
+		return nil, fmt.Errorf("mle: nil topology")
 	}
-	opts.fill()
 	nl := top.NumLinks()
 	np := top.NumPaths()
 
 	// Observations: every path, plus link-sharing path pairs (capped at
-	// 2·|E|), each with its empirical all-good frequency f and the link set
-	// whose q-product predicts it.
-	type obs struct {
-		links []int
-		f     float64
-	}
+	// 2·|E|), each identifying the empirical all-good frequency to query
+	// and the link set whose q-product predicts it.
 	var observations []obs
 	for i := 0; i < np; i++ {
 		id := topology.PathID(i)
 		observations = append(observations, obs{
 			links: top.PathLinkSet(id).Indices(),
-			f:     src.ProbPathGood(id),
+			i:     id, j: -1,
 		})
 	}
 	seenPair := map[int64]bool{}
@@ -114,7 +141,7 @@ pairScan:
 				union.UnionWith(top.PathLinkSet(j))
 				observations = append(observations, obs{
 					links: union.Indices(),
-					f:     src.ProbPairGood(i, j),
+					i:     i, j: j,
 				})
 				pairCount++
 				if pairCount >= maxPairs {
@@ -126,18 +153,52 @@ pairScan:
 
 	// Observation-link incidence, both directions.
 	pathsOf := make([][]int, nl)
+	linksOf := make([][]int, len(observations))
 	for oi, o := range observations {
 		for _, l := range o.links {
 			pathsOf[l] = append(pathsOf[l], oi)
 		}
-	}
-	nObs := len(observations)
-	f := make([]float64, nObs)
-	linksOf := make([][]int, nObs)
-	for oi, o := range observations {
-		f[oi] = o.f
 		linksOf[oi] = o.links
 	}
+	return &Plan{top: top, observations: observations, pathsOf: pathsOf, linksOf: linksOf}, nil
+}
+
+// Topology returns the topology the plan was compiled for.
+func (p *Plan) Topology() *topology.Topology { return p.top }
+
+// Estimate runs the composite-likelihood MLE on the empirical per-path
+// good-frequencies of a measurement source. The one-shot form of
+// Compile + Plan.Estimate.
+func Estimate(top *topology.Topology, src Source, opts Options) (*Result, error) {
+	plan, err := Compile(top)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Estimate(src, opts)
+}
+
+// Estimate fills the compiled observation structure's frequencies from the
+// source and maximizes the composite likelihood. Bit-identical to the
+// one-shot Estimate; allocates its own optimizer state, so concurrent calls
+// on a shared plan are safe.
+func (p *Plan) Estimate(src Source, opts Options) (*Result, error) {
+	top := p.top
+	if src.NumPaths() != top.NumPaths() {
+		return nil, fmt.Errorf("mle: source has %d paths, topology %d", src.NumPaths(), top.NumPaths())
+	}
+	opts.fill()
+	nl := top.NumLinks()
+
+	nObs := len(p.observations)
+	f := make([]float64, nObs)
+	for oi, o := range p.observations {
+		if o.j < 0 {
+			f[oi] = src.ProbPathGood(o.i)
+		} else {
+			f[oi] = src.ProbPairGood(o.i, o.j)
+		}
+	}
+	pathsOf, linksOf := p.pathsOf, p.linksOf
 
 	x := make([]float64, nl) // log q_k ≤ 0
 	init := math.Log(1 - opts.InitialProb)

@@ -1,0 +1,235 @@
+package plan
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/brite"
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/mle"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+)
+
+func briteFixture(t *testing.T, seed int64) (*topology.Topology, *measure.Empirical) {
+	t.Helper()
+	net, err := brite.Generate(brite.Config{ASes: 25, EdgesPerAS: 2, Paths: 80, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Brite(scenario.BriteConfig{
+		Net: net, FracCongested: 0.12, Level: scenario.HighCorrelation, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := netsim.Run(netsim.Config{
+		Topology: s.Topology, Model: s.Model, Snapshots: 600, Seed: seed + 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Topology, src
+}
+
+func fig1aFixture(t *testing.T) (*topology.Topology, *measure.Empirical) {
+	t.Helper()
+	top := topology.Figure1A()
+	model, err := congestion.NewTable(4, []congestion.GroupTable{
+		{
+			Links: []int{0, 1},
+			States: []congestion.SubsetProb{
+				{Links: bitset.New(0), P: 0.60},
+				{Links: bitset.FromIndices(0), P: 0.10},
+				{Links: bitset.FromIndices(1), P: 0.12},
+				{Links: bitset.FromIndices(0, 1), P: 0.18},
+			},
+		},
+		{Links: []int{2}, States: []congestion.SubsetProb{
+			{Links: bitset.New(0), P: 0.8}, {Links: bitset.FromIndices(2), P: 0.2},
+		}},
+		{Links: []int{3}, States: []congestion.SubsetProb{
+			{Links: bitset.New(0), P: 0.9}, {Links: bitset.FromIndices(3), P: 0.1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := netsim.Run(netsim.Config{Topology: top, Model: model, Snapshots: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := measure.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, src
+}
+
+// TestPlanMatchesOneShotAlgorithms pins every plan-routed estimator
+// bit-identical to its one-shot counterpart.
+func TestPlanMatchesOneShotAlgorithms(t *testing.T) {
+	top, src := briteFixture(t, 11)
+	p, err := Compile(top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantCorr, err := core.Correlation(top, src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCorr, err := p.Correlation(src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantCorr, gotCorr) {
+		t.Fatal("plan Correlation differs from core.Correlation")
+	}
+
+	wantIndep, err := core.Independence(top, src, core.Options{UseAllEquations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIndep, err := p.Independence(src, core.Options{UseAllEquations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantIndep, gotIndep) {
+		t.Fatal("plan Independence differs from core.Independence")
+	}
+
+	wantMLE, err := mle.Estimate(top, src, mle.Options{MaxIters: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotMLE, err := p.MLE(src, mle.Options{MaxIters: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantMLE, gotMLE) {
+		t.Fatal("plan MLE differs from mle.Estimate")
+	}
+
+	ftop, fsrc := fig1aFixture(t)
+	fp, err := Compile(ftop, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantThm, err := core.Theorem(ftop, fsrc, core.TheoremOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotThm, err := fp.Theorem(fsrc, core.TheoremOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantThm, gotThm) {
+		t.Fatal("plan Theorem differs from core.Theorem")
+	}
+}
+
+// TestPlanMemoizesStructures checks a structural signature compiles once
+// and is shared, while distinct signatures get distinct structures.
+func TestPlanMemoizesStructures(t *testing.T) {
+	top, _ := briteFixture(t, 13)
+	p, err := Compile(top, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.linearPlan(false, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.linearPlan(false, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same signature compiled twice")
+	}
+	c, err := p.linearPlan(false, core.Options{DisablePairs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("distinct signatures shared one structure")
+	}
+	d, err := p.linearPlan(true, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == d {
+		t.Fatal("identity partition shared the correlation structure")
+	}
+	// Normalization: spelled-out defaults and the zero value are one key.
+	e, err := p.linearPlan(false, core.Options{MinProb: 1e-9, MaxPairCandidates: 200000, MaxLPSize: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != e {
+		t.Fatal("explicit default options compiled a duplicate structure")
+	}
+}
+
+// TestPlanConcurrentUse hammers one shared plan from many goroutines (run
+// under -race in CI): every result must equal the serial reference.
+func TestPlanConcurrentUse(t *testing.T) {
+	top, src := briteFixture(t, 17)
+	p, err := Compile(top, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCorr, err := core.Correlation(top, src, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIndep, err := core.Independence(top, src, core.Options{UseAllEquations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				corr, err := p.Correlation(src, core.Options{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(wantCorr, corr) {
+					errs <- fmt.Errorf("goroutine %d: concurrent Correlation differs", g)
+					return
+				}
+				indep, err := p.Independence(src, core.Options{UseAllEquations: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(wantIndep, indep) {
+					errs <- fmt.Errorf("goroutine %d: concurrent Independence differs", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

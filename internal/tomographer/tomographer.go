@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/measure"
 	"repro/internal/netsim"
+	"repro/internal/plan"
 	"repro/internal/topology"
 )
 
@@ -46,6 +47,14 @@ type Config struct {
 	Seed int64
 	// Options are forwarded to the inference algorithm.
 	Options core.Options
+	// Plan, when non-nil, is the inference plan the estimators run through
+	// (one is compiled lazily otherwise). Note: the holdout PathFilter
+	// makes each validation's equation structure split-specific, so those
+	// structures compile per run either way; the point of passing a Plan
+	// is to let validation ride on the same plan the caller already uses
+	// for full-data inference over this topology, whose structures do
+	// memoize, instead of constructing a second one.
+	Plan *plan.Plan
 }
 
 // Report is the outcome of an indirect validation.
@@ -126,16 +135,25 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tomographer: %w", err)
 	}
+	p := cfg.Plan
+	if p != nil && p.Topology() != top {
+		return nil, fmt.Errorf("tomographer: cfg.Plan was compiled for a different topology")
+	}
+	if p == nil {
+		if p, err = plan.Compile(top, plan.Options{Lazy: true}); err != nil {
+			return nil, fmt.Errorf("tomographer: %w", err)
+		}
+	}
 	opts := cfg.Options
 	opts.PathFilter = func(id topology.PathID) bool { return !heldOut[id] }
 
 	var res *core.Result
 	switch cfg.Algorithm {
 	case Correlation:
-		res, err = core.Correlation(top, src, opts)
+		res, err = p.Correlation(src, opts)
 	case Independence:
 		opts.UseAllEquations = true // the [12] baseline uses all observations
-		res, err = core.Independence(top, src, opts)
+		res, err = p.Independence(src, opts)
 	default:
 		return nil, fmt.Errorf("tomographer: unknown algorithm %q", cfg.Algorithm)
 	}
@@ -181,18 +199,23 @@ type Comparison struct {
 
 // Compare runs indirect validation under both correlation assumptions on
 // the same record and split seed — the experiment the paper's tomographer
-// was being built to perform.
+// was being built to perform. Both runs go through one plan; see
+// Config.Plan for what that does and does not share.
 func Compare(top *topology.Topology, rec *netsim.Record, holdoutFrac float64, seed int64) (*Comparison, error) {
+	p, err := plan.Compile(top, plan.Options{Lazy: true})
+	if err != nil {
+		return nil, fmt.Errorf("tomographer: %w", err)
+	}
 	corr, err := Run(Config{
 		Topology: top, Record: rec, HoldoutFrac: holdoutFrac, Seed: seed,
-		Algorithm: Correlation,
+		Algorithm: Correlation, Plan: p,
 	})
 	if err != nil {
 		return nil, err
 	}
 	indep, err := Run(Config{
 		Topology: top, Record: rec, HoldoutFrac: holdoutFrac, Seed: seed,
-		Algorithm: Independence,
+		Algorithm: Independence, Plan: p,
 	})
 	if err != nil {
 		return nil, err

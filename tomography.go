@@ -12,32 +12,49 @@
 //  2. Collect per-snapshot path observations. The netsim engine simulates
 //     them from a ground-truth congestion model; a real deployment would
 //     fill a Record from probe measurements instead.
-//  3. Run Correlation (the paper's Section-4 algorithm), Independence (the
-//     Nguyen–Thiran baseline), or Theorem (the exact Appendix-A algorithm)
-//     to recover P(link congested) for every link.
+//  3. Compile the topology into an inference Plan, then run any registered
+//     Estimator — Correlation (the paper's Section-4 algorithm),
+//     Independence (the Nguyen–Thiran baseline), Theorem (the exact
+//     Appendix-A algorithm), or MLE (composite-likelihood) — to recover
+//     P(link congested) for every link. The plan precomputes everything
+//     that depends only on the topology (admissible path/pair selection,
+//     equation sparsity, identifiability), so repeated inference over new
+//     records, streaming appends or batch trials only fills probabilities
+//     and solves.
 //
 // For evaluating many scenarios at once — parameter sweeps, what-if
 // studies, large Monte-Carlo campaigns — EvaluateBatch shards simulation
 // and inference across a worker pool (internal/runner) with deterministic
 // per-scenario seeding: results are bit-identical regardless of the worker
-// count.
+// count, and scenarios sharing a topology share one compiled plan.
 //
-// See examples/quickstart for a complete end-to-end program.
+// Beyond probability estimation, the facade exposes the rest of the
+// paper's pipeline: Localize / LocalizeCorrelated identify the congested
+// links of a single snapshot (Section 3.3), and Validate / CompareValidation
+// run the PlanetLab tomographer's holdout indirect validation (Section 5).
+//
+// See examples/quickstart for a complete end-to-end program and
+// examples/localize for per-snapshot localization.
 package tomography
 
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/congestion"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/locate"
 	"repro/internal/measure"
+	"repro/internal/mle"
 	"repro/internal/netsim"
+	"repro/internal/plan"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/snapstore"
+	"repro/internal/tomographer"
 	"repro/internal/topology"
 )
 
@@ -84,6 +101,44 @@ type (
 	TheoremResult = core.TheoremResult
 	// TheoremOptions tunes the exact algorithm.
 	TheoremOptions = core.TheoremOptions
+	// MLEResult is the output of the composite-likelihood estimator.
+	MLEResult = mle.Result
+	// MLEOptions tunes the composite-likelihood optimizer.
+	MLEOptions = mle.Options
+)
+
+// Re-exported inference-plan types. A Plan is compiled once per topology
+// (Compile) and shared — safely, across goroutines — by every estimator
+// run over that topology.
+type (
+	// Plan is a compiled, reusable inference plan for one topology.
+	Plan = plan.Plan
+	// PlanOptions tunes Compile.
+	PlanOptions = plan.Options
+)
+
+// Re-exported per-snapshot localization types (Section 3.3).
+type (
+	// LocalizeResult is one snapshot's inferred congested-link set.
+	LocalizeResult = locate.Result
+	// SetStates is a correlation set's learned joint state distribution,
+	// consumed by LocalizeCorrelated.
+	SetStates = locate.SetStates
+	// SubsetState is one state of a correlation set.
+	SubsetState = locate.SubsetState
+	// LocalizeMetrics summarizes localization quality over many snapshots.
+	LocalizeMetrics = locate.Metrics
+)
+
+// Re-exported indirect-validation types (Section 5, PlanetLab tomographer).
+type (
+	// ValidationConfig parameterizes one holdout indirect validation.
+	ValidationConfig = tomographer.Config
+	// ValidationReport is the outcome of an indirect validation.
+	ValidationReport = tomographer.Report
+	// ValidationComparison bundles the correlation-aware and
+	// independence-assuming validations the paper proposes to compare.
+	ValidationComparison = tomographer.Comparison
 )
 
 // Model is a ground-truth congestion process (used with Simulate).
@@ -110,6 +165,36 @@ type Scenario = scenario.Scenario
 
 // ScenarioConfig parameterizes NewScenario.
 type ScenarioConfig = scenario.FromTopologyConfig
+
+// CorrelationLevel selects how congested links cluster inside correlation
+// sets in a synthesized scenario.
+type CorrelationLevel = scenario.CorrelationLevel
+
+// Re-exported correlation levels.
+const (
+	// HighCorrelation: more than 2 congested links per correlation set.
+	HighCorrelation = scenario.HighCorrelation
+	// LooseCorrelation: up to 2 congested links per correlation set.
+	LooseCorrelation = scenario.LooseCorrelation
+)
+
+// Evaluation helpers, re-exported from internal/eval: they summarize the
+// error samples EvaluateBatch and the estimators produce.
+
+// AbsErrors returns the sorted absolute errors |truth − inferred| over the
+// links of include (all links when include is nil).
+func AbsErrors(truth, inferred []float64, include *PathSet) []float64 {
+	return eval.AbsErrors(truth, inferred, include)
+}
+
+// Mean returns the mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 { return eval.Mean(xs) }
+
+// Percentile returns the p-th percentile of xs.
+func Percentile(xs []float64, p float64) float64 { return eval.Percentile(xs, p) }
+
+// FracBelow returns the fraction of xs at or below x.
+func FracBelow(xs []float64, x float64) float64 { return eval.FracBelow(xs, x) }
 
 // NewBuilder returns an empty topology builder.
 func NewBuilder() *Builder { return topology.NewBuilder() }
@@ -147,10 +232,26 @@ func NewRecordFromRows(numPaths int, rows []*PathSet) *Record {
 	return netsim.NewRecordFromRows(numPaths, rows)
 }
 
+// Compile builds a reusable inference plan for a topology: everything that
+// depends only on the topology — admissible path/pair selection, equation
+// sparsity structure, per-correlation-set indices, the identifiability
+// check — is computed once and shared by every subsequent estimator run.
+// The returned plan is immutable from the caller's perspective and safe for
+// concurrent use; see the package docs of internal/plan for the memoization
+// contract.
+func Compile(top *Topology, opts PlanOptions) (*Plan, error) {
+	return plan.Compile(top, opts)
+}
+
 // Correlation runs the paper's correlation-aware algorithm (Section 4):
 // it forms log-linear equations only from paths and pairs of paths that
 // traverse at most one link per correlation set, and solves for every
 // link's congestion probability.
+//
+// This is the fused one-shot form — selection and probability lookup in a
+// single pass, with nothing retained. Callers running repeated inference
+// over one topology should Compile once and go through the plan (or the
+// estimator registry); plan-based results are bit-identical.
 func Correlation(top *Topology, src Source, opts Options) (*Result, error) {
 	return core.Correlation(top, src, opts)
 }
@@ -158,7 +259,8 @@ func Correlation(top *Topology, src Source, opts Options) (*Result, error) {
 // Independence runs the Nguyen–Thiran baseline, which assumes all links are
 // uncorrelated. When links are correlated its equations factorize joint
 // probabilities incorrectly; the paper (and this library's benchmarks)
-// quantify the resulting error.
+// quantify the resulting error. One-shot form; see Correlation for the
+// plan-based alternative.
 func Independence(top *Topology, src Source, opts Options) (*Result, error) {
 	return core.Independence(top, src, opts)
 }
@@ -166,9 +268,80 @@ func Independence(top *Topology, src Source, opts Options) (*Result, error) {
 // Theorem runs the exact algorithm extracted from the proof of Theorem 1
 // (Appendix A). It requires Assumption 4 and small correlation sets, and
 // additionally needs exact-congestion-pattern probabilities, which the
-// Empirical source provides.
+// Empirical source provides. One-shot form; see Correlation for the
+// plan-based alternative.
 func Theorem(top *Topology, src measure.PatternSource, opts TheoremOptions) (*TheoremResult, error) {
 	return core.Theorem(top, src, opts)
+}
+
+// MLE runs the composite-likelihood maximum-likelihood estimator (the
+// Boolean-tomography baseline style of [12]/[17]): same information set as
+// Independence, but observations weighted by their binomial information
+// content. The source must provide per-path and per-pair good-frequencies
+// (Empirical does). One-shot form; see Correlation for the plan-based
+// alternative.
+func MLE(top *Topology, src Source, opts MLEOptions) (*MLEResult, error) {
+	ms, ok := src.(mle.Source)
+	if !ok {
+		return nil, fmt.Errorf("tomography: MLE needs per-path and per-pair good-frequencies (FastPairSource); %T does not provide them", src)
+	}
+	return mle.Estimate(top, ms, opts)
+}
+
+// Localize identifies the most likely congested-link set behind one
+// snapshot's congested-path observation, assuming links fail independently
+// with the given marginal probabilities (learned by any estimator). This is
+// the paper's Section-3.3 per-snapshot localization.
+func Localize(top *Topology, probs []float64, congestedPaths *PathSet) (*LocalizeResult, error) {
+	return locate.Independent(top, probs, congestedPaths)
+}
+
+// LocalizeCorrelated is Localize with per-correlation-set joint state
+// probabilities (e.g. the Theorem estimator's output via TheoremSetStates):
+// correlated sets are explained by their learned joint states instead of
+// independent marginals, which detects co-congested links that independent
+// localization misses. Sets not mentioned in states fall back to the
+// marginals.
+func LocalizeCorrelated(top *Topology, probs []float64, states []SetStates, congestedPaths *PathSet) (*LocalizeResult, error) {
+	return locate.Correlated(top, probs, states, congestedPaths)
+}
+
+// EvaluateLocalization compares per-snapshot localization output against
+// per-snapshot ground-truth congested-link sets.
+func EvaluateLocalization(truth, inferred []*PathSet) (LocalizeMetrics, error) {
+	return locate.Evaluate(truth, inferred)
+}
+
+// TheoremSetStates converts a Theorem result's recovered joint distribution
+// into the per-set state tables LocalizeCorrelated consumes.
+func TheoremSetStates(top *Topology, thm *TheoremResult) []SetStates {
+	var states []SetStates
+	for p := 0; p < top.NumSets(); p++ {
+		ss := SetStates{Set: p}
+		bitset.EnumerateSubsets(top.CorrelationSet(p).Indices(), func(s *bitset.Set) bool {
+			if prob, ok := thm.JointProb[s.Key()]; ok {
+				ss.States = append(ss.States, SubsetState{Links: s.Clone(), P: prob})
+			}
+			return true
+		})
+		ss.States = append(ss.States, SubsetState{Links: bitset.New(top.NumLinks()), P: thm.ProbSetEmpty[p]})
+		states = append(states, ss)
+	}
+	return states
+}
+
+// Validate runs one holdout indirect validation (Padmanabhan et al.): infer
+// link probabilities from a training split of the paths, predict the
+// held-out paths' good-frequencies, and compare prediction to observation.
+func Validate(cfg ValidationConfig) (*ValidationReport, error) {
+	return tomographer.Run(cfg)
+}
+
+// CompareValidation runs the indirect validation under both correlation
+// assumptions on the same record and split — the experiment the paper's
+// PlanetLab tomographer was being built to perform (Section 5).
+func CompareValidation(top *Topology, rec *Record, holdoutFrac float64, seed int64) (*ValidationComparison, error) {
+	return tomographer.Compare(top, rec, holdoutFrac, seed)
 }
 
 // CheckIdentifiability verifies Assumption 4 for a topology (subsetCap ≤ 0
@@ -230,11 +403,46 @@ type BatchResult struct {
 	Err error
 }
 
+// planCache lazily compiles one inference plan per distinct topology in a
+// batch, so scenarios sharing a topology — the common sweep/trial layout —
+// share all structural work. The once-guarded entries make concurrent
+// first uses compile exactly once.
+type planCache struct {
+	mu      sync.Mutex
+	opts    PlanOptions
+	entries map[*Topology]*planCacheEntry
+}
+
+type planCacheEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+func newPlanCache(opts PlanOptions) *planCache {
+	return &planCache{opts: opts, entries: map[*Topology]*planCacheEntry{}}
+}
+
+func (c *planCache) get(top *Topology) (*Plan, error) {
+	c.mu.Lock()
+	e := c.entries[top]
+	if e == nil {
+		e = &planCacheEntry{}
+		c.entries[top] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.plan, e.err = Compile(top, c.opts) })
+	return e.plan, e.err
+}
+
 // EvaluateBatch evaluates many scenarios concurrently on a bounded worker
 // pool: each scenario is simulated for opts.Snapshots snapshots with a seed
 // derived from (opts.Seed, its index), then both the correlation algorithm
 // and the independence baseline run on the simulated record. Results arrive
 // in input order and are bit-identical for every opts.Workers setting.
+// Scenarios that share a *Topology share one compiled inference plan, so
+// the per-topology structural work (admissible path/pair selection, rank
+// tracking) is paid once per topology rather than once per trial.
 //
 // A scenario that fails records its error in its own BatchResult and does
 // not abort the batch; EvaluateBatch itself returns an error only for
@@ -243,17 +451,24 @@ func EvaluateBatch(ctx context.Context, scenarios []*Scenario, opts BatchOptions
 	if opts.Snapshots <= 0 {
 		return nil, fmt.Errorf("tomography: EvaluateBatch snapshots = %d, want > 0", opts.Snapshots)
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("tomography: EvaluateBatch workers = %d, want ≥ 0 (0 means GOMAXPROCS)", opts.Workers)
+	}
+	if opts.PacketsPerPath < 0 {
+		return nil, fmt.Errorf("tomography: EvaluateBatch packets per path = %d, want ≥ 0 (0 means the packet-level default)", opts.PacketsPerPath)
+	}
+	plans := newPlanCache(PlanOptions{Algorithm: opts.Algorithm})
 	pool := &runner.Runner{Workers: opts.Workers, Progress: opts.Progress}
 	return runner.Map(ctx, pool, len(scenarios), func(ctx context.Context, i int) (BatchResult, error) {
 		res := BatchResult{Scenario: scenarios[i]}
-		res.fill(ctx, opts, runner.DeriveSeed(opts.Seed, i))
+		res.fill(ctx, opts, plans, runner.DeriveSeed(opts.Seed, i))
 		return res, nil
 	})
 }
 
 // fill runs simulation + both algorithms for one scenario, recording any
 // failure in res.Err.
-func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, seed int64) {
+func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, plans *planCache, seed int64) {
 	s := res.Scenario
 	rec, err := netsim.RunContext(ctx, netsim.Config{
 		Topology:       s.Topology,
@@ -275,12 +490,17 @@ func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, seed int64)
 		res.Err = err
 		return
 	}
-	corr, err := core.Correlation(s.Topology, src, opts.Algorithm)
+	p, err := plans.get(s.Topology)
 	if err != nil {
 		res.Err = err
 		return
 	}
-	indep, err := core.Independence(s.Topology, src, opts.Algorithm)
+	corr, err := p.Correlation(src, opts.Algorithm)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	indep, err := p.Independence(src, opts.Algorithm)
 	if err != nil {
 		res.Err = err
 		return

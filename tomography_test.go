@@ -175,6 +175,15 @@ func TestEvaluateBatchValidation(t *testing.T) {
 	if _, err := tomography.EvaluateBatch(context.Background(), nil, tomography.BatchOptions{}); err == nil {
 		t.Fatal("zero snapshots accepted")
 	}
+	// Regression: negative knobs used to pass straight through to netsim.
+	if _, err := tomography.EvaluateBatch(context.Background(), batchScenarios(t),
+		tomography.BatchOptions{Snapshots: 100, Workers: -1}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := tomography.EvaluateBatch(context.Background(), batchScenarios(t),
+		tomography.BatchOptions{Snapshots: 100, PacketsPerPath: -5}); err == nil {
+		t.Fatal("negative packets per path accepted")
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := tomography.EvaluateBatch(ctx, batchScenarios(t), tomography.BatchOptions{Snapshots: 100})
