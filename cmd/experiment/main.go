@@ -4,13 +4,16 @@
 //
 //	experiment -figure 3a [-scale small|medium|paper] [-seed N] [-snapshots N]
 //	experiment -figure all [-scale medium] [-trials 5] [-out results/]
+//	experiment -figure scenario:flash-crowd [-snapshots 4000]
 //
 // Each figure is printed as a text table with the same series the paper
-// plots (Correlation vs Independence). Figures, Monte-Carlo trials and
-// snapshot simulation are sharded across -workers CPU cores by the
-// internal/runner engine; results are bit-identical for every worker count,
-// and ^C cancels a run cleanly. See README.md for how the reproduction
-// compares to the published figures.
+// plots (Correlation vs Independence). A "scenario:<name>" figure evaluates
+// a named scenario from the registry instead (tomo -list-scenarios lists
+// them); dynamic scenarios run on the sequential time-evolving engine.
+// Figures, Monte-Carlo trials and snapshot simulation are sharded across
+// -workers CPU cores by the internal/runner engine; results are
+// bit-identical for every worker count, and ^C cancels a run cleanly. See
+// README.md for how the reproduction compares to the published figures.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -29,26 +33,6 @@ import (
 )
 
 func main() {
-	var (
-		figure    = flag.String("figure", "", "figure id (3a,3b,3c,3d,4a..4d,5a..5d) or 'all'")
-		scale     = flag.String("scale", "small", "experiment scale: small | medium | paper")
-		seed      = flag.Int64("seed", 1, "experiment seed")
-		snapshots = flag.Int("snapshots", 0, "override snapshot count (0 = scale default)")
-		trials    = flag.Int("trials", 1, "Monte-Carlo trials per figure point (merged before summarizing)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
-		packet    = flag.Bool("packet-level", false, "simulate probe packets and loss rates instead of state-level measurement")
-		packets   = flag.Int("packets-per-path", 0, "probes per path per snapshot in packet-level mode (0 = default)")
-		progress  = flag.Bool("progress", false, "report progress on stderr (per trial; per figure with -figure all)")
-		outDir    = flag.String("out", "", "directory to write per-figure .tsv files (default: stdout only)")
-	)
-	flag.Parse()
-
-	if *figure == "" {
-		fmt.Fprintln(os.Stderr, "experiment: -figure is required (e.g. -figure 3c, or -figure all)")
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	// ^C / SIGTERM cancels the worker pool between trials and snapshots.
 	// Once cancellation is underway, restore default signal handling so a
 	// second ^C force-quits instead of being swallowed.
@@ -58,6 +42,45 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiment: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: flags in, rendered figures out. Usage and
+// flag-parse errors go to stderr; -h is not an error.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		figure    = fs.String("figure", "", "figure id (3a,3b,3c,3d,4a..4d,5a..5d), 'all', or scenario:<name>")
+		scale     = fs.String("scale", "small", "experiment scale: small | medium | paper")
+		seed      = fs.Int64("seed", 1, "experiment seed")
+		snapshots = fs.Int("snapshots", 0, "override snapshot count (0 = scale default)")
+		trials    = fs.Int("trials", 1, "Monte-Carlo trials per figure point (merged before summarizing)")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial; results identical)")
+		packet    = fs.Bool("packet-level", false, "simulate probe packets and loss rates instead of state-level measurement")
+		packets   = fs.Int("packets-per-path", 0, "probes per path per snapshot in packet-level mode (0 = default)")
+		progress  = fs.Bool("progress", false, "report progress on stderr (per trial; per figure with -figure all)")
+		outDir    = fs.String("out", "", "directory to write per-figure .tsv files (default: stdout only)")
+		noTiming  = fs.Bool("no-timing", false, "omit wall-clock timings from the output (for diffable runs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	if *figure == "" {
+		fs.Usage()
+		return fmt.Errorf("-figure is required (e.g. -figure 3c, or -figure all)")
+	}
 
 	params := experiments.Params{
 		Scale:          experiments.Scale(*scale),
@@ -72,28 +95,34 @@ func main() {
 	}
 
 	if *figure == "all" {
-		runAll(ctx, params, *progress, *outDir)
-		return
+		return runAll(ctx, params, *progress, *outDir, *noTiming, stdout, stderr)
 	}
 
 	if *progress {
 		params.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "figure %s: trial %d/%d\n", *figure, done, total)
+			fmt.Fprintf(stderr, "figure %s: trial %d/%d\n", *figure, done, total)
 		}
 	}
 	start := time.Now()
 	fig, err := experiments.Run(ctx, *figure, params)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("=== Figure %s (%.1fs)\n", *figure, time.Since(start).Seconds())
-	emit(fig, *outDir)
-	fmt.Println()
+	if *noTiming {
+		fmt.Fprintf(stdout, "=== Figure %s\n", *figure)
+	} else {
+		fmt.Fprintf(stdout, "=== Figure %s (%.1fs)\n", *figure, time.Since(start).Seconds())
+	}
+	if err := emit(fig, *outDir, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	return nil
 }
 
 // runAll regenerates every figure concurrently, then prints them in the
 // paper's order.
-func runAll(ctx context.Context, params experiments.Params, progress bool, outDir string) {
+func runAll(ctx context.Context, params experiments.Params, progress bool, outDir string, noTiming bool, stdout, stderr io.Writer) error {
 	var ids []string
 	for _, r := range experiments.Runners {
 		ids = append(ids, r.ID)
@@ -101,54 +130,65 @@ func runAll(ctx context.Context, params experiments.Params, progress bool, outDi
 	var figProgress func(id string, done, total int)
 	if progress {
 		figProgress = func(id string, done, total int) {
-			fmt.Fprintf(os.Stderr, "figure %s done (%d/%d)\n", id, done, total)
+			fmt.Fprintf(stderr, "figure %s done (%d/%d)\n", id, done, total)
 		}
 	}
 	start := time.Now()
 	figs, err := experiments.RunAll(ctx, ids, params, figProgress)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	for _, fig := range figs {
-		fmt.Printf("=== Figure %s\n", fig.ID)
-		emit(fig, outDir)
-		fmt.Println()
+		fmt.Fprintf(stdout, "=== Figure %s\n", fig.ID)
+		if err := emit(fig, outDir, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
 	}
-	fmt.Printf("=== %d figures in %.1fs\n", len(figs), time.Since(start).Seconds())
+	if noTiming {
+		fmt.Fprintf(stdout, "=== %d figures\n", len(figs))
+	} else {
+		fmt.Fprintf(stdout, "=== %d figures in %.1fs\n", len(figs), time.Since(start).Seconds())
+	}
+	return nil
 }
 
 // emit renders a figure to stdout and, when outDir is set, to
 // outDir/figure-<id>.tsv.
-func emit(fig *experiments.Figure, outDir string) {
-	if err := fig.Render(os.Stdout); err != nil {
-		fail(fmt.Errorf("rendering %s: %w", fig.ID, err))
+func emit(fig *experiments.Figure, outDir string, stdout io.Writer) error {
+	if err := fig.Render(stdout); err != nil {
+		return fmt.Errorf("rendering %s: %w", fig.ID, err)
 	}
 	if outDir == "" {
-		return
+		return nil
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
-		fail(err)
+		return err
 	}
-	path := filepath.Join(outDir, fmt.Sprintf("figure-%s.tsv", fig.ID))
+	path := filepath.Join(outDir, fmt.Sprintf("figure-%s.tsv", sanitizeID(fig.ID)))
 	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if err := fig.Render(f); err != nil {
 		f.Close()
-		fail(fmt.Errorf("writing %s: %w", path, err))
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		fail(fmt.Errorf("closing %s: %w", path, err))
+		return fmt.Errorf("closing %s: %w", path, err)
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
 }
 
-func fail(err error) {
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "experiment: interrupted")
-		os.Exit(130)
+// sanitizeID makes a figure ID filename-safe ("scenario:worm" →
+// "scenario-worm").
+func sanitizeID(id string) string {
+	out := []rune(id)
+	for i, r := range out {
+		if r == ':' || r == '/' {
+			out[i] = '-'
+		}
 	}
-	fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
-	os.Exit(1)
+	return string(out)
 }

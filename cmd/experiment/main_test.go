@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Seed-fixed golden-file regression tests for the figure CLI (run with
+// -no-timing so the output is byte-stable). Regenerate with:
+//
+//	go test ./cmd/experiment -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"scenario-quickstart", []string{"-figure", "scenario:quickstart", "-snapshots", "400", "-seed", "2", "-workers", "1", "-no-timing"}},
+		{"scenario-linkflap", []string{"-figure", "scenario:link-flap", "-snapshots", "300", "-seed", "2", "-workers", "1", "-no-timing"}},
+		{"figure-3c-small", []string{"-figure", "3c", "-scale", "small", "-snapshots", "120", "-seed", "1", "-workers", "1", "-no-timing"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf bytes.Buffer
+			if err := run(context.Background(), tc.args, &out, &errBuf); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			checkGolden(t, tc.name, out.String())
+		})
+	}
+}
+
+// TestOutDir checks the .tsv artifact path, including figure-ID
+// sanitization for scenario figures.
+func TestOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf bytes.Buffer
+	args := []string{"-figure", "scenario:quickstart", "-snapshots", "200", "-seed", "2", "-workers", "1", "-no-timing", "-out", dir}
+	if err := run(context.Background(), args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure-scenario-quickstart.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Correlation") {
+		t.Fatalf("tsv artifact lacks the Correlation series:\n%s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(context.Background(), nil, &out, &errBuf); err == nil || !strings.Contains(err.Error(), "-figure is required") {
+		t.Fatalf("missing -figure: err = %v", err)
+	}
+	if err := run(context.Background(), []string{"-figure", "9z"}, &out, &errBuf); err == nil || !strings.Contains(err.Error(), `unknown figure "9z"`) {
+		t.Fatalf("unknown figure: err = %v", err)
+	}
+	if err := run(context.Background(), []string{"-figure", "3a", "-scale", "huge"}, &out, &errBuf); err == nil || !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("unknown scale: err = %v", err)
+	}
+}

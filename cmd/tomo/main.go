@@ -1,20 +1,26 @@
-// Command tomo runs the full tomography pipeline on a topology: it loads a
-// JSON topology (from cmd/topogen), synthesizes a congestion scenario over
-// its correlation sets, simulates end-to-end measurements, compiles the
-// topology into an inference plan, runs the selected estimator(s) from the
-// estimator registry, and prints per-link true vs inferred congestion
-// probabilities.
+// Command tomo runs the full tomography pipeline: it obtains a measurement
+// scenario — either synthesized over a JSON topology (from cmd/topogen) or a
+// named scenario from the registry (-scenario; see -list-scenarios) —
+// simulates end-to-end measurements (time-evolving for dynamic scenarios),
+// compiles the topology into an inference plan, runs the selected
+// estimator(s) from the estimator registry, and prints per-link true vs
+// inferred congestion probabilities as text or JSON.
 //
 // Usage:
 //
 //	topogen -family brite -ases 60 -paths 300 | tomo -frac 0.1 -snapshots 2000
 //	tomo -topology pl.json -estimator correlation,independence -summary
-//	tomo -topology toy.json -estimator mle
+//	tomo -scenario flash-crowd -snapshots 4000 -summary
+//	tomo -scenario quickstart -json
+//	tomo -list-scenarios
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -24,68 +30,85 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tomo:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable CLI body: flags in, report out. Usage and flag-parse
+// errors go to stderr; -h is not an error.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	estimators := strings.Join(tomography.EstimatorNames(), " | ")
+	fs := flag.NewFlagSet("tomo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topoPath  = flag.String("topology", "-", "topology JSON file ('-' = stdin)")
-		frac      = flag.Float64("frac", 0.10, "fraction of links congested in the synthetic scenario")
-		loose     = flag.Bool("loose", false, "loose correlation (≤2 congested links per correlation set)")
-		snapshots = flag.Int("snapshots", 2000, "number of measurement snapshots")
-		seed      = flag.Int64("seed", 1, "seed for scenario and simulation")
-		estimator = flag.String("estimator", "", "registered estimator(s), comma-separated: "+estimators+" (also: both = correlation,independence)")
-		algo      = flag.String("algorithm", "", "deprecated alias for -estimator")
-		packet    = flag.Bool("packet-level", false, "simulate probe packets and loss rates")
-		summary   = flag.Bool("summary", false, "print error summary instead of the per-link table")
-		topN      = flag.Int("top", 0, "print only the N links with the highest inferred congestion probability")
+		topoPath  = fs.String("topology", "-", "topology JSON file ('-' = stdin)")
+		scenName  = fs.String("scenario", "", "named scenario from the registry (overrides -topology/-frac/-loose); see -list-scenarios")
+		listScen  = fs.Bool("list-scenarios", false, "list the named scenarios and exit")
+		frac      = fs.Float64("frac", 0.10, "fraction of links congested in the synthetic scenario")
+		loose     = fs.Bool("loose", false, "loose correlation (≤2 congested links per correlation set)")
+		snapshots = fs.Int("snapshots", 2000, "number of measurement snapshots")
+		seed      = fs.Int64("seed", 1, "seed for scenario and simulation")
+		estimator = fs.String("estimator", "", "registered estimator(s), comma-separated: "+estimators+" (also: both = correlation,independence)")
+		algo      = fs.String("algorithm", "", "deprecated alias for -estimator")
+		packet    = fs.Bool("packet-level", false, "simulate probe packets and loss rates")
+		summary   = fs.Bool("summary", false, "print error summary instead of the per-link table")
+		topN      = fs.Int("top", 0, "print only the N links with the highest inferred congestion probability")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+
+	if *listScen {
+		listScenarios(stdout)
+		return nil
+	}
 
 	names, err := resolveEstimators(*estimator, *algo)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	top, err := loadTopology(*topoPath)
+	scn, err := buildScenario(*scenName, *topoPath, *frac, *loose, *seed, stdin)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-
-	level := tomography.HighCorrelation
-	if *loose {
-		level = tomography.LooseCorrelation
-	}
-	scn, err := tomography.NewScenario(tomography.ScenarioConfig{
-		Topology: top, FracCongested: *frac, Level: level, Seed: *seed,
-	})
-	if err != nil {
-		fatal(err)
-	}
+	top := scn.Topology
 
 	mode := tomography.StateLevel
 	if *packet {
 		mode = tomography.PacketLevel
 	}
-	rec, err := tomography.Simulate(tomography.SimConfig{
-		Topology: top, Model: scn.Model, Snapshots: *snapshots, Seed: *seed + 99, Mode: mode,
-	})
+	var rec *tomography.Record
+	if scn.Process != nil {
+		rec, err = tomography.SimulateDynamic(tomography.DynamicSimConfig{
+			Topology: top, Process: scn.Process, Snapshots: *snapshots, Seed: *seed + 99, Mode: mode,
+		})
+	} else {
+		rec, err = tomography.Simulate(tomography.SimConfig{
+			Topology: top, Model: scn.Model, Snapshots: *snapshots, Seed: *seed + 99, Mode: mode,
+		})
+	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	src, err := tomography.NewEmpirical(rec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	// One compiled plan serves every selected estimator.
 	plan, err := tomography.Compile(top, tomography.PlanOptions{Lazy: true})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	type run struct {
-		name  string
-		probs []float64
-	}
-	var runs []run
+	var runs []estimatorRun
 	for _, name := range names {
 		opts := tomography.EstimateOptions{}
 		if name == "independence" {
@@ -95,19 +118,23 @@ func main() {
 		}
 		res, err := tomography.Estimate(name, plan, src, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		runs = append(runs, run{res.Estimator, res.CongestionProb})
+		runs = append(runs, estimatorRun{res.Estimator, res.CongestionProb})
+	}
+
+	if *jsonOut {
+		return emitJSON(stdout, scn, *snapshots, runs)
 	}
 
 	if *summary {
 		for _, r := range runs {
 			errs := tomography.AbsErrors(scn.Truth, r.probs, scn.PotentiallyCongested)
-			fmt.Printf("%-13s mean=%.4f p90=%.4f frac<=0.1=%.1f%% (over %d potentially congested links)\n",
+			fmt.Fprintf(stdout, "%-13s mean=%.4f p90=%.4f frac<=0.1=%.1f%% (over %d potentially congested links)\n",
 				r.name, tomography.Mean(errs), tomography.Percentile(errs, 90),
 				100*tomography.FracBelow(errs, 0.1), len(errs))
 		}
-		return
+		return nil
 	}
 
 	// Per-link table, optionally limited to the top-N inferred.
@@ -128,19 +155,101 @@ func main() {
 			rows = rows[:*topN]
 		}
 	}
-	fmt.Printf("%-8s %-18s %-10s", "link", "name", "truth")
+	fmt.Fprintf(stdout, "%-8s %-18s %-10s", "link", "name", "truth")
 	for _, r := range runs {
-		fmt.Printf(" %-13s", r.name)
+		fmt.Fprintf(stdout, " %-13s", r.name)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, rw := range rows {
 		l := top.Link(rw.link)
-		fmt.Printf("%-8d %-18s %-10.4f", rw.link, l.Name, scn.Truth[rw.link])
+		fmt.Fprintf(stdout, "%-8d %-18s %-10.4f", rw.link, l.Name, scn.Truth[rw.link])
 		for _, v := range rw.vals {
-			fmt.Printf(" %-13.4f", v)
+			fmt.Fprintf(stdout, " %-13.4f", v)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return nil
+}
+
+// buildScenario resolves the scenario source: the named registry when
+// -scenario is set, otherwise a synthetic scenario over a JSON topology.
+func buildScenario(name, topoPath string, frac float64, loose bool, seed int64, stdin io.Reader) (*tomography.Scenario, error) {
+	if name != "" {
+		return tomography.BuildScenario(name, seed)
+	}
+	top, err := loadTopology(topoPath, stdin)
+	if err != nil {
+		return nil, err
+	}
+	level := tomography.HighCorrelation
+	if loose {
+		level = tomography.LooseCorrelation
+	}
+	return tomography.NewScenario(tomography.ScenarioConfig{
+		Topology: top, FracCongested: frac, Level: level, Seed: seed,
+	})
+}
+
+// listScenarios prints the registry as an aligned table.
+func listScenarios(w io.Writer) {
+	fmt.Fprintf(w, "%-18s %-8s %s\n", "scenario", "kind", "description")
+	for _, s := range tomography.Scenarios() {
+		kind := "static"
+		if s.Dynamic {
+			kind = "dynamic"
+		}
+		fmt.Fprintf(w, "%-18s %-8s %s\n", s.Name, kind, s.Description)
+	}
+}
+
+// jsonReport is the -json output schema.
+type jsonReport struct {
+	Scenario   string          `json:"scenario"`
+	Dynamic    bool            `json:"dynamic"`
+	Snapshots  int             `json:"snapshots"`
+	Links      int             `json:"links"`
+	Paths      int             `json:"paths"`
+	Truth      []float64       `json:"truth"`
+	Estimators []jsonEstimator `json:"estimators"`
+}
+
+type jsonEstimator struct {
+	Name           string    `json:"name"`
+	CongestionProb []float64 `json:"congestion_prob"`
+	MeanAbsError   float64   `json:"mean_abs_error"`
+	P90AbsError    float64   `json:"p90_abs_error"`
+	FracBelow01    float64   `json:"frac_abs_error_below_0.1"`
+}
+
+// estimatorRun is one estimator's output within a tomo invocation.
+type estimatorRun struct {
+	name  string
+	probs []float64
+}
+
+// emitJSON writes the machine-readable report.
+func emitJSON(w io.Writer, scn *tomography.Scenario, snapshots int, runs []estimatorRun) error {
+	rep := jsonReport{
+		Scenario:  scn.Name,
+		Dynamic:   scn.Process != nil,
+		Snapshots: snapshots,
+		Links:     scn.Topology.NumLinks(),
+		Paths:     scn.Topology.NumPaths(),
+		Truth:     scn.Truth,
+	}
+	for _, r := range runs {
+		errs := tomography.AbsErrors(scn.Truth, r.probs, scn.PotentiallyCongested)
+		rep.Estimators = append(rep.Estimators, jsonEstimator{
+			Name:           r.name,
+			CongestionProb: r.probs,
+			MeanAbsError:   tomography.Mean(errs),
+			P90AbsError:    tomography.Percentile(errs, 90),
+			FracBelow01:    tomography.FracBelow(errs, 0.1),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // resolveEstimators turns the -estimator (or legacy -algorithm) selection
@@ -174,9 +283,9 @@ func resolveEstimators(estimator, algo string) ([]string, error) {
 	return names, nil
 }
 
-func loadTopology(path string) (*tomography.Topology, error) {
+func loadTopology(path string, stdin io.Reader) (*tomography.Topology, error) {
 	if path == "-" {
-		return topology.Decode(os.Stdin)
+		return topology.Decode(stdin)
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -184,9 +293,4 @@ func loadTopology(path string) (*tomography.Topology, error) {
 	}
 	defer f.Close()
 	return topology.Decode(f)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tomo:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	tomography "repro"
+)
+
+// Seed-fixed golden-file regression tests: every code path of the CLI body
+// is pinned byte for byte, so facade refactors cannot silently change what
+// operators see. Regenerate with:
+//
+//	go test ./cmd/tomo -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against testdata/<name>.golden.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// figure1AJSON encodes the Figure-1(a) topology the way cmd/topogen would.
+func figure1AJSON(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tomography.Figure1A().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+	}{
+		{"list-scenarios", []string{"-list-scenarios"}, ""},
+		{"quickstart-table", []string{"-scenario", "quickstart", "-snapshots", "800", "-seed", "3", "-estimator", "both"}, ""},
+		{"quickstart-summary", []string{"-scenario", "quickstart", "-snapshots", "800", "-seed", "3", "-estimator", "both", "-summary"}, ""},
+		{"quickstart-json", []string{"-scenario", "quickstart", "-snapshots", "800", "-seed", "3", "-estimator", "correlation,mle", "-json"}, ""},
+		{"dynamic-linkflap-summary", []string{"-scenario", "link-flap", "-snapshots", "600", "-seed", "2", "-summary"}, ""},
+		{"stdin-topology-top3", []string{"-frac", "0.5", "-snapshots", "500", "-seed", "4", "-top", "3"}, "FIG1A"},
+		{"theorem-estimator", []string{"-scenario", "quickstart", "-snapshots", "500", "-seed", "5", "-estimator", "theorem"}, ""},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			stdin := tc.stdin
+			if stdin == "FIG1A" {
+				stdin = figure1AJSON(t)
+			}
+			var out, errBuf bytes.Buffer
+			if err := run(tc.args, strings.NewReader(stdin), &out, &errBuf); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			checkGolden(t, tc.name, out.String())
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		errPart string
+	}{
+		{"unknown estimator", []string{"-scenario", "quickstart", "-estimator", "nope"}, `unknown estimator "nope"`},
+		{"unknown scenario", []string{"-scenario", "nope"}, `unknown scenario "nope"`},
+		{"empty estimator list", []string{"-scenario", "quickstart", "-estimator", ","}, "no estimator selected"},
+		{"bad topology json", []string{}, "decode"},
+	}
+	for _, tc := range cases {
+		var out, errBuf bytes.Buffer
+		err := run(tc.args, strings.NewReader("{not json"), &out, &errBuf)
+		if err == nil {
+			t.Errorf("%s: run succeeded, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+}
+
+// TestHelpIsNotAnError pins -h behavior: usage goes to the injected stderr
+// and run returns nil, so the binary exits 0.
+func TestHelpIsNotAnError(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-h"}, strings.NewReader(""), &out, &errBuf); err != nil {
+		t.Fatalf("-h returned error: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "-scenario") {
+		t.Fatalf("usage text missing from stderr:\n%s", errBuf.String())
+	}
+}

@@ -4,14 +4,19 @@
 //
 //	topogen -family brite     -ases 80 -paths 500 -seed 1 > brite.json
 //	topogen -family planetlab -routers 150 -vantage 45 -paths 500 > pl.json
+//	topogen -family britefile -in as20.brite -paths 300 > imported.json
 //	topogen -family fig1a > toy.json
 //
-// The emitted JSON can be fed to cmd/tomo and is re-validated on load.
+// The britefile family imports a BRITE flat-file topology (the text format
+// the original BRITE generator writes) and synthesizes measurement paths
+// over it. The emitted JSON can be fed to cmd/tomo and is re-validated on
+// load.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/brite"
@@ -21,9 +26,10 @@ import (
 
 func main() {
 	var (
-		family  = flag.String("family", "brite", "topology family: brite | planetlab | fig1a | fig1b")
+		family  = flag.String("family", "brite", "topology family: brite | britefile | planetlab | fig1a | fig1b")
 		ases    = flag.Int("ases", 80, "brite: number of ASes")
 		edges   = flag.Int("edges-per-as", 2, "brite: Barabási–Albert attachment degree")
+		inPath  = flag.String("in", "-", "britefile: BRITE flat file to import ('-' = stdin)")
 		routers = flag.Int("routers", 150, "planetlab: number of routers")
 		vantage = flag.Int("vantage", 45, "planetlab: number of vantage points")
 		paths   = flag.Int("paths", 500, "number of measurement paths")
@@ -34,6 +40,24 @@ func main() {
 
 	var top *topology.Topology
 	switch *family {
+	case "britefile":
+		var in io.Reader = os.Stdin
+		if *inPath != "-" {
+			f, err := os.Open(*inPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		file, err := brite.Parse(in)
+		if err != nil {
+			fatal(err)
+		}
+		top, err = brite.FileTopology(file, brite.FileTopologyConfig{Paths: *paths, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
 	case "brite":
 		net, err := brite.Generate(brite.Config{
 			ASes: *ases, EdgesPerAS: *edges, Paths: *paths, Seed: *seed,

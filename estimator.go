@@ -101,6 +101,9 @@ func Estimate(name string, plan *Plan, src Source, opts EstimateOptions) (*Estim
 	if !ok {
 		return nil, fmt.Errorf("tomography: unknown estimator %q (registered: %v)", name, EstimatorNames())
 	}
+	if plan == nil {
+		return nil, fmt.Errorf("tomography: Estimate %q: nil plan (Compile the topology first)", name)
+	}
 	return e.Estimate(plan, src, opts)
 }
 

@@ -1,0 +1,50 @@
+package brite
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse fuzzes the BRITE flat-file reader (the cmd/topogen -family
+// britefile input path). Arbitrary bytes must either fail with an error or
+// yield a structurally sound File whose topology construction — when it
+// succeeds — passes the Builder's full validation. No input may panic.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sampleFile))
+	f.Add([]byte("Nodes: (2)\n0 1.5 2.5\n1 3 4\nEdges: (1)\n0 0 1\n"))
+	f.Add([]byte("Nodes: (1)\n0\nEdges: (1)\n0 0 0\n"))
+	f.Add([]byte("Edges: (1)\n0 0 1\n"))
+	f.Add([]byte("0 1 2\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parse's structural guarantees.
+		if len(file.Nodes) == 0 || len(file.Edges) == 0 {
+			t.Fatalf("Parse returned an empty section without error: %d nodes, %d edges",
+				len(file.Nodes), len(file.Edges))
+		}
+		ids := map[int]bool{}
+		for _, n := range file.Nodes {
+			if n.ID < 0 || ids[n.ID] {
+				t.Fatalf("invalid or duplicate node id %d escaped Parse", n.ID)
+			}
+			ids[n.ID] = true
+		}
+		for _, e := range file.Edges {
+			if !ids[e.From] || !ids[e.To] || e.From == e.To {
+				t.Fatalf("edge %d (%d → %d) violates referential integrity", e.ID, e.From, e.To)
+			}
+		}
+		// Topology construction must never panic; its own errors are fine
+		// (e.g. a graph too disconnected to route paths).
+		if top, err := FileTopology(file, FileTopologyConfig{Paths: 3, Seed: 1}); err == nil {
+			if top.NumPaths() == 0 {
+				t.Fatal("FileTopology succeeded with zero paths")
+			}
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package brite
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// File is a parsed BRITE flat-file topology: the text format the original
+// BRITE generator (and its many re-implementations) writes, consisting of a
+// "Nodes:" section and an "Edges:" section. Parse validates structure and
+// referential integrity; FileTopology turns a File into a measurement
+// topology for the tomography pipeline.
+type File struct {
+	// Nodes are the declared nodes, in file order.
+	Nodes []FileNode
+	// Edges are the declared (undirected) edges, in file order.
+	Edges []FileEdge
+}
+
+// FileNode is one node row of a BRITE file.
+type FileNode struct {
+	// ID is the node's identifier as written in the file (not necessarily
+	// dense).
+	ID int
+	// X, Y are the plane coordinates (0 when the row omits them).
+	X, Y float64
+}
+
+// FileEdge is one edge row of a BRITE file.
+type FileEdge struct {
+	// ID is the edge's identifier as written in the file.
+	ID int
+	// From, To are node IDs.
+	From, To int
+}
+
+// parse caps: a fuzzer (or a corrupted file) must not be able to demand
+// unbounded memory through a declared section size.
+const maxFileSection = 1 << 20
+
+// Parse reads a BRITE flat-file topology. It accepts the common dialect:
+// optional header lines ("Topology:", "Model ..."), a "Nodes: (N)" section
+// with one whitespace-separated row per node (id x y ...), and an
+// "Edges: (M)" section (id from to ...). Unknown trailing columns are
+// ignored; structural problems — duplicate IDs, edges referencing unknown
+// nodes, self-loops, malformed numbers — are errors.
+func Parse(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	f := &File{}
+	seenNodes := map[int]bool{}
+	seenEdges := map[int]bool{}
+	section := "" // "", "nodes", "edges"
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lower := strings.ToLower(line)
+		switch {
+		case strings.HasPrefix(lower, "nodes:"):
+			section = "nodes"
+			continue
+		case strings.HasPrefix(lower, "edges:"):
+			section = "edges"
+			continue
+		case strings.HasPrefix(lower, "topology:") || strings.HasPrefix(lower, "model"):
+			continue
+		}
+		fields := strings.Fields(line)
+		switch section {
+		case "nodes":
+			if len(f.Nodes) >= maxFileSection {
+				return nil, fmt.Errorf("brite: line %d: more than %d nodes", lineNo, maxFileSection)
+			}
+			if len(fields) < 1 {
+				return nil, fmt.Errorf("brite: line %d: empty node row", lineNo)
+			}
+			id, err := strconv.Atoi(fields[0])
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("brite: line %d: bad node id %q", lineNo, fields[0])
+			}
+			if seenNodes[id] {
+				return nil, fmt.Errorf("brite: line %d: duplicate node id %d", lineNo, id)
+			}
+			seenNodes[id] = true
+			n := FileNode{ID: id}
+			if len(fields) >= 3 {
+				x, errX := strconv.ParseFloat(fields[1], 64)
+				y, errY := strconv.ParseFloat(fields[2], 64)
+				if errX != nil || errY != nil {
+					return nil, fmt.Errorf("brite: line %d: bad node coordinates %q %q", lineNo, fields[1], fields[2])
+				}
+				n.X, n.Y = x, y
+			}
+			f.Nodes = append(f.Nodes, n)
+		case "edges":
+			if len(f.Edges) >= maxFileSection {
+				return nil, fmt.Errorf("brite: line %d: more than %d edges", lineNo, maxFileSection)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("brite: line %d: edge row needs id, from, to", lineNo)
+			}
+			id, err := strconv.Atoi(fields[0])
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("brite: line %d: bad edge id %q", lineNo, fields[0])
+			}
+			if seenEdges[id] {
+				return nil, fmt.Errorf("brite: line %d: duplicate edge id %d", lineNo, id)
+			}
+			seenEdges[id] = true
+			from, errF := strconv.Atoi(fields[1])
+			to, errT := strconv.Atoi(fields[2])
+			if errF != nil || errT != nil {
+				return nil, fmt.Errorf("brite: line %d: bad edge endpoints %q %q", lineNo, fields[1], fields[2])
+			}
+			if !seenNodes[from] || !seenNodes[to] {
+				return nil, fmt.Errorf("brite: line %d: edge %d references unknown node (%d → %d)", lineNo, id, from, to)
+			}
+			if from == to {
+				return nil, fmt.Errorf("brite: line %d: edge %d is a self-loop on node %d", lineNo, id, from)
+			}
+			f.Edges = append(f.Edges, FileEdge{ID: id, From: from, To: to})
+		default:
+			return nil, fmt.Errorf("brite: line %d: row %q outside any Nodes/Edges section", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("brite: reading: %w", err)
+	}
+	if len(f.Nodes) == 0 {
+		return nil, fmt.Errorf("brite: file declares no nodes")
+	}
+	if len(f.Edges) == 0 {
+		return nil, fmt.Errorf("brite: file declares no edges")
+	}
+	return f, nil
+}
+
+// FileTopologyConfig parameterizes FileTopology.
+type FileTopologyConfig struct {
+	// Paths is the number of measurement paths to generate (≥ 1).
+	Paths int
+	// MaxPathLen caps path hop count (0 ⇒ 12).
+	MaxPathLen int
+	// Seed drives endpoint selection.
+	Seed int64
+}
+
+// FileTopology builds a measurement topology from a parsed BRITE file:
+// measurement paths are shortest routes between randomly chosen node pairs,
+// directed links are materialized per traversal direction as paths need
+// them, and all egress links of one node form a correlation set — links
+// leaving a node share that node's physical infrastructure, the flat-file
+// analogue of Generate's router-level backing.
+func FileTopology(f *File, cfg FileTopologyConfig) (*topology.Topology, error) {
+	if cfg.Paths < 1 {
+		return nil, fmt.Errorf("brite: Paths = %d, want ≥ 1", cfg.Paths)
+	}
+	maxLen := cfg.MaxPathLen
+	if maxLen <= 0 {
+		maxLen = 12
+	}
+
+	// Dense node index over (possibly sparse) file IDs, in file order.
+	idx := make(map[int]int, len(f.Nodes))
+	for i, n := range f.Nodes {
+		idx[n.ID] = i
+	}
+	adj := make([][]int, len(f.Nodes))
+	for _, e := range f.Edges {
+		a, b := idx[e.From], idx[e.To]
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	// Deterministic neighbor order regardless of edge-row order.
+	for _, ns := range adj {
+		sort.Ints(ns)
+	}
+
+	b := topology.NewBuilder()
+	b.AddNodes(len(f.Nodes))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type dirEdge struct{ from, to int }
+	links := map[dirEdge]topology.LinkID{}
+	link := func(from, to int) topology.LinkID {
+		if id, ok := links[dirEdge{from, to}]; ok {
+			return id
+		}
+		id := b.AddLink(topology.NodeID(from), topology.NodeID(to),
+			fmt.Sprintf("%d->%d", f.Nodes[from].ID, f.Nodes[to].ID))
+		links[dirEdge{from, to}] = id
+		return id
+	}
+
+	// BFS shortest path, bounded by maxLen hops.
+	shortest := func(src, dst int) []int {
+		if src == dst {
+			return nil
+		}
+		prev := make([]int, len(adj))
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[src] = src
+		frontier := []int{src}
+		for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+			var next []int
+			for _, v := range frontier {
+				for _, w := range adj[v] {
+					if prev[w] != -1 {
+						continue
+					}
+					prev[w] = v
+					if w == dst {
+						var nodes []int
+						for x := dst; x != src; x = prev[x] {
+							nodes = append(nodes, x)
+						}
+						nodes = append(nodes, src)
+						for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+							nodes[i], nodes[j] = nodes[j], nodes[i]
+						}
+						return nodes
+					}
+					next = append(next, w)
+				}
+			}
+			frontier = next
+		}
+		return nil
+	}
+
+	built := 0
+	for attempt := 0; built < cfg.Paths && attempt < 50*cfg.Paths; attempt++ {
+		src := rng.Intn(len(f.Nodes))
+		dst := rng.Intn(len(f.Nodes))
+		nodes := shortest(src, dst)
+		if len(nodes) < 2 {
+			continue
+		}
+		ids := make([]topology.LinkID, 0, len(nodes)-1)
+		for i := 0; i+1 < len(nodes); i++ {
+			ids = append(ids, link(nodes[i], nodes[i+1]))
+		}
+		b.AddPath(fmt.Sprintf("p%d", built), ids...)
+		built++
+	}
+	if built == 0 {
+		return nil, fmt.Errorf("brite: could not route any measurement path (graph too disconnected?)")
+	}
+
+	// Correlation sets: egress links of one node share its infrastructure.
+	egress := map[int][]topology.LinkID{}
+	for de, id := range links {
+		egress[de.from] = append(egress[de.from], id)
+	}
+	var froms []int
+	for from := range egress {
+		froms = append(froms, from)
+	}
+	sort.Ints(froms)
+	for _, from := range froms {
+		ids := egress[from]
+		if len(ids) < 2 {
+			continue
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		b.Correlate(ids...)
+	}
+	return b.Build()
+}

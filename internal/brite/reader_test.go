@@ -1,0 +1,127 @@
+package brite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// sampleFile is a small BRITE flat file in the common dialect.
+const sampleFile = `Topology: ( 5 Nodes, 6 Edges )
+Model ( 2 ): 5 1000 100 1 2 0.55 -1 -1
+
+Nodes: ( 5 )
+0	10.0	20.0	2	2	0	AS_NODE
+1	30.0	40.0	3	3	0	AS_NODE
+2	50.0	60.0	2	2	0	AS_NODE
+3	70.0	80.0	3	3	0	AS_NODE
+4	90.0	10.0	2	2	0	AS_NODE
+
+Edges: ( 6 )
+0	0	1	11.0	0.1	10.0	0	0	E_AS	U
+1	1	2	12.0	0.1	10.0	0	0	E_AS	U
+2	2	3	13.0	0.1	10.0	0	0	E_AS	U
+3	3	4	14.0	0.1	10.0	0	0	E_AS	U
+4	4	0	15.0	0.1	10.0	0	0	E_AS	U
+5	1	3	16.0	0.1	10.0	0	0	E_AS	U
+`
+
+func TestParseSampleFile(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Nodes) != 5 || len(f.Edges) != 6 {
+		t.Fatalf("parsed %d nodes, %d edges, want 5, 6", len(f.Nodes), len(f.Edges))
+	}
+	if f.Nodes[1].X != 30 || f.Nodes[1].Y != 40 {
+		t.Fatalf("node 1 coordinates (%v, %v), want (30, 40)", f.Nodes[1].X, f.Nodes[1].Y)
+	}
+	if f.Edges[5].From != 1 || f.Edges[5].To != 3 {
+		t.Fatalf("edge 5 endpoints (%d, %d), want (1, 3)", f.Edges[5].From, f.Edges[5].To)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, input, errPart string
+	}{
+		{"empty", "", "no nodes"},
+		{"no edges", "Nodes: (1)\n0 1 2\n", "no edges"},
+		{"row outside section", "0 1 2\n", "outside any"},
+		{"bad node id", "Nodes: (1)\nxyz 1 2\n", "bad node id"},
+		{"negative node id", "Nodes: (1)\n-4 1 2\n", "bad node id"},
+		{"duplicate node", "Nodes: (2)\n0 1 2\n0 3 4\n", "duplicate node"},
+		{"bad coords", "Nodes: (1)\n0 a b\n", "coordinates"},
+		{"short edge row", "Nodes: (1)\n0\nEdges: (1)\n0 1\n", "needs id, from, to"},
+		{"unknown endpoint", "Nodes: (2)\n0\n1\nEdges: (1)\n0 0 7\n", "unknown node"},
+		{"self loop", "Nodes: (1)\n0\nEdges: (1)\n0 0 0\n", "self-loop"},
+		{"duplicate edge id", "Nodes: (3)\n0\n1\n2\nEdges: (2)\n0 0 1\n0 1 2\n", "duplicate edge"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", tc.name)
+		} else if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+}
+
+func TestFileTopology(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := FileTopology(f, FileTopologyConfig{Paths: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumPaths() != 20 {
+		t.Fatalf("built %d paths, want 20", top.NumPaths())
+	}
+	if top.NumNodes() != 5 {
+		t.Fatalf("topology has %d nodes, want 5", top.NumNodes())
+	}
+	// Determinism: same seed, same topology shape.
+	again, err := FileTopology(f, FileTopologyConfig{Paths: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumLinks() != top.NumLinks() || again.NumSets() != top.NumSets() {
+		t.Fatalf("same-seed rebuild differs: %d/%d links, %d/%d sets",
+			again.NumLinks(), top.NumLinks(), again.NumSets(), top.NumSets())
+	}
+	// Egress correlation: some node with ≥2 outgoing links must produce a
+	// multi-link correlation set.
+	multi := 0
+	for p := 0; p < top.NumSets(); p++ {
+		if top.CorrelationSet(p).Len() >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-link correlation sets — egress grouping did not happen")
+	}
+	// Every correlation set's links share their source node.
+	for p := 0; p < top.NumSets(); p++ {
+		var src topology.NodeID = -1
+		ok := true
+		top.CorrelationSet(p).ForEach(func(k int) bool {
+			l := top.Link(topology.LinkID(k))
+			if src == -1 {
+				src = l.Src
+			} else if l.Src != src {
+				ok = false
+			}
+			return true
+		})
+		if !ok {
+			t.Fatalf("correlation set %d mixes source nodes", p)
+		}
+	}
+
+	if _, err := FileTopology(f, FileTopologyConfig{Paths: 0}); err == nil {
+		t.Fatal("Paths = 0 accepted")
+	}
+}

@@ -200,15 +200,30 @@ func trialSeed(p Params, trial int) int64 {
 // which sizes the nested snapshot-simulator pool so total concurrency stays
 // within p.Workers.
 func runTrial(ctx context.Context, s *scenario.Scenario, pl *plan.Plan, p Params, snapshots, trial int) (trialResult, error) {
-	rec, err := netsim.RunContext(ctx, netsim.Config{
-		Topology:       s.Topology,
-		Model:          s.Model,
-		Snapshots:      snapshots,
-		Seed:           trialSeed(p, trial),
-		Mode:           p.Mode,
-		PacketsPerPath: p.PacketsPerPath,
-		Parallelism:    p.Workers,
-	})
+	var rec *netsim.Record
+	var err error
+	if s.Process != nil {
+		// Time-indexed scenario: the sequential dynamic engine carries
+		// congestion state across snapshots.
+		rec, err = netsim.RunDynamic(ctx, netsim.DynamicConfig{
+			Topology:       s.Topology,
+			Process:        s.Process,
+			Snapshots:      snapshots,
+			Seed:           trialSeed(p, trial),
+			Mode:           p.Mode,
+			PacketsPerPath: p.PacketsPerPath,
+		})
+	} else {
+		rec, err = netsim.RunContext(ctx, netsim.Config{
+			Topology:       s.Topology,
+			Model:          s.Model,
+			Snapshots:      snapshots,
+			Seed:           trialSeed(p, trial),
+			Mode:           p.Mode,
+			PacketsPerPath: p.PacketsPerPath,
+			Parallelism:    p.Workers,
+		})
+	}
 	if err != nil {
 		return trialResult{}, fmt.Errorf("simulating %s: %w", s.Name, err)
 	}
@@ -551,8 +566,31 @@ var Runners = []struct {
 	{"5a", Figure5a}, {"5b", Figure5b}, {"5c", Figure5c}, {"5d", Figure5d},
 }
 
-// Run dispatches a figure by ID ("3a" .. "5d").
+// ScenarioFigure evaluates one named registry scenario (scenario.BuildNamed)
+// with the standard two-algorithm comparison and renders its error CDF — the
+// bridge between the named scenario registry and the figure pipeline.
+// Dynamic scenarios (flash-crowd, diurnal, link-flap, …) run on the
+// sequential dynamic engine; their errors are measured against the process's
+// stationary marginals.
+func ScenarioFigure(ctx context.Context, name string, p Params) (*Figure, error) {
+	s, err := scenario.BuildNamed(name, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sz, err := p.Scale.sizes()
+	if err != nil {
+		return nil, err
+	}
+	return cdfFigure(ctx, s, p, p.snapshots(sz), "scenario:"+name,
+		fmt.Sprintf("Error CDF, named scenario %q", name))
+}
+
+// Run dispatches a figure by ID ("3a" .. "5d"), or a named registry scenario
+// as "scenario:<name>" (e.g. "scenario:flash-crowd").
 func Run(ctx context.Context, id string, p Params) (*Figure, error) {
+	if name, ok := strings.CutPrefix(id, "scenario:"); ok {
+		return ScenarioFigure(ctx, name, p)
+	}
 	for _, r := range Runners {
 		if r.ID == id {
 			return r.Run(ctx, p)

@@ -222,3 +222,31 @@ func TestSnapshotOverride(t *testing.T) {
 		t.Fatalf("snapshots = %d, want scale default %d", got, sz.snapshots)
 	}
 }
+
+// TestScenarioFigure runs a named registry scenario (static and dynamic)
+// through the figure pipeline via the "scenario:" dispatch.
+func TestScenarioFigure(t *testing.T) {
+	for _, name := range []string{"quickstart", "link-flap"} {
+		fig, err := Run(context.Background(), "scenario:"+name, Params{Seed: 2, Snapshots: 300})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fig.ID != "scenario:"+name {
+			t.Fatalf("figure ID %q", fig.ID)
+		}
+		if len(fig.Series) != 2 || len(fig.Series[0].Y) == 0 {
+			t.Fatalf("%s: malformed figure series", name)
+		}
+		// A CDF is monotone in [0,100].
+		for _, s := range fig.Series {
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] < s.Y[i-1] {
+					t.Fatalf("%s: series %s is not a CDF", name, s.Label)
+				}
+			}
+		}
+	}
+	if _, err := Run(context.Background(), "scenario:nope", Params{Seed: 2}); err == nil {
+		t.Fatal("unknown named scenario accepted")
+	}
+}

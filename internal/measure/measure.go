@@ -73,8 +73,11 @@ type Empirical struct {
 	memo    map[string]float64 // path-set key → P(all good), for |set| > 2
 	// patterns is the congested-pattern histogram (pattern key → snapshot
 	// count). nil until a PatternSource query materializes it; maintained
-	// incrementally by Append afterwards.
+	// incrementally by Append (and Evict, for sliding windows) afterwards.
 	patterns map[string]int
+	// evictScratch receives the evicted row of a sliding-window Append so
+	// the pattern histogram can forget it incrementally.
+	evictScratch *bitset.Set
 }
 
 // NewEmpirical wraps a simulation record. It returns an error for a nil or
@@ -100,6 +103,22 @@ func NewStreaming(numPaths int) *Empirical {
 	return e
 }
 
+// NewSlidingWindow returns an empty streaming estimator whose estimates
+// cover only the most recent window snapshots: Append past the window
+// capacity evicts the oldest snapshot from every count and from the pattern
+// histogram. At any moment the estimator is bit-identical to a one-shot
+// batch estimator over the retained rows — the windowed==batch equivalence
+// the online inference layer (tomography.Window) builds on.
+func NewSlidingWindow(numPaths, window int) (*Empirical, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("measure: sliding window size = %d, want > 0", window)
+	}
+	e := newEmpirical(snapstore.NewRing(numPaths, window))
+	e.streaming = true
+	e.evictScratch = bitset.New(numPaths)
+	return e, nil
+}
+
 func newEmpirical(store *snapstore.Store) *Empirical {
 	return &Empirical{
 		store: store,
@@ -113,20 +132,68 @@ func (e *Empirical) Store() *snapstore.Store { return e.store }
 
 // Append ingests one more snapshot (the set of congested paths) and keeps
 // the pattern histogram current, so PatternSource queries stay valid
-// mid-stream. The probability caches are reset: every estimate's
-// denominator just changed. Append must not run concurrently with queries,
-// and panics on a record-backed estimator (whose store is a read-only view
-// of the record — appending there would desync the record's link store).
+// mid-stream. On a sliding-window estimator a full window first evicts its
+// oldest snapshot — from the columns and from the histogram. The probability
+// caches are reset: every estimate's numerators (and possibly denominator)
+// just changed. Append must not run concurrently with queries, and panics on
+// a record-backed estimator (whose store is a read-only view of the record —
+// appending there would desync the record's link store).
 func (e *Empirical) Append(congested *bitset.Set) {
 	if !e.streaming {
 		panic("measure: Append requires a streaming estimator (NewStreaming); record-backed estimators are read-only views")
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.store.Append(congested)
+	if e.store.AppendEvict(congested, e.evictScratch) {
+		e.forgetPattern(e.evictScratch)
+	}
 	if e.patterns != nil {
 		e.patterns[congested.Key()]++
 	}
+	e.resetCaches()
+}
+
+// Evict drops the oldest retained snapshot of a sliding-window estimator
+// without appending — the expiry path for time-based windows. It reports
+// whether a snapshot was evicted (false once the window is empty) and panics
+// on a non-windowed estimator. Like Append, it must not run concurrently
+// with queries.
+func (e *Empirical) Evict() bool {
+	if e.store.Capacity() == 0 {
+		panic("measure: Evict requires a sliding-window estimator (NewSlidingWindow)")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.store.EvictOldest(e.evictScratch) {
+		return false
+	}
+	e.forgetPattern(e.evictScratch)
+	e.resetCaches()
+	return true
+}
+
+// Window returns the sliding-window capacity, or 0 for an unbounded
+// estimator.
+func (e *Empirical) Window() int { return e.store.Capacity() }
+
+// forgetPattern decrements the evicted row's histogram entry, dropping it at
+// zero so a long-running window can't accumulate dead patterns. Caller holds
+// e.mu.
+func (e *Empirical) forgetPattern(evicted *bitset.Set) {
+	if e.patterns == nil {
+		return
+	}
+	key := evicted.Key()
+	if n := e.patterns[key] - 1; n > 0 {
+		e.patterns[key] = n
+	} else {
+		delete(e.patterns, key)
+	}
+}
+
+// resetCaches clears the probability memos after a mutation. Caller holds
+// e.mu.
+func (e *Empirical) resetCaches() {
 	e.single = nil
 	if len(e.pairs) > 0 {
 		e.pairs = make(map[int64]float64)

@@ -1,0 +1,149 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// randomWindowRows draws n random congested-path rows.
+func randomWindowRows(rng *rand.Rand, paths, n int) []*bitset.Set {
+	rows := make([]*bitset.Set, n)
+	for t := range rows {
+		s := bitset.New(paths)
+		for i := 0; i < paths; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		rows[t] = s
+	}
+	return rows
+}
+
+// TestSlidingWindowMatchesBatch is the measurement layer's windowed==batch
+// guarantee: at every point of a stream, a sliding-window estimator answers
+// every query class (single, pair, larger set, pattern) bit-identically to a
+// one-shot batch estimator over the retained rows.
+func TestSlidingWindowMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const paths, window, n = 9, 70, 200 // window straddles a word boundary
+	rows := randomWindowRows(rng, paths, n)
+
+	win, err := NewSlidingWindow(paths, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	someSet := bitset.FromIndices(0, 3, 4, 7)
+	for i, r := range rows {
+		win.Append(r)
+		// Touch the pattern histogram early so eviction maintains it
+		// incrementally rather than rebuilding it lazily.
+		_ = win.ProbExactCongestedPaths(r)
+		if i%17 != 16 {
+			continue
+		}
+		lo := i + 1 - window
+		if lo < 0 {
+			lo = 0
+		}
+		batch, err := NewEmpirical(netsim.NewRecordFromRows(paths, rows[lo:i+1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win.Snapshots() != batch.Snapshots() {
+			t.Fatalf("t=%d: window holds %d snapshots, batch %d", i, win.Snapshots(), batch.Snapshots())
+		}
+		for p := 0; p < paths; p++ {
+			if got, want := win.ProbPathGood(topology.PathID(p)), batch.ProbPathGood(topology.PathID(p)); got != want {
+				t.Fatalf("t=%d path %d: windowed %v != batch %v", i, p, got, want)
+			}
+			for q := p + 1; q < paths; q++ {
+				if got, want := win.ProbPairGood(topology.PathID(p), topology.PathID(q)), batch.ProbPairGood(topology.PathID(p), topology.PathID(q)); got != want {
+					t.Fatalf("t=%d pair (%d,%d): windowed %v != batch %v", i, p, q, got, want)
+				}
+			}
+		}
+		if got, want := win.ProbPathsGood(someSet), batch.ProbPathsGood(someSet); got != want {
+			t.Fatalf("t=%d set %v: windowed %v != batch %v", i, someSet, got, want)
+		}
+		for _, pat := range []*bitset.Set{rows[i], rows[lo], bitset.New(paths), someSet} {
+			if got, want := win.ProbExactCongestedPaths(pat), batch.ProbExactCongestedPaths(pat); got != want {
+				t.Fatalf("t=%d pattern %v: windowed %v != batch %v", i, pat, got, want)
+			}
+		}
+		freqW, freqB := win.PathCongestionFrequency(), batch.PathCongestionFrequency()
+		for p := range freqW {
+			if freqW[p] != freqB[p] {
+				t.Fatalf("t=%d path %d frequency: windowed %v != batch %v", i, p, freqW[p], freqB[p])
+			}
+		}
+	}
+}
+
+// TestSlidingWindowHistogramStaysBounded verifies eviction actually forgets
+// patterns: after streaming far past the window, the histogram holds at most
+// window entries (it would hold ~n distinct ones without eviction).
+func TestSlidingWindowHistogramStaysBounded(t *testing.T) {
+	const paths, window = 64, 16
+	win, err := NewSlidingWindow(paths, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every snapshot has a distinct pattern.
+	for i := 0; i < 500; i++ {
+		win.Append(bitset.FromIndices(i % paths))
+		_ = win.ProbExactCongestedPaths(bitset.New(paths)) // keep histogram live
+	}
+	win.mu.Lock()
+	entries := len(win.patterns)
+	win.mu.Unlock()
+	if entries > window {
+		t.Fatalf("pattern histogram holds %d entries, want ≤ %d", entries, window)
+	}
+}
+
+// TestSlidingWindowEvict exercises the explicit-expiry path down to an empty
+// window, whose probabilities must degrade to the empty-stream convention
+// (0 everywhere, 1 for the empty set) rather than NaN.
+func TestSlidingWindowEvict(t *testing.T) {
+	const paths, window = 5, 8
+	win, err := NewSlidingWindow(paths, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := randomWindowRows(rand.New(rand.NewSource(12)), paths, 4)
+	for _, r := range rows {
+		win.Append(r)
+	}
+	for i := 0; i < len(rows); i++ {
+		if !win.Evict() {
+			t.Fatalf("evict %d reported empty window", i)
+		}
+	}
+	if win.Evict() {
+		t.Fatal("evict on empty window reported true")
+	}
+	if p := win.ProbPathGood(0); p != 0 || math.IsNaN(p) {
+		t.Fatalf("empty window ProbPathGood = %v, want 0", p)
+	}
+	if p := win.ProbPathsGood(bitset.New(paths)); p != 1 {
+		t.Fatalf("empty window ProbPathsGood(∅) = %v, want 1", p)
+	}
+}
+
+func TestSlidingWindowErrors(t *testing.T) {
+	if _, err := NewSlidingWindow(4, 0); err == nil {
+		t.Fatal("NewSlidingWindow(4, 0) succeeded, want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Evict on a non-windowed estimator did not panic")
+		}
+	}()
+	NewStreaming(4).Evict()
+}

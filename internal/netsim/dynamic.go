@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/dynamics"
+	"repro/internal/loss"
+	"repro/internal/runner"
+	"repro/internal/snapstore"
+	"repro/internal/topology"
+)
+
+// DynamicConfig parameterizes a time-evolving simulation run: instead of the
+// i.i.d. per-snapshot draw of Config.Model, a dynamics.Process carries
+// congestion state from one snapshot to the next.
+type DynamicConfig struct {
+	Topology *topology.Topology
+	// Process is the time-indexed congestion process (e.g.
+	// dynamics.MarkovModulated).
+	Process dynamics.Process
+	// Snapshots is the number of snapshots to simulate (> 0).
+	Snapshots int
+	// Seed drives the process realization and the per-snapshot measurement
+	// noise.
+	Seed int64
+	// Mode selects state-level (default) or packet-level measurement.
+	Mode Mode
+	// Tl is the link congestion threshold (0 ⇒ loss.DefaultTl); packet-level
+	// mode only.
+	Tl float64
+	// PacketsPerPath is the probe count per path per snapshot
+	// (0 ⇒ loss.DefaultPacketsPerPath); packet-level mode only.
+	PacketsPerPath int
+	// RecordLinkStates additionally stores the true congested-link set of
+	// every snapshot.
+	RecordLinkStates bool
+	// OnSnapshot, when non-nil, is called after each simulated snapshot with
+	// its index and congested-path observation — the streaming tap online
+	// consumers (sliding windows, change detectors) attach to. The set is
+	// reused between calls; clone it to retain.
+	OnSnapshot func(t int, congestedPaths *bitset.Set)
+}
+
+// RunDynamic executes a time-evolving simulation. Unlike RunContext's
+// block-sharded fill, the loop is inherently sequential — snapshot t's
+// congestion state depends on snapshot t−1's — so observations are emitted
+// through the columnar store's streaming Append path, exactly as a live
+// probe feed would arrive. The run is deterministic in cfg.Seed: the process
+// realization consumes one RNG stream and per-snapshot measurement noise
+// uses runner.DeriveSeed(seed, t), so records never depend on scheduling.
+// ctx is honoured between snapshots.
+func RunDynamic(ctx context.Context, cfg DynamicConfig) (*Record, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("netsim: nil topology")
+	}
+	if cfg.Process == nil {
+		return nil, fmt.Errorf("netsim: nil process")
+	}
+	if cfg.Process.NumLinks() != cfg.Topology.NumLinks() {
+		return nil, fmt.Errorf("netsim: process covers %d links, topology has %d",
+			cfg.Process.NumLinks(), cfg.Topology.NumLinks())
+	}
+	if cfg.Snapshots <= 0 {
+		return nil, fmt.Errorf("netsim: snapshots = %d, want > 0", cfg.Snapshots)
+	}
+	tl := cfg.Tl
+	if tl == 0 {
+		tl = loss.DefaultTl
+	}
+	if tl < 0 || tl >= 1 {
+		return nil, fmt.Errorf("netsim: tl = %v, want (0, 1)", tl)
+	}
+	packets := cfg.PacketsPerPath
+	if packets == 0 {
+		packets = loss.DefaultPacketsPerPath
+	}
+	if packets < 0 {
+		return nil, fmt.Errorf("netsim: packets per path = %d", packets)
+	}
+
+	rec := &Record{Paths: snapstore.New(cfg.Topology.NumPaths())}
+	if cfg.RecordLinkStates {
+		rec.Links = snapstore.New(cfg.Topology.NumLinks())
+	}
+	run := cfg.Process.Start(cfg.Seed)
+	linkState := bitset.New(cfg.Topology.NumLinks())
+	pathState := bitset.New(cfg.Topology.NumPaths())
+	for t := 0; t < cfg.Snapshots; t++ {
+		if t%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		run.Next(linkState)
+		// Measurement noise draws from a per-snapshot stream so packet-level
+		// noise stays independent of the process realization.
+		rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, t)))
+		observePaths(cfg.Topology, linkState, rng, cfg.Mode, tl, packets, pathState)
+		rec.Paths.Append(pathState)
+		if rec.Links != nil {
+			rec.Links.Append(linkState)
+		}
+		if cfg.OnSnapshot != nil {
+			cfg.OnSnapshot(t, pathState)
+		}
+	}
+	return rec, nil
+}

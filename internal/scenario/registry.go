@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/brite"
+	"repro/internal/dynamics"
+	"repro/internal/planetlab"
+	"repro/internal/topology"
+)
+
+// Spec is one named, ready-to-run scenario in the registry: a curated
+// workload that can be built reproducibly from a seed alone. Named scenarios
+// feed tomography.EvaluateBatch, the experiments engine and the cmd/tomo
+// -scenario flag.
+type Spec struct {
+	// Name is the registry key (e.g. "flash-crowd").
+	Name string
+	// Description is a one-line summary shown by listings.
+	Description string
+	// Dynamic marks scenarios whose congestion process is time-indexed
+	// (Scenario.Process set) rather than i.i.d. per snapshot.
+	Dynamic bool
+	// Build constructs the scenario for a seed. Equal seeds build identical
+	// scenarios.
+	Build func(seed int64) (*Scenario, error)
+}
+
+// registry holds the named scenarios, keyed by name.
+var registry = map[string]Spec{}
+
+// register adds a spec at package init; duplicates are a programming error.
+func register(s Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// Specs returns every registered scenario, sorted by name.
+func Specs() []Spec {
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted names of all registered scenarios.
+func Names() []string {
+	specs := Specs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup returns the spec registered under name.
+func Lookup(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// BuildNamed builds the named scenario for a seed.
+func BuildNamed(name string, seed int64) (*Scenario, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, Names())
+	}
+	scn, err := s.Build(seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: building %q: %w", name, err)
+	}
+	scn.Name = s.Name
+	return scn, nil
+}
+
+// markovConfig tunes markovOverSets.
+type markovConfig struct {
+	chain        dynamics.Chain
+	global       *dynamics.Chain
+	coupling     float64
+	onLo, onHi   float64 // per-link burst congestion probability range
+	offLo, offHi float64 // per-link background congestion probability range
+	maxGroups    int     // 0 ⇒ all multi-link correlation sets
+}
+
+// markovOverSets builds a Markov-modulated process whose groups are the
+// topology's multi-link correlation sets: exactly the paper's "links share a
+// congestion source" structure, made bursty in time. Per-link burst and
+// background rates are drawn from the configured ranges with the given seed.
+func markovOverSets(top *topology.Topology, seed int64, cfg markovConfig) (*dynamics.MarkovModulated, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var sets []int
+	for p := 0; p < top.NumSets(); p++ {
+		if top.CorrelationSet(p).Len() >= 2 {
+			sets = append(sets, p)
+		}
+	}
+	if cfg.maxGroups > 0 && len(sets) > cfg.maxGroups {
+		rng.Shuffle(len(sets), func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
+		sets = sets[:cfg.maxGroups]
+		sort.Ints(sets)
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("scenario: topology has no multi-link correlation sets to modulate")
+	}
+	groups := make([]dynamics.Group, 0, len(sets))
+	for _, p := range sets {
+		links := top.CorrelationSet(p).Indices()
+		on := make([]float64, len(links))
+		off := make([]float64, len(links))
+		for i := range links {
+			on[i] = cfg.onLo + (cfg.onHi-cfg.onLo)*rng.Float64()
+			off[i] = cfg.offLo + (cfg.offHi-cfg.offLo)*rng.Float64()
+		}
+		groups = append(groups, dynamics.Group{
+			Links:    links,
+			Chain:    cfg.chain,
+			OnProb:   on,
+			OffProb:  off,
+			Coupling: cfg.coupling,
+		})
+	}
+	return dynamics.NewMarkovModulated(dynamics.Config{
+		NumLinks: top.NumLinks(),
+		Groups:   groups,
+		Global:   cfg.global,
+	})
+}
+
+// dynamicScenario assembles a Scenario around a time-indexed process.
+func dynamicScenario(name string, top *topology.Topology, proc dynamics.Process) *Scenario {
+	s := &Scenario{Name: name, Topology: top, Process: proc}
+	finalize(s)
+	return s
+}
+
+// registryBrite generates the mid-sized Brite topology the Brite-based named
+// scenarios share.
+func registryBrite(seed int64) (*brite.Network, error) {
+	return brite.Generate(brite.Config{ASes: 30, EdgesPerAS: 2, Paths: 120, Seed: seed})
+}
+
+func init() {
+	register(Spec{
+		Name:        "quickstart",
+		Description: "Figure-1(a) toy topology with a static shared-cause process (the README walkthrough)",
+		Build: func(seed int64) (*Scenario, error) {
+			return FromTopology(FromTopologyConfig{
+				Topology: topology.Figure1A(), FracCongested: 0.5,
+				Level: HighCorrelation, Seed: seed,
+			})
+		},
+	})
+	register(Spec{
+		Name:        "worm",
+		Description: "Brite topology where a hidden worm floods links across correlation-set boundaries (Figure 5's mislabeled correlation)",
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := registryBrite(seed)
+			if err != nil {
+				return nil, err
+			}
+			base, err := Brite(BriteConfig{
+				Net: net, FracCongested: 0.10, Level: HighCorrelation, Seed: seed + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return WithMislabeled(base, 0.25, 0.3, seed+2)
+		},
+	})
+	register(Spec{
+		Name:        "planetlab-replay",
+		Description: "PlanetLab-style mesh with a static shared-cause process over its link clusters (the Section-5 deployment)",
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := planetlab.Generate(planetlab.Config{
+				Routers: 64, VantagePoints: 24, Paths: 150, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return PlanetLab(PlanetLabConfig{
+				Net: net, FracCongested: 0.10, Level: HighCorrelation, Seed: seed + 1,
+			})
+		},
+	})
+	register(Spec{
+		Name:        "flash-crowd",
+		Description: "dynamic: a rare global event ignites congestion bursts across many correlation sets at once (coupled Markov modulators)",
+		Dynamic:     true,
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := registryBrite(seed)
+			if err != nil {
+				return nil, err
+			}
+			proc, err := markovOverSets(net.Topology, seed+1, markovConfig{
+				chain:    dynamics.Chain{POn: 0.002, MeanBurst: 60},
+				global:   &dynamics.Chain{POn: 0.005, MeanBurst: 80},
+				coupling: 0.9,
+				onLo:     0.5, onHi: 0.9,
+				offLo: 0.0, offHi: 0.02,
+				maxGroups: 12,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return dynamicScenario("flash-crowd", net.Topology, proc), nil
+		},
+	})
+	register(Spec{
+		Name:        "diurnal",
+		Description: "dynamic: slow day/night-scale congestion cycles on a PlanetLab-style mesh (long-burst Markov modulators)",
+		Dynamic:     true,
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := planetlab.Generate(planetlab.Config{
+				Routers: 64, VantagePoints: 24, Paths: 150, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			proc, err := markovOverSets(net.Topology, seed+1, markovConfig{
+				chain: dynamics.Chain{POn: 0.002, MeanBurst: 500},
+				onLo:  0.4, onHi: 0.8,
+				offLo: 0.0, offHi: 0.05,
+				maxGroups: 10,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return dynamicScenario("diurnal", net.Topology, proc), nil
+		},
+	})
+	register(Spec{
+		Name:        "link-flap",
+		Description: "dynamic: rapidly flapping links — short, frequent congestion bursts (fast Markov modulators)",
+		Dynamic:     true,
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := registryBrite(seed)
+			if err != nil {
+				return nil, err
+			}
+			proc, err := markovOverSets(net.Topology, seed+1, markovConfig{
+				chain: dynamics.Chain{POn: 0.08, MeanBurst: 3},
+				onLo:  0.7, onHi: 1.0,
+				offLo: 0.0, offHi: 0.01,
+				maxGroups: 8,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return dynamicScenario("link-flap", net.Topology, proc), nil
+		},
+	})
+}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryBuildsEverything builds every named scenario and checks the
+// structural invariants downstream consumers rely on.
+func TestRegistryBuildsEverything(t *testing.T) {
+	specs := Specs()
+	if len(specs) < 6 {
+		t.Fatalf("registry holds %d scenarios, want ≥ 6", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			s, err := BuildNamed(spec.Name, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Name != spec.Name {
+				t.Errorf("built scenario is named %q, want %q", s.Name, spec.Name)
+			}
+			if s.Topology == nil {
+				t.Fatal("nil topology")
+			}
+			if len(s.Truth) != s.Topology.NumLinks() {
+				t.Fatalf("truth has %d entries, topology %d links", len(s.Truth), s.Topology.NumLinks())
+			}
+			if spec.Dynamic {
+				if s.Process == nil {
+					t.Error("dynamic scenario has no process")
+				}
+				if s.Model != nil {
+					t.Error("dynamic scenario also carries an i.i.d. model")
+				}
+			} else {
+				if s.Model == nil {
+					t.Error("static scenario has no model")
+				}
+				if s.Process != nil {
+					t.Error("static scenario carries a process")
+				}
+			}
+			if s.CongestedLinks.IsEmpty() {
+				t.Error("no congested links — the scenario measures nothing")
+			}
+			if s.PotentiallyCongested.IsEmpty() {
+				t.Error("no potentially congested links — error metrics would be empty")
+			}
+			// Seed determinism: same seed, same truth.
+			again, err := BuildNamed(spec.Name, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range s.Truth {
+				if s.Truth[k] != again.Truth[k] {
+					t.Fatalf("truth differs across identical-seed builds at link %d", k)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, ok := Lookup("flash-crowd"); !ok {
+		t.Fatal("flash-crowd not registered")
+	}
+	if _, err := BuildNamed("no-such-scenario", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	} else if !strings.Contains(err.Error(), `unknown scenario "no-such-scenario"`) {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/brite"
 	"repro/internal/congestion"
+	"repro/internal/dynamics"
 	"repro/internal/planetlab"
 	"repro/internal/topology"
 )
@@ -39,9 +40,15 @@ func (l CorrelationLevel) String() string {
 type Scenario struct {
 	Name     string
 	Topology *topology.Topology
-	// Model is the ground truth congestion process.
+	// Model is the ground truth congestion process for static (i.i.d.
+	// per-snapshot) scenarios; nil when Process is set.
 	Model congestion.Model
-	// Truth[k] is the exact P(Xek = 1).
+	// Process, when non-nil, is a time-indexed congestion process replacing
+	// the i.i.d. Model draw: the simulator evolves it snapshot by snapshot
+	// (netsim.RunDynamic). Truth then holds its stationary marginals.
+	Process dynamics.Process
+	// Truth[k] is the exact P(Xek = 1) (static) or the stationary long-run
+	// congestion probability (dynamic).
 	Truth []float64
 	// CongestedLinks are the links with Truth > 0.
 	CongestedLinks *bitset.Set
@@ -59,7 +66,11 @@ type Scenario struct {
 
 // finalize computes Truth, CongestedLinks and PotentiallyCongested.
 func finalize(s *Scenario) {
-	s.Truth = congestion.Marginals(s.Model)
+	if s.Process != nil {
+		s.Truth = s.Process.StationaryMarginals()
+	} else {
+		s.Truth = congestion.Marginals(s.Model)
+	}
 	nl := s.Topology.NumLinks()
 	s.CongestedLinks = bitset.New(nl)
 	for k, p := range s.Truth {

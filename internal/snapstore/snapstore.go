@@ -22,6 +22,11 @@
 //     between Appends always sees a consistent prefix.
 //   - FromRows converts a legacy row-major record ([]*bitset.Set, one per
 //     snapshot) — the compatibility constructor.
+//   - NewRing is the sliding-window variant of the streaming path: the store
+//     keeps a fixed capacity of slots and AppendEvict recycles the oldest
+//     snapshot's slot once the window is full. Because every count kernel is
+//     a permutation-blind popcount, a ring window answers exactly the same
+//     queries as a fresh store over the same retained rows.
 package snapstore
 
 import (
@@ -42,9 +47,19 @@ const BlockSnapshots = wordBits
 // Queries are safe for concurrent use once filling is complete; Append and
 // SetBit are writer-side operations with the ownership rules documented on
 // each.
+//
+// A ring store (NewRing) additionally bounds how many snapshots are
+// retained: appended and retained counts diverge once the window is full,
+// and row indices address window slots rather than absolute time (slot order
+// is a rotation of arrival order; every count kernel is order-blind, so
+// queries are unaffected).
 type Store struct {
-	n    int        // snapshots stored
+	n    int        // snapshots stored (ring mode: appended over the lifetime)
 	cols [][]uint64 // cols[series][t/64] bit t%64
+
+	// Ring-window state (NewRing). capacity == 0 means an unbounded store.
+	capacity int // max snapshots retained; columns hold ⌈capacity/64⌉ words
+	retained int // snapshots currently in the window
 }
 
 // New returns an empty streaming store with the given number of series.
@@ -75,6 +90,25 @@ func NewFixed(series, snapshots int) *Store {
 	return s
 }
 
+// NewRing returns an empty sliding-window store: it accepts snapshots
+// through Append/AppendEvict like a streaming store but retains only the
+// most recent capacity of them, recycling the oldest snapshot's slot once
+// the window is full. Rows are addressed window-relative: Row(0) is the
+// oldest retained snapshot, Row(Snapshots()-1) the newest.
+func NewRing(series, capacity int) *Store {
+	if capacity < 1 {
+		panic(fmt.Sprintf("snapstore: ring capacity %d, want ≥ 1", capacity))
+	}
+	s := New(series)
+	s.capacity = capacity
+	words := (capacity + wordBits - 1) / wordBits
+	backing := make([]uint64, words*series)
+	for i := range s.cols {
+		s.cols[i] = backing[i*words : (i+1)*words : (i+1)*words]
+	}
+	return s
+}
+
 // FromRows builds a store from a row-major record: rows[t] is the set of
 // congested series in snapshot t. This is the compatibility constructor for
 // code that still assembles []*bitset.Set snapshots.
@@ -95,36 +129,77 @@ func FromRows(series int, rows []*bitset.Set) *Store {
 // NumSeries returns the number of series (paths or links).
 func (s *Store) NumSeries() int { return len(s.cols) }
 
-// Snapshots returns the number of snapshots stored.
-func (s *Store) Snapshots() int { return s.n }
+// Snapshots returns the number of snapshots the store currently holds. For a
+// ring store this is the window occupancy, not the lifetime append count
+// (see Appended).
+func (s *Store) Snapshots() int {
+	if s.capacity > 0 {
+		return s.retained
+	}
+	return s.n
+}
+
+// Appended returns the number of snapshots ever appended. It exceeds
+// Snapshots once a ring window has started evicting.
+func (s *Store) Appended() int { return s.n }
+
+// Capacity returns the ring window capacity, or 0 for an unbounded store.
+func (s *Store) Capacity() int { return s.capacity }
 
 // Words returns the number of words in every column.
-func (s *Store) Words() int { return (s.n + wordBits - 1) / wordBits }
+func (s *Store) Words() int {
+	if s.capacity > 0 {
+		return (s.capacity + wordBits - 1) / wordBits
+	}
+	return (s.n + wordBits - 1) / wordBits
+}
+
+// slot maps a window-relative snapshot index to its physical bit position.
+// Retained snapshots occupy the contiguous (mod capacity) slot range
+// [n−retained, n), so the oldest retained snapshot lives at slot
+// (n−retained) mod capacity.
+func (s *Store) slot(t int) int {
+	if s.capacity == 0 {
+		return t
+	}
+	return (s.n - s.retained + t) % s.capacity
+}
 
 // SetBit marks series i congested in snapshot t of a fixed store. Concurrent
 // callers must own disjoint 64-snapshot-aligned blocks of t (see
 // BlockSnapshots); SetBit panics if t is outside the preallocated range.
 func (s *Store) SetBit(i, t int) {
+	if s.capacity > 0 {
+		panic("snapstore: SetBit on a ring store (use Append/AppendEvict)")
+	}
 	if t < 0 || t >= s.n {
 		panic(fmt.Sprintf("snapstore: snapshot %d outside fixed range [0,%d)", t, s.n))
 	}
 	s.cols[i][t/wordBits] |= 1 << uint(t%wordBits)
 }
 
-// Bit reports whether series i was congested in snapshot t.
+// Bit reports whether series i was congested in snapshot t (window-relative
+// for a ring store: t = 0 is the oldest retained snapshot).
 func (s *Store) Bit(i, t int) bool {
-	if t < 0 || t >= s.n {
+	if t < 0 || t >= s.Snapshots() {
 		return false
 	}
 	col := s.cols[i]
-	w := t / wordBits
-	return w < len(col) && col[w]&(1<<uint(t%wordBits)) != 0
+	p := s.slot(t)
+	w := p / wordBits
+	return w < len(col) && col[w]&(1<<uint(p%wordBits)) != 0
 }
 
 // Append ingests one snapshot: congested holds the congested series. It
-// returns the new snapshot's index. Append must not run concurrently with
-// other writers or readers.
+// returns the new snapshot's lifetime index. On a full ring store the oldest
+// snapshot is evicted silently; use AppendEvict to observe it. Append must
+// not run concurrently with other writers or readers.
 func (s *Store) Append(congested *bitset.Set) int {
+	if s.capacity > 0 {
+		t := s.n
+		s.AppendEvict(congested, nil)
+		return t
+	}
 	t := s.n
 	s.n++
 	if w := s.Words(); w > 0 && (len(s.cols) == 0 || len(s.cols[0]) < w) {
@@ -140,6 +215,68 @@ func (s *Store) Append(congested *bitset.Set) int {
 		return true
 	})
 	return t
+}
+
+// AppendEvict ingests one snapshot into a ring store, evicting the oldest
+// retained snapshot first when the window is full. It reports whether an
+// eviction happened and, when evicted is non-nil, leaves the evicted
+// snapshot's congested series in it (cleared otherwise). On an unbounded
+// store it behaves like Append and never evicts.
+func (s *Store) AppendEvict(congested, evicted *bitset.Set) bool {
+	if s.capacity == 0 {
+		if evicted != nil {
+			evicted.Clear()
+		}
+		s.Append(congested)
+		return false
+	}
+	didEvict := false
+	if s.retained == s.capacity {
+		didEvict = s.EvictOldest(evicted)
+	} else if evicted != nil {
+		evicted.Clear()
+	}
+	p := s.n % s.capacity
+	w, mask := p/wordBits, uint64(1)<<uint(p%wordBits)
+	congested.ForEach(func(i int) bool {
+		if i >= len(s.cols) {
+			panic(fmt.Sprintf("snapstore: series %d out of range (%d series)", i, len(s.cols)))
+		}
+		s.cols[i][w] |= mask
+		return true
+	})
+	s.n++
+	s.retained++
+	return didEvict
+}
+
+// EvictOldest drops the oldest retained snapshot of a ring store, shrinking
+// the window by one — the expiry path for time-based windows. It reports
+// whether a snapshot was evicted and, when evicted is non-nil, leaves the
+// dropped snapshot's congested series in it. It panics on an unbounded
+// store (their snapshots are never recycled).
+func (s *Store) EvictOldest(evicted *bitset.Set) bool {
+	if s.capacity == 0 {
+		panic("snapstore: EvictOldest on an unbounded store (NewRing creates ring stores)")
+	}
+	if evicted != nil {
+		evicted.Clear()
+	}
+	if s.retained == 0 {
+		return false
+	}
+	p := s.slot(0)
+	w, mask := p/wordBits, uint64(1)<<uint(p%wordBits)
+	for i := range s.cols {
+		if s.cols[i][w]&mask != 0 {
+			if evicted != nil {
+				evicted.Add(i)
+			}
+			s.cols[i][w] &^= mask
+		}
+	}
+	s.retained--
+	return true
 }
 
 // Column exposes series i's packed column. The slice aliases store storage
@@ -177,17 +314,19 @@ func (s *Store) CountAnyCongested(series []int, scratch []uint64) int {
 }
 
 // CountAllGood returns the number of snapshots in which none of the given
-// series was congested. An empty series list counts every snapshot.
+// series was congested. An empty series list counts every retained snapshot.
 func (s *Store) CountAllGood(series []int, scratch []uint64) int {
-	return s.n - s.CountAnyCongested(series, scratch)
+	return s.Snapshots() - s.CountAnyCongested(series, scratch)
 }
 
 // RowInto materializes snapshot t as a set of congested series into dst
-// (cleared first).
+// (cleared first). For a ring store t is window-relative: t = 0 is the
+// oldest retained snapshot.
 func (s *Store) RowInto(t int, dst *bitset.Set) {
 	dst.Clear()
-	w := t / wordBits
-	mask := uint64(1) << uint(t%wordBits)
+	p := s.slot(t)
+	w := p / wordBits
+	mask := uint64(1) << uint(p%wordBits)
 	for i, col := range s.cols {
 		if w < len(col) && col[w]&mask != 0 {
 			dst.Add(i)
@@ -202,21 +341,36 @@ func (s *Store) Row(t int) *bitset.Set {
 	return dst
 }
 
-// Rows materializes every snapshot row-major — the compatibility view for
-// code that still wants []*bitset.Set. It costs O(snapshots · series); hot
-// paths should query columns instead.
+// Rows materializes every retained snapshot row-major (oldest first for a
+// ring store) — the compatibility view for code that still wants
+// []*bitset.Set. It costs O(snapshots · series); hot paths should query
+// columns instead.
 func (s *Store) Rows() []*bitset.Set {
-	out := make([]*bitset.Set, s.n)
+	out := make([]*bitset.Set, s.Snapshots())
 	for t := range out {
 		out[t] = s.Row(t)
 	}
 	return out
 }
 
-// Equal reports whether the two stores hold identical observations.
+// Equal reports whether the two stores hold identical retained
+// observations, in order. Ring stores compare logically: a rotated window
+// equals a fresh store over the same rows.
 func (s *Store) Equal(t *Store) bool {
-	if s.n != t.n || len(s.cols) != len(t.cols) {
+	if s.Snapshots() != t.Snapshots() || len(s.cols) != len(t.cols) {
 		return false
+	}
+	if s.capacity != 0 || t.capacity != 0 {
+		// A ring store's physical slots are rotated; compare row by row.
+		a, b := bitset.New(len(s.cols)), bitset.New(len(t.cols))
+		for ts := 0; ts < s.Snapshots(); ts++ {
+			s.RowInto(ts, a)
+			t.RowInto(ts, b)
+			if !a.Equal(b) {
+				return false
+			}
+		}
+		return true
 	}
 	for i := range s.cols {
 		a, b := s.cols[i], t.cols[i]

@@ -1,0 +1,46 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode fuzzes the JSON topology parser — the cmd/topogen output format
+// cmd/tomo re-reads. The invariant: arbitrary bytes either fail with an
+// error or produce a validated topology that round-trips through Encode and
+// decodes back to the same shape. No input may panic.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a real topology, a tiny hand-written one, and near-miss
+	// malformed inputs.
+	if data, err := Figure1A().MarshalJSON(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{"num_nodes":2,"links":[{"src":0,"dst":1}],"paths":[{"links":[0]}],"correlation_sets":[[0]]}`))
+	f.Add([]byte(`{"num_nodes":1,"links":[{"src":0,"dst":5}]}`))
+	f.Add([]byte(`{"num_nodes":2,"links":[{"src":0,"dst":1}],"paths":[{"links":[7]}]}`))
+	f.Add([]byte(`{"num_nodes":-3}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		top, err := UnmarshalTopology(data)
+		if err != nil {
+			return
+		}
+		// A decoded topology is fully validated: re-encoding and re-decoding
+		// must succeed and preserve the shape.
+		var buf bytes.Buffer
+		if err := top.Encode(&buf); err != nil {
+			t.Fatalf("valid topology failed to encode: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\ninput: %q", err, data)
+		}
+		if back.NumNodes() != top.NumNodes() || back.NumLinks() != top.NumLinks() ||
+			back.NumPaths() != top.NumPaths() || back.NumSets() != top.NumSets() {
+			t.Fatalf("round-trip changed shape: %d/%d nodes, %d/%d links, %d/%d paths, %d/%d sets",
+				back.NumNodes(), top.NumNodes(), back.NumLinks(), top.NumLinks(),
+				back.NumPaths(), top.NumPaths(), back.NumSets(), top.NumSets())
+		}
+	})
+}

@@ -75,7 +75,15 @@ func UnmarshalTopology(data []byte) (*Topology, error) {
 	return fromJSON(jt)
 }
 
+// maxDecodeNodes bounds the node count a decoded document may demand, so a
+// corrupted (or adversarial) file cannot force an enormous allocation before
+// validation.
+const maxDecodeNodes = 1 << 24
+
 func fromJSON(jt jsonTopology) (*Topology, error) {
+	if jt.NumNodes < 0 || jt.NumNodes > maxDecodeNodes {
+		return nil, fmt.Errorf("topology: num_nodes = %d, want [0, %d]", jt.NumNodes, maxDecodeNodes)
+	}
 	b := NewBuilder()
 	b.AddNodes(jt.NumNodes)
 	ids := make([]LinkID, len(jt.Links))

@@ -444,6 +444,11 @@ func (c *planCache) get(top *Topology) (*Plan, error) {
 // the per-topology structural work (admissible path/pair selection, rank
 // tracking) is paid once per topology rather than once per trial.
 //
+// Scenarios carrying a time-indexed congestion process (Scenario.Process,
+// e.g. the dynamic entries of the named registry) are simulated with the
+// sequential dynamic engine instead of the i.i.d. block-parallel one; their
+// errors are measured against the process's stationary marginals.
+//
 // A scenario that fails records its error in its own BatchResult and does
 // not abort the batch; EvaluateBatch itself returns an error only for
 // invalid options or a cancelled context.
@@ -470,17 +475,32 @@ func EvaluateBatch(ctx context.Context, scenarios []*Scenario, opts BatchOptions
 // failure in res.Err.
 func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, plans *planCache, seed int64) {
 	s := res.Scenario
-	rec, err := netsim.RunContext(ctx, netsim.Config{
-		Topology:       s.Topology,
-		Model:          s.Model,
-		Snapshots:      opts.Snapshots,
-		Seed:           seed,
-		Mode:           opts.Mode,
-		PacketsPerPath: opts.PacketsPerPath,
-		// A fanned-out batch forces this nested pool serial; a one-scenario
-		// batch hands it the full budget.
-		Parallelism: opts.Workers,
-	})
+	var rec *Record
+	var err error
+	if s.Process != nil {
+		// Time-indexed scenario: the sequential dynamic engine evolves the
+		// congestion state snapshot by snapshot.
+		rec, err = netsim.RunDynamic(ctx, netsim.DynamicConfig{
+			Topology:       s.Topology,
+			Process:        s.Process,
+			Snapshots:      opts.Snapshots,
+			Seed:           seed,
+			Mode:           opts.Mode,
+			PacketsPerPath: opts.PacketsPerPath,
+		})
+	} else {
+		rec, err = netsim.RunContext(ctx, netsim.Config{
+			Topology:       s.Topology,
+			Model:          s.Model,
+			Snapshots:      opts.Snapshots,
+			Seed:           seed,
+			Mode:           opts.Mode,
+			PacketsPerPath: opts.PacketsPerPath,
+			// A fanned-out batch forces this nested pool serial; a one-scenario
+			// batch hands it the full budget.
+			Parallelism: opts.Workers,
+		})
+	}
 	if err != nil {
 		res.Err = err
 		return

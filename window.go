@@ -1,0 +1,259 @@
+package tomography
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dynamics"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+// Time-evolving workloads: re-exports of the internal/dynamics process
+// types. A CongestionProcess replaces the i.i.d. per-snapshot Model draw
+// with Markov-modulated on/off congestion — bursts that persist across
+// snapshots and couple across correlation groups.
+type (
+	// CongestionProcess is a time-indexed congestion process (see
+	// internal/dynamics).
+	CongestionProcess = dynamics.Process
+	// MarkovModulated is the Markov-modulated on/off congestion process.
+	MarkovModulated = dynamics.MarkovModulated
+	// MarkovConfig parameterizes NewMarkovModulated.
+	MarkovConfig = dynamics.Config
+	// MarkovGroup configures one modulated congestion group.
+	MarkovGroup = dynamics.Group
+	// MarkovChain parameterizes one on/off modulator chain.
+	MarkovChain = dynamics.Chain
+	// ForcedBurst deterministically forces a modulator on over a snapshot
+	// range — the injection mechanism for known congestion-state shifts.
+	ForcedBurst = dynamics.ForcedBurst
+	// ChangeDetector is the online CUSUM change-point detector windowed
+	// inference uses to flag congestion-state shifts.
+	ChangeDetector = dynamics.Detector
+)
+
+// NewMarkovModulated validates the configuration and builds a
+// Markov-modulated congestion process.
+func NewMarkovModulated(cfg MarkovConfig) (*MarkovModulated, error) {
+	return dynamics.NewMarkovModulated(cfg)
+}
+
+// NewChangeDetector returns a CUSUM change-point detector; zero parameters
+// take the documented defaults (see internal/dynamics).
+func NewChangeDetector(warmup int, drift, threshold float64) (*ChangeDetector, error) {
+	return dynamics.NewDetector(warmup, drift, threshold)
+}
+
+// DynamicSimConfig parameterizes SimulateDynamic.
+type DynamicSimConfig = netsim.DynamicConfig
+
+// SimulateDynamic runs the time-evolving simulator: the process carries
+// congestion state from snapshot to snapshot, and observations are emitted
+// through the columnar store's streaming path (with an optional OnSnapshot
+// tap for online consumers). See netsim.RunDynamic.
+func SimulateDynamic(cfg DynamicSimConfig) (*Record, error) {
+	return netsim.RunDynamic(context.Background(), cfg)
+}
+
+// ScenarioSpec describes one named scenario in the registry.
+type ScenarioSpec = scenario.Spec
+
+// Scenarios returns every named scenario — quickstart, worm, flash-crowd,
+// diurnal, link-flap, planetlab-replay, … — sorted by name. Build one with
+// BuildScenario and feed it to EvaluateBatch, or select it on the command
+// line with cmd/tomo -scenario.
+func Scenarios() []ScenarioSpec { return scenario.Specs() }
+
+// ScenarioNames returns the sorted names of all registered scenarios.
+func ScenarioNames() []string { return scenario.Names() }
+
+// BuildScenario builds the named scenario for a seed; equal seeds build
+// identical scenarios.
+func BuildScenario(name string, seed int64) (*Scenario, error) {
+	return scenario.BuildNamed(name, seed)
+}
+
+// NewSlidingWindow returns an empty streaming measurement source whose
+// estimates cover only the most recent window snapshots: Append past the
+// capacity evicts the oldest snapshot from every count and from the pattern
+// histogram, keeping memory bounded on an endless stream. At any moment it
+// is bit-identical to a one-shot batch source over the retained rows.
+// Window wraps one of these together with a compiled plan; use
+// NewSlidingWindow directly to drive the registry by hand.
+func NewSlidingWindow(numPaths, window int) (*Empirical, error) {
+	return measure.NewSlidingWindow(numPaths, window)
+}
+
+// WindowConfig parameterizes NewWindow.
+type WindowConfig struct {
+	// Size is the sliding-window length in snapshots (> 0): estimates cover
+	// only the most recent Size observations.
+	Size int
+	// Estimator is the registry name to run per estimate ("" ⇒ correlation).
+	Estimator string
+	// Options tunes the estimator.
+	Options EstimateOptions
+	// Plan optionally supplies a precompiled plan for the topology; nil
+	// compiles one lazily. Several windows over one topology should share a
+	// plan.
+	Plan *Plan
+	// Detector overrides the change-point detector (nil ⇒ defaults). The
+	// detector observes the per-snapshot fraction of congested paths.
+	Detector *ChangeDetector
+}
+
+// Window is an online sliding-window inference session: feed it one
+// observation per snapshot with Observe, ask for current estimates at any
+// moment with Estimate. The topology's equation structure is compiled once
+// (or shared via WindowConfig.Plan) and reused by every estimate; the
+// measurement window keeps counts and the congestion-pattern histogram
+// incrementally, evicting the oldest snapshot as new ones arrive. A built-in
+// change-point detector watches the observation stream and records
+// congestion-state shifts.
+//
+// A frozen window estimates bit-identically to a one-shot batch over the
+// same rows (the windowed==batch equivalence guarantee). Window methods must
+// not be called concurrently.
+type Window struct {
+	plan     *Plan
+	name     string
+	opts     EstimateOptions
+	src      *Empirical
+	detector *ChangeDetector
+	numPaths int
+	seen     int
+}
+
+// NewWindow opens a sliding-window inference session over a topology.
+func NewWindow(top *Topology, cfg WindowConfig) (*Window, error) {
+	if top == nil {
+		return nil, fmt.Errorf("tomography: NewWindow: nil topology")
+	}
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("tomography: NewWindow: window size = %d, want > 0", cfg.Size)
+	}
+	name := cfg.Estimator
+	if name == "" {
+		name = "correlation"
+	}
+	if _, ok := LookupEstimator(name); !ok {
+		return nil, fmt.Errorf("tomography: NewWindow: unknown estimator %q (registered: %v)", name, EstimatorNames())
+	}
+	p := cfg.Plan
+	if p == nil {
+		var err error
+		p, err = Compile(top, PlanOptions{Lazy: true})
+		if err != nil {
+			return nil, err
+		}
+	} else if p.Topology() != top {
+		return nil, fmt.Errorf("tomography: NewWindow: the supplied plan was compiled for a different topology")
+	}
+	src, err := measure.NewSlidingWindow(top.NumPaths(), cfg.Size)
+	if err != nil {
+		return nil, err
+	}
+	det := cfg.Detector
+	if det == nil {
+		det, err = NewChangeDetector(0, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Window{
+		plan:     p,
+		name:     name,
+		opts:     cfg.Options,
+		src:      src,
+		detector: det,
+		numPaths: top.NumPaths(),
+	}, nil
+}
+
+// Observe feeds one snapshot's congested-path observation, evicting the
+// oldest retained snapshot once the window is full. It reports whether the
+// change-point detector flagged a congestion-state shift on this snapshot.
+func (w *Window) Observe(congested *PathSet) bool {
+	w.src.Append(congested)
+	w.seen++
+	return w.detector.Observe(float64(congested.Len()) / float64(w.numPaths))
+}
+
+// Estimate runs the configured estimator over the current window contents
+// through the shared compiled plan.
+func (w *Window) Estimate() (*EstimateResult, error) {
+	if w.src.Snapshots() == 0 {
+		return nil, fmt.Errorf("tomography: Window.Estimate: no observations yet")
+	}
+	return Estimate(w.name, w.plan, w.src, w.opts)
+}
+
+// Source exposes the window's measurement source (e.g. to run a second
+// estimator over the same window through the registry).
+func (w *Window) Source() *Empirical { return w.src }
+
+// Plan returns the compiled plan the window estimates through.
+func (w *Window) Plan() *Plan { return w.plan }
+
+// Seen returns the total number of snapshots observed.
+func (w *Window) Seen() int { return w.seen }
+
+// Len returns the number of snapshots currently in the window
+// (min(Seen, Size)).
+func (w *Window) Len() int { return w.src.Snapshots() }
+
+// ChangePoints returns the snapshot indices at which the detector flagged
+// congestion-state shifts.
+func (w *Window) ChangePoints() []int { return w.detector.ChangePoints() }
+
+// WindowPoint is one checkpoint of a windowed replay: the estimate over the
+// window ending at (0-based) snapshot T.
+type WindowPoint struct {
+	// T is the index of the last snapshot included in the window.
+	T int
+	// Result is the estimate over the window's rows.
+	Result *EstimateResult
+	// Changed reports whether a congestion-state shift was flagged anywhere
+	// in (prevT, T].
+	Changed bool
+}
+
+// WindowedEstimate replays a record through a sliding window of cfg.Size
+// snapshots, estimating every stride snapshots (and at the final snapshot),
+// starting once the window has filled. One plan is compiled (or shared via
+// cfg.Plan) for the whole replay. It is the offline counterpart of driving a
+// Window from a live feed.
+func WindowedEstimate(top *Topology, rec *Record, cfg WindowConfig, stride int) ([]WindowPoint, error) {
+	if rec == nil || rec.Paths == nil {
+		return nil, fmt.Errorf("tomography: WindowedEstimate: nil record")
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("tomography: WindowedEstimate: stride = %d, want > 0", stride)
+	}
+	w, err := NewWindow(top, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := rec.Snapshots()
+	var out []WindowPoint
+	changed := false
+	for t := 0; t < n; t++ {
+		if w.Observe(rec.PathSnapshot(t)) {
+			changed = true
+		}
+		full := t+1 >= cfg.Size
+		checkpoint := (t+1)%stride == 0 || t == n-1
+		if !full || !checkpoint {
+			continue
+		}
+		res, err := w.Estimate()
+		if err != nil {
+			return nil, fmt.Errorf("tomography: WindowedEstimate at snapshot %d: %w", t, err)
+		}
+		out = append(out, WindowPoint{T: t, Result: res, Changed: changed})
+		changed = false
+	}
+	return out, nil
+}
