@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -69,6 +70,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		progress  = fs.Bool("progress", false, "report progress on stderr (per trial; per figure with -figure all)")
 		outDir    = fs.String("out", "", "directory to write per-figure .tsv files (default: stdout only)")
 		noTiming  = fs.Bool("no-timing", false, "omit wall-clock timings from the output (for diffable runs)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -76,6 +79,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		return err
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(stderr, "experiment:", perr)
+		}
+	}()
 
 	if *figure == "" {
 		fs.Usage()

@@ -89,3 +89,26 @@ func TestRunErrors(t *testing.T) {
 		t.Fatalf("unknown scale: err = %v", err)
 	}
 }
+
+// TestProfileFlags pins the -cpuprofile/-memprofile plumbing: a run with
+// both flags must succeed and leave non-empty pprof files behind.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out, errBuf strings.Builder
+	err := run(context.Background(), []string{"-figure", "scenario:quickstart", "-snapshots", "200", "-no-timing",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run with profiling flags: %v (stderr: %s)", err, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

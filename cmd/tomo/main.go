@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	tomography "repro"
+	"repro/internal/profiling"
 	"repro/internal/topology"
 )
 
@@ -56,6 +57,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		summary   = fs.Bool("summary", false, "print error summary instead of the per-link table")
 		topN      = fs.Int("top", 0, "print only the N links with the highest inferred congestion probability")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -63,6 +66,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 		return err
 	}
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(stderr, "tomo:", perr)
+		}
+	}()
 
 	if *listScen {
 		listScenarios(stdout)

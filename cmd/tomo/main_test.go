@@ -116,3 +116,26 @@ func TestHelpIsNotAnError(t *testing.T) {
 		t.Fatalf("usage text missing from stderr:\n%s", errBuf.String())
 	}
 }
+
+// TestProfileFlags pins the -cpuprofile/-memprofile plumbing: a run with
+// both flags must succeed and leave non-empty pprof files behind.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out, errBuf strings.Builder
+	err := run([]string{"-scenario", "quickstart", "-snapshots", "200", "-summary",
+		"-cpuprofile", cpu, "-memprofile", mem}, strings.NewReader(""), &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run with profiling flags: %v (stderr: %s)", err, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/measure"
 	"repro/internal/mle"
+	"repro/internal/plan"
 )
 
 // EstimateOptions bundles the per-family tuning knobs an estimator may
@@ -51,6 +52,36 @@ type Estimator interface {
 	Name() string
 	// Estimate runs inference through the compiled plan.
 	Estimate(plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error)
+}
+
+// Workspace is the reusable evaluate-phase scratch of the estimator
+// registry: equation right-hand sides, solver matrices, LP tableaus, MLE
+// optimizer state, and the uniform result envelope. Plans stay shared and
+// immutable; a workspace is the opposite — owned by one goroutine, reused
+// across estimates (and across plans), mutated by every call. Concurrent
+// use of one workspace is detected and reported by panic. Results returned
+// through a workspace alias its storage: treat them as read-only and
+// consume them before the workspace's next estimate. The plain Estimate
+// path remains the safe default and is bit-identical.
+type Workspace struct {
+	ws  plan.Workspace
+	res EstimateResult
+}
+
+// NewWorkspace returns a workspace for EstimateIn. Allocate one per
+// goroutine (e.g. one per worker, or one per Window) and reuse it for every
+// estimate that goroutine runs.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// WorkspaceEstimator is the optional workspace-aware extension of
+// Estimator: estimators that can run their evaluate phase on caller-owned
+// scratch implement it, and EstimateIn routes through it. All built-in
+// estimators do.
+type WorkspaceEstimator interface {
+	Estimator
+	// EstimateIn runs inference through the compiled plan using ws for every
+	// transient buffer. The result aliases ws.
+	EstimateIn(ws *Workspace, plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error)
 }
 
 var (
@@ -107,6 +138,29 @@ func Estimate(name string, plan *Plan, src Source, opts EstimateOptions) (*Estim
 	return e.Estimate(plan, src, opts)
 }
 
+// EstimateIn is Estimate running on a caller-owned workspace: the
+// steady-state (compile once, estimate per window) form whose per-estimate
+// allocations are zero for the built-in linear and theorem estimators.
+// Results are bit-identical to Estimate but alias ws — read-only, valid
+// until the next estimate on the same workspace. Estimators that do not
+// implement WorkspaceEstimator fall back to their allocating path.
+func EstimateIn(ws *Workspace, name string, plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	e, ok := LookupEstimator(name)
+	if !ok {
+		return nil, fmt.Errorf("tomography: unknown estimator %q (registered: %v)", name, EstimatorNames())
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("tomography: Estimate %q: nil plan (Compile the topology first)", name)
+	}
+	if ws == nil {
+		return nil, fmt.Errorf("tomography: EstimateIn %q: nil workspace (use NewWorkspace)", name)
+	}
+	if we, ok := e.(WorkspaceEstimator); ok {
+		return we.EstimateIn(ws, plan, src, opts)
+	}
+	return e.Estimate(plan, src, opts)
+}
+
 // --- Built-in estimators. ---
 
 func init() {
@@ -134,6 +188,19 @@ func (correlationEstimator) Estimate(plan *Plan, src Source, opts EstimateOption
 	}, nil
 }
 
+func (correlationEstimator) EstimateIn(ws *Workspace, plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	res, err := plan.CorrelationIn(&ws.ws, src, opts.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	ws.res = EstimateResult{
+		Estimator:      "correlation",
+		CongestionProb: res.CongestionProb,
+		Linear:         res,
+	}
+	return &ws.res, nil
+}
+
 // independenceEstimator runs the Nguyen–Thiran uncorrelated-links baseline.
 type independenceEstimator struct{}
 
@@ -149,6 +216,19 @@ func (independenceEstimator) Estimate(plan *Plan, src Source, opts EstimateOptio
 		CongestionProb: res.CongestionProb,
 		Linear:         res,
 	}, nil
+}
+
+func (independenceEstimator) EstimateIn(ws *Workspace, plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	res, err := plan.IndependenceIn(&ws.ws, src, opts.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	ws.res = EstimateResult{
+		Estimator:      "independence",
+		CongestionProb: res.CongestionProb,
+		Linear:         res,
+	}
+	return &ws.res, nil
 }
 
 // theoremEstimator runs the exact Appendix-A algorithm. It needs
@@ -174,6 +254,23 @@ func (theoremEstimator) Estimate(plan *Plan, src Source, opts EstimateOptions) (
 	}, nil
 }
 
+func (theoremEstimator) EstimateIn(ws *Workspace, plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	ps, ok := src.(measure.PatternSource)
+	if !ok {
+		return nil, fmt.Errorf("tomography: the theorem estimator needs exact congestion-pattern probabilities (measure.PatternSource); %T does not provide them", src)
+	}
+	res, err := plan.TheoremIn(&ws.ws, ps, opts.Theorem)
+	if err != nil {
+		return nil, err
+	}
+	ws.res = EstimateResult{
+		Estimator:      "theorem",
+		CongestionProb: res.CongestionProb,
+		Theorem:        res,
+	}
+	return &ws.res, nil
+}
+
 // mleEstimator runs the composite-likelihood maximum-likelihood estimator.
 // It needs per-path and per-pair good-frequencies, so the source must
 // implement the fast pair queries (Empirical does).
@@ -195,4 +292,21 @@ func (mleEstimator) Estimate(plan *Plan, src Source, opts EstimateOptions) (*Est
 		CongestionProb: res.CongestionProb,
 		MLE:            res,
 	}, nil
+}
+
+func (mleEstimator) EstimateIn(ws *Workspace, plan *Plan, src Source, opts EstimateOptions) (*EstimateResult, error) {
+	ms, ok := src.(mle.Source)
+	if !ok {
+		return nil, fmt.Errorf("tomography: the mle estimator needs per-path and per-pair good-frequencies (FastPairSource); %T does not provide them", src)
+	}
+	res, err := plan.MLEIn(&ws.ws, ms, opts.MLE)
+	if err != nil {
+		return nil, err
+	}
+	ws.res = EstimateResult{
+		Estimator:      "mle",
+		CongestionProb: res.CongestionProb,
+		MLE:            res,
+	}
+	return &ws.res, nil
 }

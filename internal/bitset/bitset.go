@@ -102,6 +102,16 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// CopyFrom replaces s's contents with t's, reusing s's storage when large
+// enough.
+func (s *Set) CopyFrom(t *Set) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	}
+	s.words = s.words[:len(t.words)]
+	copy(s.words, t.words)
+}
+
 // Clear removes all elements, keeping the allocated capacity.
 func (s *Set) Clear() {
 	for i := range s.words {
@@ -258,21 +268,33 @@ func (s *Set) Min() int {
 	return -1
 }
 
+// hexDigits is the alphabet AppendKey encodes words with.
+const hexDigits = "0123456789abcdef"
+
 // Key returns a string usable as a map key identifying the set's contents.
 // Two sets with equal contents always produce the same key, regardless of
 // their internal capacity.
 func (s *Set) Key() string {
+	return string(s.AppendKey(nil))
+}
+
+// AppendKey appends the set's Key bytes to dst and returns the extended
+// slice — the allocation-free form of Key for callers that look up
+// string-keyed maps with a reusable buffer (m[string(buf)] compiles to a
+// no-copy lookup). The bytes are identical to Key's.
+func (s *Set) AppendKey(dst []byte) []byte {
 	// Trim trailing zero words so capacity differences do not matter.
 	n := len(s.words)
 	for n > 0 && s.words[n-1] == 0 {
 		n--
 	}
-	var b strings.Builder
-	b.Grow(n * 16)
 	for i := 0; i < n; i++ {
-		fmt.Fprintf(&b, "%016x", s.words[i])
+		w := s.words[i]
+		for shift := 60; shift >= 0; shift -= 4 {
+			dst = append(dst, hexDigits[(w>>uint(shift))&0xf])
+		}
 	}
-	return b.String()
+	return dst
 }
 
 // String renders the set as "{1, 4, 7}" for debugging.

@@ -336,3 +336,34 @@ func TestWordsView(t *testing.T) {
 		t.Fatalf("popcount %d != Len %d", got, s.Len())
 	}
 }
+
+// TestAppendKeyMatchesKey pins the allocation-free key encoder against Key:
+// identical bytes for every shape, including trailing-zero-word trimming and
+// buffer reuse.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	sets := []*Set{
+		New(0),
+		New(100),
+		FromIndices(0),
+		FromIndices(63),
+		FromIndices(64),
+		FromIndices(0, 63, 64, 127, 128),
+		FromIndices(5, 999),
+	}
+	// A set whose high words were set then cleared exercises trimming.
+	trimmed := FromIndices(3, 500)
+	trimmed.Remove(500)
+	sets = append(sets, trimmed)
+
+	buf := make([]byte, 0, 64)
+	for _, s := range sets {
+		want := s.Key()
+		buf = s.AppendKey(buf[:0])
+		if string(buf) != want {
+			t.Fatalf("AppendKey(%v) = %q, Key = %q", s, string(buf), want)
+		}
+	}
+	if got := New(10).Key(); got != "" {
+		t.Fatalf("empty set key = %q, want empty string", got)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/bitset"
 	"repro/internal/measure"
@@ -42,6 +41,10 @@ type Structure struct {
 	pairEqs   int
 	rank      int
 	covered   *bitset.Set
+	// pairs lists every accepted pair equation's path pair, in acceptance
+	// order — the precomputed query set of the batched pair-count kernel
+	// (measure.BatchPairSource.PrimePairs).
+	pairs []measure.Pair
 }
 
 // CompileStructure runs the source-independent part of BuildEquations: it
@@ -78,6 +81,7 @@ func CompileStructure(top *topology.Topology, opts BuildOptions) (*Structure, er
 			})
 			if pair {
 				s.pairEqs++
+				s.pairs = append(s.pairs, measure.Pair{A: int(paths[0]), B: int(paths[1])})
 			} else {
 				s.singleEqs++
 			}
@@ -118,40 +122,23 @@ func (s *Structure) Candidates() []Candidate { return s.accepted }
 // fused BuildEquations, preserving bit-identical output at one-shot cost.
 //
 // Evaluate allocates its outputs and is safe to call concurrently on a
-// shared Structure.
+// shared Structure. It is a thin wrapper over EvaluateIn with a pooled
+// workspace: the probability fill runs on recycled scratch (including the
+// batched pair-count kernel when the source supports it) and the resulting
+// system is detached into fresh storage, bit-identical to the historical
+// allocating implementation.
 func (s *Structure) Evaluate(src measure.Source) (*EquationSystem, error) {
-	if src.NumPaths() != s.top.NumPaths() {
-		return nil, fmt.Errorf("core: source has %d paths, topology %d", src.NumPaths(), s.top.NumPaths())
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	sys, err := s.EvaluateIn(ws, src)
+	if err != nil {
+		return nil, err
 	}
-	probe := probeFor(s.top, src)
-	ys := make([]float64, len(s.accepted))
-	for i := range s.accepted {
-		prob := probe(s.accepted[i].Paths)
-		if prob <= s.opts.MinProb {
-			// A precollected equation is unusable: replay the fused
-			// selection, which re-decides every candidate with the data in
-			// hand.
-			return BuildEquations(s.top, src, s.opts)
-		}
-		ys[i] = math.Log(prob)
+	if sys != &ws.sys {
+		// Data-dependent fallback: BuildEquations already allocated it.
+		return sys, nil
 	}
-
-	sys := &EquationSystem{
-		NumLinks:      s.top.NumLinks(),
-		Equations:     make([]Equation, len(s.accepted)),
-		SinglePathEqs: s.singleEqs,
-		PairEqs:       s.pairEqs,
-		Rank:          s.rank,
-		Covered:       s.covered.Clone(),
-	}
-	for i, c := range s.accepted {
-		sys.Equations[i] = Equation{
-			Links: c.Links.Clone(),
-			Y:     ys[i],
-			Paths: append([]topology.PathID{}, c.Paths...),
-		}
-	}
-	return sys, nil
+	return cloneSystem(sys), nil
 }
 
 // LinearPlan couples a compiled equation structure with the solver options
@@ -202,11 +189,14 @@ func (p *LinearPlan) Structure() *Structure { return p.structure }
 
 // Run evaluates the compiled plan against a measurement source and solves
 // the system. The output is bit-identical to Correlation (or Independence)
-// called with the plan's topology and options.
+// called with the plan's topology and options. It wraps RunIn with a pooled
+// workspace and detaches the result.
 func (p *LinearPlan) Run(src measure.Source) (*Result, error) {
-	sys, err := p.structure.Evaluate(src)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	res, err := p.RunIn(ws, src)
 	if err != nil {
 		return nil, err
 	}
-	return solveSystem(sys, p.opts)
+	return detachResult(ws, res), nil
 }

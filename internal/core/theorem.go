@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/measure"
+	"repro/internal/scratch"
 	"repro/internal/topology"
 )
 
@@ -50,6 +51,12 @@ type corrSubset struct {
 	links    *bitset.Set
 	coverage *bitset.Set
 	key      string
+	// covKey is the coverage's bitset.Key, precomputed so the data phase can
+	// query key-addressed pattern sources without re-encoding per call.
+	covKey string
+	// ord is the subset's index in the |ψ(A)|-ascending computation order —
+	// the workspace path's slice-indexed replacement for the alpha map.
+	ord int
 }
 
 // TheoremPlan is the compiled structural phase of the exact algorithm:
@@ -94,6 +101,7 @@ func CompileTheorem(top *topology.Topology, opts TheoremOptions) (*TheoremPlan, 
 		bitset.EnumerateSubsets(elems, func(s *bitset.Set) bool {
 			sub := &corrSubset{set: p, links: s.Clone(), coverage: top.Coverage(s)}
 			sub.key = sub.links.Key()
+			sub.covKey = sub.coverage.Key()
 			subsets = append(subsets, sub)
 			bySet[p] = append(bySet[p], sub)
 			return true
@@ -115,6 +123,9 @@ func CompileTheorem(top *topology.Topology, opts TheoremOptions) (*TheoremPlan, 
 	sort.SliceStable(subsets, func(i, j int) bool {
 		return subsets[i].coverage.Len() < subsets[j].coverage.Len()
 	})
+	for i, s := range subsets {
+		s.ord = i
+	}
 
 	pl := &TheoremPlan{top: top, opts: opts, subsets: subsets, bySet: bySet}
 	pl.gammaCands = make([][][]gammaCand, len(subsets))
@@ -165,49 +176,126 @@ func Theorem(top *topology.Topology, src measure.PatternSource, opts TheoremOpti
 // pattern source: solve Eq. 18 for every αA in the precompiled order, then
 // recover the joint and marginal probabilities via Lemma 3. The output is
 // bit-identical to Theorem on the same inputs. Run allocates its outputs
-// and is safe to call concurrently on a shared plan.
+// and is safe to call concurrently on a shared plan; it wraps RunIn with a
+// pooled workspace and detaches the result.
 func (pl *TheoremPlan) Run(src measure.PatternSource) (*TheoremResult, error) {
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	res, err := pl.RunIn(ws, src)
+	if err != nil {
+		return nil, err
+	}
+	return detachTheoremResult(res), nil
+}
+
+// theoremWorkspace is the exact algorithm's per-run scratch: α factors by
+// computation order, the Γ-enumeration option lists and per-depth coverage
+// unions, and the reused result (whose maps are cleared, not reallocated —
+// their keys are the plan's interned subset keys, so steady-state refills
+// allocate nothing).
+type theoremWorkspace struct {
+	alpha    []float64
+	options  [][]gammaOption
+	cover    []*bitset.Set // per-recursion-depth coverage-union scratch
+	target   *bitset.Set   // ψ(A) of the subset being solved
+	numSets  int
+	gammaA   float64
+	gammaBar float64
+	res      TheoremResult
+}
+
+// gammaOption is one admissible per-set state of the Γ enumeration: a
+// coverage (nil for the empty state), the state's α factor (1 for ∅ and for
+// the target state A), and whether it is A itself.
+type gammaOption struct {
+	coverage *bitset.Set
+	factor   float64
+	isA      bool
+}
+
+// RunIn is Run with workspace-owned outputs: identical arithmetic, zero
+// steady-state allocations when the source supports key-addressed pattern
+// queries (measure.PatternKeySource — Empirical does). The result aliases
+// workspace and plan storage — read-only, valid until the next call on ws.
+func (pl *TheoremPlan) RunIn(ws *Workspace, src measure.PatternSource) (*TheoremResult, error) {
+	ws.acquire()
+	defer ws.release()
+	tw := &ws.thm
 	top := pl.top
-	p0 := src.ProbExactCongestedPaths(bitset.New(top.NumPaths()))
+
+	keySrc, hasKeys := src.(measure.PatternKeySource)
+	var p0 float64
+	if hasKeys {
+		// The empty pattern's key is the empty string (no set bits, no words).
+		p0 = keySrc.ProbCongestedPatternKey("")
+	} else {
+		p0 = src.ProbExactCongestedPaths(bitset.New(top.NumPaths()))
+	}
 	if p0 <= 0 {
 		return nil, fmt.Errorf("core: P(all paths good) = %v; the theorem algorithm needs a positive all-good probability", p0)
 	}
 
-	alpha := make(map[string]float64, len(pl.subsets))
-	res := &TheoremResult{
-		CongestionProb: make([]float64, top.NumLinks()),
-		Alpha:          alpha,
-		ProbSetEmpty:   make([]float64, top.NumSets()),
-		JointProb:      make(map[string]float64, len(pl.subsets)),
+	tw.alpha = scratch.Grow(tw.alpha, len(pl.subsets))
+	tw.numSets = len(pl.bySet)
+	if cap(tw.options) < tw.numSets {
+		tw.options = make([][]gammaOption, tw.numSets)
+	}
+	tw.options = tw.options[:tw.numSets]
+	for len(tw.cover) < tw.numSets+1 {
+		tw.cover = append(tw.cover, bitset.New(top.NumPaths()))
+	}
+
+	res := &tw.res
+	res.CongestionProb = scratch.Grow(res.CongestionProb, top.NumLinks())
+	for k := range res.CongestionProb {
+		res.CongestionProb[k] = 0
+	}
+	res.ProbSetEmpty = scratch.Grow(res.ProbSetEmpty, top.NumSets())
+	res.Subsets = res.Subsets[:0]
+	if res.Alpha == nil {
+		res.Alpha = make(map[string]float64, len(pl.subsets))
+	} else {
+		clear(res.Alpha)
+	}
+	if res.JointProb == nil {
+		res.JointProb = make(map[string]float64, len(pl.subsets))
+	} else {
+		clear(res.JointProb)
 	}
 
 	for ai, a := range pl.subsets {
-		res.Subsets = append(res.Subsets, a.links.Clone())
-		gammaA, gammaBar, err := pl.gammaTerms(alpha, ai)
+		res.Subsets = append(res.Subsets, a.links)
+		gammaA, gammaBar, err := pl.gammaTerms(tw, ai)
 		if err != nil {
 			return nil, err
 		}
 		if gammaA <= 0 {
 			return nil, fmt.Errorf("core: ΓA = %v for subset %v; cannot solve Eq. 18", gammaA, a.links)
 		}
-		lhs := src.ProbExactCongestedPaths(a.coverage) / p0
+		var lhs float64
+		if hasKeys {
+			lhs = keySrc.ProbCongestedPatternKey(a.covKey) / p0
+		} else {
+			lhs = src.ProbExactCongestedPaths(a.coverage) / p0
+		}
 		av := (lhs - gammaBar) / gammaA
 		if av < 0 {
 			av = 0 // estimation noise can push a tiny factor below zero
 		}
-		alpha[a.key] = av
+		tw.alpha[ai] = av
+		res.Alpha[a.key] = av
 	}
 
 	// Lemma 3: recover P(Sᵖ=∅), P(Sᵖ=A) and the per-link marginals.
 	for p := 0; p < top.NumSets(); p++ {
 		sum := 0.0
 		for _, s := range pl.bySet[p] {
-			sum += alpha[s.key]
+			sum += tw.alpha[s.ord]
 		}
 		pEmpty := 1 / (1 + sum)
 		res.ProbSetEmpty[p] = pEmpty
 		for _, s := range pl.bySet[p] {
-			joint := alpha[s.key] * pEmpty
+			joint := tw.alpha[s.ord] * pEmpty
 			res.JointProb[s.key] = joint
 			s.links.ForEach(func(k int) bool {
 				res.CongestionProb[k] += joint
@@ -223,62 +311,91 @@ func (pl *TheoremPlan) Run(src measure.PatternSource) (*TheoremResult, error) {
 	return res, nil
 }
 
+// detachTheoremResult deep-copies a workspace-owned theorem result.
+func detachTheoremResult(res *TheoremResult) *TheoremResult {
+	out := &TheoremResult{
+		CongestionProb: append([]float64(nil), res.CongestionProb...),
+		Alpha:          make(map[string]float64, len(res.Alpha)),
+		Subsets:        make([]*bitset.Set, len(res.Subsets)),
+		ProbSetEmpty:   append([]float64(nil), res.ProbSetEmpty...),
+		JointProb:      make(map[string]float64, len(res.JointProb)),
+	}
+	for k, v := range res.Alpha {
+		out.Alpha[k] = v
+	}
+	for k, v := range res.JointProb {
+		out.JointProb[k] = v
+	}
+	for i, s := range res.Subsets {
+		out.Subsets[i] = s.Clone()
+	}
+	return out
+}
+
 // gammaTerms enumerates the network states Sn with ψ(Sn) = ψ(A) and returns
 //
 //	ΓA = Σ_{Sn: Sqn = A} Π_{p≠q} α(Spn)
 //	ΓĀ = Σ_{Sn: Sqn ≠ A} Π_p   α(Spn)
 //
-// with α(∅) = 1. All other α's needed are already present in the alpha map,
+// with α(∅) = 1. All other α's needed were computed at an earlier ordinal,
 // guaranteed by the |ψ(A)| ordering (Lemma 1). The admissible states per
-// set were precomputed at compile time; only the α factors are data.
-func (pl *TheoremPlan) gammaTerms(alpha map[string]float64, ai int) (gammaA, gammaBar float64, err error) {
+// set were precomputed at compile time; only the α factors are data. The
+// enumeration runs entirely on workspace scratch: option lists are rebuilt
+// in place and the per-depth coverage unions reuse one bitset per level.
+func (pl *TheoremPlan) gammaTerms(tw *theoremWorkspace, ai int) (gammaA, gammaBar float64, err error) {
 	a := pl.subsets[ai]
-	type option struct {
-		coverage *bitset.Set
-		factor   float64 // α of the state; 1 for ∅
-		isA      bool    // true when this is state A itself in set q
-	}
-	options := make([][]option, len(pl.bySet))
 	for p := range pl.bySet {
-		opts := []option{{coverage: bitset.New(pl.top.NumPaths()), factor: 1}}
+		opts := tw.options[p][:0]
+		opts = append(opts, gammaOption{factor: 1})
 		for _, c := range pl.gammaCands[ai][p] {
 			if c.isA {
-				opts = append(opts, option{coverage: c.sub.coverage, factor: 1, isA: true})
+				opts = append(opts, gammaOption{coverage: c.sub.coverage, factor: 1, isA: true})
 				continue
 			}
-			av, ok := alpha[c.sub.key]
-			if !ok {
+			if c.sub.ord >= ai {
 				return 0, 0, fmt.Errorf("core: internal error: α for subset %v needed before it was computed (ordering bug)", c.sub.links)
 			}
+			av := tw.alpha[c.sub.ord]
 			if av == 0 {
 				continue // contributes nothing to either sum
 			}
-			opts = append(opts, option{coverage: c.sub.coverage, factor: av})
+			opts = append(opts, gammaOption{coverage: c.sub.coverage, factor: av})
 		}
-		options[p] = opts
+		tw.options[p] = opts
 	}
 
-	var rec func(p int, covered *bitset.Set, prod float64, sawA bool)
-	rec = func(p int, covered *bitset.Set, prod float64, sawA bool) {
-		if p == len(options) {
-			if !covered.Equal(a.coverage) {
-				return
-			}
-			if sawA {
-				gammaA += prod
-			} else {
-				gammaBar += prod
-			}
+	tw.target = a.coverage
+	tw.gammaA, tw.gammaBar = 0, 0
+	root := tw.cover[0]
+	root.Clear()
+	tw.gammaRec(0, root, 1, false)
+	return tw.gammaA, tw.gammaBar, nil
+}
+
+// gammaRec walks the per-set state options depth-first, accumulating the ΓA
+// and ΓĀ sums for states whose total coverage equals the target. The
+// coverage union at depth p+1 lives in tw.cover[p+1], so recursion allocates
+// nothing.
+func (tw *theoremWorkspace) gammaRec(p int, covered *bitset.Set, prod float64, sawA bool) {
+	if p == tw.numSets {
+		if !covered.Equal(tw.target) {
 			return
 		}
-		for _, o := range options[p] {
-			next := covered
-			if !o.coverage.IsEmpty() {
-				next = bitset.Union(covered, o.coverage)
-			}
-			rec(p+1, next, prod*o.factor, sawA || o.isA)
+		if sawA {
+			tw.gammaA += prod
+		} else {
+			tw.gammaBar += prod
 		}
+		return
 	}
-	rec(0, bitset.New(pl.top.NumPaths()), 1, false)
-	return gammaA, gammaBar, nil
+	for i := range tw.options[p] {
+		o := &tw.options[p][i]
+		next := covered
+		if o.coverage != nil && !o.coverage.IsEmpty() {
+			next = tw.cover[p+1]
+			next.CopyFrom(covered)
+			next.UnionWith(o.coverage)
+		}
+		tw.gammaRec(p+1, next, prod*o.factor, sawA || o.isA)
+	}
 }

@@ -194,6 +194,12 @@ func trialSeed(p Params, trial int) int64 {
 	return runner.DeriveSeed(root, trial)
 }
 
+// trialWorkspaces hands each concurrently active worker one reusable
+// evaluate workspace: the plan is shared per scenario, while all transient
+// solver state is borrowed here and recycled across every trial of every
+// figure.
+var trialWorkspaces = sync.Pool{New: func() any { return &plan.Workspace{} }}
+
 // runTrial simulates one trial of a scenario and runs both algorithms on
 // it through the scenario's shared compiled plan. ctx must be the enclosing
 // pool task's ctx: it carries this trial's share of the worker budget,
@@ -232,32 +238,36 @@ func runTrial(ctx context.Context, s *scenario.Scenario, pl *plan.Plan, p Params
 		return trialResult{}, fmt.Errorf("wrapping record for %s: %w", s.Name, err)
 	}
 
-	corr, err := pl.Correlation(src, core.Options{})
+	// Both algorithms run through the worker's borrowed workspace; each
+	// result is consumed (error samples, note line) before the next call
+	// reuses the workspace's buffers.
+	ws := trialWorkspaces.Get().(*plan.Workspace)
+	defer trialWorkspaces.Put(ws)
+
+	res := trialResult{
+		notes: []string{fmt.Sprintf("scenario %s: links=%d paths=%d congested=%d potentially-congested=%d snapshots=%d mode=%s trials=%d",
+			s.Name, s.Topology.NumLinks(), s.Topology.NumPaths(),
+			s.CongestedLinks.Len(), s.PotentiallyCongested.Len(), snapshots, p.Mode, p.trials())},
+	}
+	corr, err := pl.CorrelationIn(ws, src, core.Options{})
 	if err != nil {
 		return trialResult{}, fmt.Errorf("correlation algorithm on %s: %w", s.Name, err)
 	}
+	res.corrErrs = eval.AbsErrors(s.Truth, corr.CongestionProb, s.PotentiallyCongested)
+	res.notes = append(res.notes, fmt.Sprintf("correlation: rank=%d/%d singles=%d pairs=%d solver=%s",
+		corr.System.Rank, s.Topology.NumLinks(), corr.System.SinglePathEqs, corr.System.PairEqs, corr.Solver))
 	// The independence baseline emulates Nguyen–Thiran: it uses all its
 	// (incorrectly factorized, when links are correlated) observations in a
 	// least-squares fit, rather than the Section-4 just-enough/L1 strategy —
 	// a robust solver would quietly reject the wrong equations as outliers
 	// and mask exactly the modelling error the paper measures.
-	indep, err := pl.Independence(src, core.Options{UseAllEquations: true})
+	indep, err := pl.IndependenceIn(ws, src, core.Options{UseAllEquations: true})
 	if err != nil {
 		return trialResult{}, fmt.Errorf("independence algorithm on %s: %w", s.Name, err)
 	}
-	res := trialResult{
-		corrErrs:  eval.AbsErrors(s.Truth, corr.CongestionProb, s.PotentiallyCongested),
-		indepErrs: eval.AbsErrors(s.Truth, indep.CongestionProb, s.PotentiallyCongested),
-		notes: []string{
-			fmt.Sprintf("scenario %s: links=%d paths=%d congested=%d potentially-congested=%d snapshots=%d mode=%s trials=%d",
-				s.Name, s.Topology.NumLinks(), s.Topology.NumPaths(),
-				s.CongestedLinks.Len(), s.PotentiallyCongested.Len(), snapshots, p.Mode, p.trials()),
-			fmt.Sprintf("correlation: rank=%d/%d singles=%d pairs=%d solver=%s",
-				corr.System.Rank, s.Topology.NumLinks(), corr.System.SinglePathEqs, corr.System.PairEqs, corr.Solver),
-			fmt.Sprintf("independence: rank=%d/%d singles=%d pairs=%d solver=%s",
-				indep.System.Rank, s.Topology.NumLinks(), indep.System.SinglePathEqs, indep.System.PairEqs, indep.Solver),
-		},
-	}
+	res.indepErrs = eval.AbsErrors(s.Truth, indep.CongestionProb, s.PotentiallyCongested)
+	res.notes = append(res.notes, fmt.Sprintf("independence: rank=%d/%d singles=%d pairs=%d solver=%s",
+		indep.System.Rank, s.Topology.NumLinks(), indep.System.SinglePathEqs, indep.System.PairEqs, indep.Solver))
 	return res, nil
 }
 

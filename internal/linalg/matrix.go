@@ -52,6 +52,34 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reshape resizes m to r×c in place, reusing the backing array when it is
+// large enough. The element values after a reshape are unspecified; callers
+// must fill (or Zero) the matrix before reading it.
+func (m *Matrix) Reshape(r, c int) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", r, c))
+	}
+	n := r * c
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = r, c
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom reshapes m to src's dimensions and copies src's elements.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.Reshape(src.Rows, src.Cols)
+	copy(m.Data, src.Data)
+}
+
 // MulVec returns m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {
@@ -71,10 +99,23 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 
 // TransposeMulVec returns mᵀ·x.
 func (m *Matrix) TransposeMulVec(x []float64) []float64 {
+	out := make([]float64, m.Cols)
+	m.TransposeMulVecInto(x, out)
+	return out
+}
+
+// TransposeMulVecInto computes mᵀ·x into out (which must have length Cols) —
+// the allocation-free form of TransposeMulVec.
+func (m *Matrix) TransposeMulVecInto(x, out []float64) {
 	if len(x) != m.Rows {
 		panic(fmt.Sprintf("linalg: TransposeMulVec dimension mismatch: %d rows vs %d vec", m.Rows, len(x)))
 	}
-	out := make([]float64, m.Cols)
+	if len(out) != m.Cols {
+		panic(fmt.Sprintf("linalg: TransposeMulVec out has length %d, want %d", len(out), m.Cols))
+	}
+	for c := range out {
+		out[c] = 0
+	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
 		xr := x[r]
@@ -85,7 +126,6 @@ func (m *Matrix) TransposeMulVec(x []float64) []float64 {
 			out[c] += v * xr
 		}
 	}
-	return out
 }
 
 // ErrSingular is returned when a square solve encounters a (numerically)
@@ -95,17 +135,36 @@ var ErrSingular = errors.New("linalg: matrix is singular")
 // SolveLU solves the square system A·x = b by Gaussian elimination with
 // partial pivoting. A and b are not modified.
 func SolveLU(a *Matrix, b []float64) ([]float64, error) {
-	n := a.Rows
-	if a.Cols != n {
-		return nil, fmt.Errorf("linalg: SolveLU needs a square matrix, got %d×%d", a.Rows, a.Cols)
-	}
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: SolveLU rhs has length %d, want %d", len(b), n)
+	if err := checkSolveLU(a, b); err != nil {
+		return nil, err
 	}
 	m := a.Clone()
-	x := make([]float64, n)
+	x := make([]float64, a.Rows)
 	copy(x, b)
+	if err := solveLUInPlace(m, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
 
+func checkSolveLU(a *Matrix, b []float64) error {
+	if a == nil {
+		return fmt.Errorf("linalg: SolveLU: nil matrix")
+	}
+	if a.Cols != a.Rows {
+		return fmt.Errorf("linalg: SolveLU needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return fmt.Errorf("linalg: SolveLU rhs has length %d, want %d", len(b), a.Rows)
+	}
+	return nil
+}
+
+// solveLUInPlace is the elimination core shared by SolveLU and the
+// workspace variants: m is destroyed, x holds b on entry and the solution on
+// return. Dimensions must already be validated.
+func solveLUInPlace(m *Matrix, x []float64) error {
+	n := m.Rows
 	for col := 0; col < n; col++ {
 		// Partial pivot.
 		piv, pmax := col, math.Abs(m.At(col, col))
@@ -115,7 +174,7 @@ func SolveLU(a *Matrix, b []float64) ([]float64, error) {
 			}
 		}
 		if pmax < 1e-12 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if piv != col {
 			ra, rb := m.Row(col), m.Row(piv)
@@ -146,23 +205,45 @@ func SolveLU(a *Matrix, b []float64) ([]float64, error) {
 		}
 		x[r] = s / row[r]
 	}
-	return x, nil
+	return nil
 }
 
 // LeastSquares solves min‖A·x − b‖₂ for an m×n matrix with m ≥ n using
 // Householder QR. Returns ErrSingular if A is (numerically) rank deficient.
 func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
-	m, n := a.Rows, a.Cols
-	if m < n {
-		return nil, fmt.Errorf("linalg: LeastSquares needs rows ≥ cols, got %d×%d (use MinNormSolve)", m, n)
-	}
-	if len(b) != m {
-		return nil, fmt.Errorf("linalg: LeastSquares rhs has length %d, want %d", len(b), m)
+	if err := checkLeastSquares(a, b); err != nil {
+		return nil, err
 	}
 	qr := a.Clone()
-	y := make([]float64, m)
+	y := make([]float64, a.Rows)
 	copy(y, b)
-	rdiag := make([]float64, n)
+	rdiag := make([]float64, a.Cols)
+	x := make([]float64, a.Cols)
+	if err := leastSquaresInPlace(qr, y, rdiag, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+func checkLeastSquares(a *Matrix, b []float64) error {
+	if a == nil {
+		return fmt.Errorf("linalg: LeastSquares: nil matrix")
+	}
+	if a.Rows < a.Cols {
+		return fmt.Errorf("linalg: LeastSquares needs rows ≥ cols, got %d×%d (use MinNormSolve)", a.Rows, a.Cols)
+	}
+	if len(b) != a.Rows {
+		return fmt.Errorf("linalg: LeastSquares rhs has length %d, want %d", len(b), a.Rows)
+	}
+	return nil
+}
+
+// leastSquaresInPlace is the QR core shared by LeastSquares and the
+// workspace variant: qr and y are destroyed, rdiag (length Cols) is scratch,
+// and the solution lands in x (length Cols). Dimensions must already be
+// validated.
+func leastSquaresInPlace(qr *Matrix, y, rdiag, x []float64) error {
+	m, n := qr.Rows, qr.Cols
 
 	// Householder QR, LINPACK/JAMA formulation: column k of qr below the
 	// diagonal stores the (scaled) Householder vector, rdiag[k] stores R's
@@ -173,7 +254,7 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 			nrm = math.Hypot(nrm, qr.At(r, k))
 		}
 		if nrm < 1e-12 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if qr.At(k, k) < 0 {
 			nrm = -nrm
@@ -207,30 +288,50 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	}
 
 	// Back substitution with R.
-	x := make([]float64, n)
 	for r := n - 1; r >= 0; r-- {
 		s := y[r]
 		for c := r + 1; c < n; c++ {
 			s -= qr.At(r, c) * x[c]
 		}
 		if math.Abs(rdiag[r]) < 1e-12 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[r] = s / rdiag[r]
 	}
-	return x, nil
+	return nil
 }
 
 // MinNormSolve returns the minimum-L2-norm x with A·x ≈ b for an
 // underdetermined (or any) system, computed as x = Aᵀ·(A·Aᵀ + λI)⁻¹·b with a
 // tiny Tikhonov term λ for numerical safety.
 func MinNormSolve(a *Matrix, b []float64) ([]float64, error) {
-	m := a.Rows
-	if len(b) != m {
-		return nil, fmt.Errorf("linalg: MinNormSolve rhs has length %d, want %d", len(b), m)
+	if err := checkMinNorm(a, b); err != nil {
+		return nil, err
 	}
-	// G = A·Aᵀ (+ λI)
-	g := NewMatrix(m, m)
+	g := NewMatrix(a.Rows, a.Rows)
+	w := make([]float64, a.Rows)
+	if err := minNormGram(a, b, g, w); err != nil {
+		return nil, err
+	}
+	return a.TransposeMulVec(w), nil
+}
+
+func checkMinNorm(a *Matrix, b []float64) error {
+	if a == nil {
+		return fmt.Errorf("linalg: MinNormSolve: nil matrix")
+	}
+	if len(b) != a.Rows {
+		return fmt.Errorf("linalg: MinNormSolve rhs has length %d, want %d", len(b), a.Rows)
+	}
+	return nil
+}
+
+// minNormGram builds the regularized Gram system G = A·Aᵀ + λI into g
+// (pre-reshaped to Rows×Rows) and solves G·w = b in place: g is destroyed
+// and w (length Rows, holding b on entry... filled here) receives the dual
+// solution. Shared by MinNormSolve and the workspace variant.
+func minNormGram(a *Matrix, b []float64, g *Matrix, w []float64) error {
+	m := a.Rows
 	for i := 0; i < m; i++ {
 		ri := a.Row(i)
 		for j := i; j < m; j++ {
@@ -247,11 +348,8 @@ func MinNormSolve(a *Matrix, b []float64) ([]float64, error) {
 	for i := 0; i < m; i++ {
 		g.Set(i, i, g.At(i, i)+lambda)
 	}
-	w, err := SolveLU(g, b)
-	if err != nil {
-		return nil, err
-	}
-	return a.TransposeMulVec(w), nil
+	copy(w, b)
+	return solveLUInPlace(g, w)
 }
 
 // Dot returns the inner product of two equal-length vectors.

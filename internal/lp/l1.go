@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/scratch"
 )
 
 // MinimizeL1Residual solves min ‖A·x − y‖₁ with x free, as a linear program:
@@ -13,6 +14,9 @@ import (
 //
 // The free x is split into x⁺ − x⁻ with both parts nonnegative.
 func MinimizeL1Residual(a *linalg.Matrix, y []float64) ([]float64, error) {
+	if a == nil {
+		return nil, fmt.Errorf("lp: MinimizeL1Residual: nil matrix")
+	}
 	m, n := a.Rows, a.Cols
 	if len(y) != m {
 		return nil, fmt.Errorf("lp: y has length %d, want %d", len(y), m)
@@ -54,6 +58,9 @@ func MinimizeL1Residual(a *linalg.Matrix, y []float64) ([]float64, error) {
 // (Section 4: minimize the L1 norm error). Substituting u = −x ≥ 0 turns it
 // into the standard-form LP  min 1ᵀu  s.t. (−A)·u = y, u ≥ 0.
 func BasisPursuitNonPositive(a *linalg.Matrix, y []float64) ([]float64, error) {
+	if a == nil {
+		return nil, fmt.Errorf("lp: BasisPursuitNonPositive: nil matrix")
+	}
 	m, n := a.Rows, a.Cols
 	if len(y) != m {
 		return nil, fmt.Errorf("lp: y has length %d, want %d", len(y), m)
@@ -93,32 +100,55 @@ func BasisPursuitNonPositive(a *linalg.Matrix, y []float64) ([]float64, error) {
 //
 //	min 1ᵀ(s⁺+s⁻) + ε·1ᵀu  s.t.  −A·u + s⁺ − s⁻ = y,  u, s± ≥ 0.
 func MinimizeL1ResidualNonPositive(a *linalg.Matrix, y []float64) ([]float64, error) {
+	ws := wsPool.Get().(*Workspace)
+	x, err := ws.MinimizeL1ResidualNonPositive(a, y)
+	if err == nil {
+		x = append([]float64(nil), x...)
+	}
+	wsPool.Put(ws)
+	return x, err
+}
+
+// MinimizeL1ResidualNonPositive is the workspace form of the package-level
+// function: identical arithmetic, but the standard-form program and the
+// solution live in reused workspace storage. The returned slice aliases the
+// workspace.
+func (ws *Workspace) MinimizeL1ResidualNonPositive(a *linalg.Matrix, y []float64) ([]float64, error) {
+	if a == nil {
+		return nil, fmt.Errorf("lp: MinimizeL1ResidualNonPositive: nil matrix")
+	}
 	m, n := a.Rows, a.Cols
 	if len(y) != m {
 		return nil, fmt.Errorf("lp: y has length %d, want %d", len(y), m)
 	}
 	const tieEps = 1e-6
 	nv := n + 2*m
-	pa := linalg.NewMatrix(m, nv)
+	ws.pa.Reshape(m, nv)
+	ws.pa.Zero()
+	pa := &ws.pa
 	for i := 0; i < m; i++ {
+		row := pa.Row(i)
+		ar := a.Row(i)
 		for j := 0; j < n; j++ {
-			pa.Set(i, j, -a.At(i, j))
+			row[j] = -ar[j]
 		}
-		pa.Set(i, n+i, 1)
-		pa.Set(i, n+m+i, -1)
+		row[n+i] = 1
+		row[n+m+i] = -1
 	}
-	c := make([]float64, nv)
+	ws.c = scratch.GrowZero(ws.c, nv)
+	c := ws.c
 	for j := 0; j < n; j++ {
 		c[j] = tieEps
 	}
 	for j := n; j < nv; j++ {
 		c[j] = 1
 	}
-	res, err := Solve(Problem{C: c, A: pa, B: y})
+	res, err := ws.Solve(Problem{C: c, A: pa, B: y})
 	if err != nil {
 		return nil, err
 	}
-	x := make([]float64, n)
+	ws.xOut = scratch.Grow(ws.xOut, n)
+	x := ws.xOut
 	for j := 0; j < n; j++ {
 		x[j] = -res.X[j]
 	}
@@ -129,6 +159,9 @@ func MinimizeL1ResidualNonPositive(a *linalg.Matrix, y []float64) ([]float64, er
 // squares with a small ridge term. It is the fallback for systems too large
 // for the dense simplex. iters ≤ 0 selects a default of 30.
 func IRLSL1(a *linalg.Matrix, y []float64, iters int) ([]float64, error) {
+	if a == nil {
+		return nil, fmt.Errorf("lp: IRLSL1: nil matrix")
+	}
 	m, n := a.Rows, a.Cols
 	if len(y) != m {
 		return nil, fmt.Errorf("lp: y has length %d, want %d", len(y), m)

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/linalg"
+	"repro/internal/scratch"
 )
 
 // Problem is a linear program in standard form:
@@ -40,8 +42,49 @@ const (
 	costEps  = 1e-9
 )
 
+// Workspace holds the reusable state of one simplex solver: the tableau,
+// the phase objectives, the reduced-cost buffer, and the problem-construction
+// scratch of the L1 front ends. Buffers grow monotonically and are retained
+// across calls, so a steady-state caller solving same-shaped programs
+// allocates nothing. A Workspace must not be used by two goroutines at once;
+// slices returned by workspace methods alias workspace storage and are valid
+// only until the next call on the same workspace.
+type Workspace struct {
+	t              tableau
+	rc             []float64 // reduced costs, reused across pivots
+	phase1, phase2 []float64
+	x              []float64 // Solve's basic-solution buffer
+
+	// L1 front-end scratch: the standard-form problem built from (A, y) and
+	// the recovered solution (kept separate from x, which Solve owns).
+	pa   linalg.Matrix
+	c    []float64
+	xOut []float64
+}
+
+// wsPool backs the allocating package-level entry points: they borrow a
+// workspace, run the identical arithmetic, and copy the solution out, so
+// their behavior (and results) are unchanged while their transient state is
+// recycled.
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
 // Solve runs the two-phase primal simplex method on p.
 func Solve(p Problem) (Result, error) {
+	ws := wsPool.Get().(*Workspace)
+	res, err := ws.Solve(p)
+	if err == nil {
+		res.X = append([]float64(nil), res.X...)
+	}
+	wsPool.Put(ws)
+	return res, err
+}
+
+// Solve runs the two-phase primal simplex method on p using workspace
+// storage. Result.X aliases the workspace.
+func (ws *Workspace) Solve(p Problem) (Result, error) {
+	if p.A == nil {
+		return Result{}, fmt.Errorf("lp: nil constraint matrix")
+	}
 	m := p.A.Rows
 	n := p.A.Cols
 	if len(p.B) != m {
@@ -53,24 +96,29 @@ func Solve(p Problem) (Result, error) {
 
 	// Normalize rows so b ≥ 0, then add one artificial variable per row.
 	// Phase 1 minimizes the sum of artificials.
-	t := newTableau(m, n+m)
+	t := &ws.t
+	t.reset(m, n+m)
 	for i := 0; i < m; i++ {
 		sign := 1.0
 		if p.B[i] < 0 {
 			sign = -1
 		}
+		row := t.a[i]
+		ar := p.A.Row(i)
 		for j := 0; j < n; j++ {
-			t.a[i][j] = sign * p.A.At(i, j)
+			row[j] = sign * ar[j]
 		}
-		t.a[i][n+i] = 1
+		row[n+i] = 1
 		t.b[i] = sign * p.B[i]
 		t.basis[i] = n + i
 	}
-	phase1 := make([]float64, n+m)
+	ws.phase1 = scratch.GrowZero(ws.phase1, n+m)
+	phase1 := ws.phase1
 	for j := n; j < n+m; j++ {
 		phase1[j] = 1
 	}
-	iters, err := t.optimize(phase1, 0)
+	ws.rc = scratch.Grow(ws.rc, n+m)
+	iters, err := t.optimize(phase1, 0, ws.rc)
 	if err != nil {
 		return Result{}, err
 	}
@@ -82,34 +130,31 @@ func Solve(p Problem) (Result, error) {
 		if t.basis[i] < n {
 			continue
 		}
-		pivoted := false
 		for j := 0; j < n; j++ {
 			if math.Abs(t.a[i][j]) > pivotEps {
 				t.pivot(i, j)
-				pivoted = true
 				break
 			}
 		}
-		if !pivoted {
-			// The row is redundant; the artificial stays at value 0 and
-			// never re-enters because we now forbid artificial columns.
-			continue
-		}
+		// If no pivot was found the row is redundant; the artificial stays at
+		// value 0 and never re-enters because we now forbid artificial columns.
 	}
 
 	// Phase 2: original objective; artificial columns are frozen out by
 	// giving them prohibitive cost.
-	phase2 := make([]float64, n+m)
+	ws.phase2 = scratch.Grow(ws.phase2, n+m)
+	phase2 := ws.phase2
 	copy(phase2, p.C)
 	for j := n; j < n+m; j++ {
 		phase2[j] = math.Inf(1)
 	}
-	it2, err := t.optimize(phase2, iters)
+	it2, err := t.optimize(phase2, iters, ws.rc)
 	if err != nil {
 		return Result{}, err
 	}
 
-	x := make([]float64, n)
+	ws.x = scratch.GrowZero(ws.x, n)
+	x := ws.x
 	for i, bv := range t.basis {
 		if bv < n {
 			x[bv] = t.b[i]
@@ -127,13 +172,22 @@ type tableau struct {
 	basis []int
 }
 
-func newTableau(m, n int) *tableau {
-	t := &tableau{m: m, n: n, b: make([]float64, m), basis: make([]int, m)}
-	t.a = make([][]float64, m)
-	for i := range t.a {
-		t.a[i] = make([]float64, n)
+// reset prepares the tableau for an m×n program, reusing row storage from
+// earlier solves. Every row is zeroed.
+func (t *tableau) reset(m, n int) {
+	t.m, t.n = m, n
+	t.b = scratch.GrowZero(t.b, m)
+	t.basis = scratch.Grow(t.basis, m)
+	if cap(t.a) < m {
+		rows := make([][]float64, m)
+		copy(rows, t.a[:cap(t.a)])
+		t.a = rows
+	} else {
+		t.a = t.a[:m]
 	}
-	return t
+	for i := range t.a {
+		t.a[i] = scratch.GrowZero(t.a[i], n)
+	}
 }
 
 // objective evaluates cᵀx at the current basic solution.
@@ -147,41 +201,48 @@ func (t *tableau) objective(c []float64) float64 {
 	return s
 }
 
-// reducedCosts computes c_j − c_Bᵀ·B⁻¹·A_j for all columns given the current
-// tableau (in which rows are already expressed in the basis).
-func (t *tableau) reducedCosts(c []float64) []float64 {
-	rc := make([]float64, t.n)
-	for j := 0; j < t.n; j++ {
-		if math.IsInf(c[j], 1) {
-			rc[j] = math.Inf(1)
+// reducedCosts computes c_j − c_Bᵀ·B⁻¹·A_j for all columns into rc, given
+// the current tableau (in which rows are already expressed in the basis).
+//
+// The sweep is row-major — rc starts at c and each basic row subtracts its
+// c_B-scaled coefficients — which walks every tableau row sequentially
+// instead of striding down columns. For each column the subtractions happen
+// in the same ascending-row order as the textbook column-major loop, so the
+// floating-point results are bit-identical; rows whose basic cost is zero
+// (or a frozen artificial) contribute exact no-ops and are skipped.
+func (t *tableau) reducedCosts(c []float64, rc []float64) {
+	rc = rc[:t.n]
+	copy(rc, c[:t.n])
+	for i, bv := range t.basis {
+		cb := c[bv]
+		if cb == 0 || math.IsInf(cb, 1) {
+			// Frozen artificial at value 0 contributes nothing.
 			continue
 		}
-		v := c[j]
-		for i, bv := range t.basis {
-			cb := c[bv]
-			if math.IsInf(cb, 1) {
-				cb = 0 // frozen artificial at value 0 contributes nothing
-			}
-			v -= cb * t.a[i][j]
+		row := t.a[i]
+		for j, aij := range row {
+			rc[j] -= cb * aij
 		}
-		rc[j] = v
 	}
-	return rc
 }
 
-// optimize runs primal simplex pivots until optimality for objective c.
-func (t *tableau) optimize(c []float64, startIter int) (int, error) {
+// optimize runs primal simplex pivots until optimality for objective c,
+// using rc (capacity ≥ t.n) as the reduced-cost scratch.
+func (t *tableau) optimize(c []float64, startIter int, rc []float64) (int, error) {
 	maxIters := 2000 + 40*(t.m+t.n)
 	iters := startIter
 	blandFrom := maxIters / 2
+	rc = rc[:t.n]
 	for ; iters < maxIters; iters++ {
-		rc := t.reducedCosts(c)
+		t.reducedCosts(c, rc)
 		enter := -1
 		if iters < blandFrom {
-			// Dantzig: most negative reduced cost.
+			// Dantzig: most negative reduced cost. (+Inf frozen columns can
+			// never compare below the threshold, so no explicit IsInf test is
+			// needed.)
 			best := -costEps
 			for j, v := range rc {
-				if !math.IsInf(v, 1) && v < best {
+				if v < best {
 					best, enter = v, j
 				}
 			}
@@ -189,7 +250,7 @@ func (t *tableau) optimize(c []float64, startIter int) (int, error) {
 			// Bland's rule: smallest index with negative reduced cost
 			// (guarantees no cycling).
 			for j, v := range rc {
-				if !math.IsInf(v, 1) && v < -costEps {
+				if v < -costEps {
 					enter = j
 					break
 				}

@@ -39,6 +39,33 @@ type FastPairSource interface {
 	ProbPairGood(i, j topology.PathID) float64
 }
 
+// Pair identifies one unordered pair of paths for the batched count kernels.
+type Pair = snapstore.Pair
+
+// BatchPairSource is an optional batching hook over FastPairSource: a
+// source that can resolve many pair probabilities in one cache-blocked pass
+// over its storage. Compiled evaluate phases (core.Structure, mle.Plan) know
+// their full pair query set up front and call PrimePairs once per estimate
+// instead of streaming the columns once per pair.
+type BatchPairSource interface {
+	FastPairSource
+	// PrimePairs makes subsequent ProbPairGood calls for the given pairs
+	// cache hits, resolving any misses in one batched pass. Values are
+	// identical to per-pair ProbPairGood lookups.
+	PrimePairs(pairs []Pair)
+}
+
+// PatternKeySource is an optional allocation-free fast path over
+// PatternSource: pattern probabilities keyed by the congested-path set's
+// precomputed bitset.Key. Compiled evaluate phases (core.TheoremPlan) hold
+// the keys of every pattern they query, so the per-query set materialization
+// and key encoding disappear.
+type PatternKeySource interface {
+	// ProbCongestedPatternKey returns P(the congested-path set's Key equals
+	// key) — ProbExactCongestedPaths with the set pre-encoded.
+	ProbCongestedPatternKey(key string) float64
+}
+
 // cache-size caps: when a memo map outgrows its cap it is reset wholesale.
 // The workloads that hit the caches (equation building, repeated estimation
 // rounds on a stream) re-query a bounded set of keys, so resets are rare and
@@ -74,10 +101,21 @@ type Empirical struct {
 	// patterns is the congested-pattern histogram (pattern key → snapshot
 	// count). nil until a PatternSource query materializes it; maintained
 	// incrementally by Append (and Evict, for sliding windows) afterwards.
-	patterns map[string]int
+	// Counts are boxed so the steady-state increment/decrement of a known
+	// pattern is a pure map read — no per-Append key-string allocation.
+	patterns map[string]*int
+	// deadPatterns counts histogram entries currently at zero (see
+	// maxDeadPatterns).
+	deadPatterns int
 	// evictScratch receives the evicted row of a sliding-window Append so
 	// the pattern histogram can forget it incrementally.
 	evictScratch *bitset.Set
+	// keyBuf is the reusable pattern-key encoding buffer (histogram lookups
+	// use the zero-copy m[string(buf)] form).
+	keyBuf []byte
+	// pairBuf/pairCounts are the batched-pair-kernel scratch of PrimePairs.
+	pairBuf    []snapstore.Pair
+	pairCounts []int
 }
 
 // NewEmpirical wraps a simulation record. It returns an error for a nil or
@@ -147,9 +185,7 @@ func (e *Empirical) Append(congested *bitset.Set) {
 	if e.store.AppendEvict(congested, e.evictScratch) {
 		e.forgetPattern(e.evictScratch)
 	}
-	if e.patterns != nil {
-		e.patterns[congested.Key()]++
-	}
+	e.recordPattern(congested)
 	e.resetCaches()
 }
 
@@ -176,31 +212,65 @@ func (e *Empirical) Evict() bool {
 // estimator.
 func (e *Empirical) Window() int { return e.store.Capacity() }
 
-// forgetPattern decrements the evicted row's histogram entry, dropping it at
-// zero so a long-running window can't accumulate dead patterns. Caller holds
+// recordPattern bumps the appended row's histogram entry. A recurring
+// pattern is a map read plus a boxed increment; only a never-seen pattern
+// materializes its key string. Caller holds e.mu.
+func (e *Empirical) recordPattern(congested *bitset.Set) {
+	if e.patterns == nil {
+		return
+	}
+	e.keyBuf = congested.AppendKey(e.keyBuf[:0])
+	if p, ok := e.patterns[string(e.keyBuf)]; ok {
+		if *p == 0 && e.deadPatterns > 0 {
+			e.deadPatterns--
+		}
+		*p++
+		return
+	}
+	n := 1
+	e.patterns[string(e.keyBuf)] = &n
+}
+
+// maxDeadPatterns bounds how many zero-count histogram entries may linger
+// before a sweep reclaims them. Dead entries are kept (rather than deleted
+// eagerly) so a recurring pattern whose count bounces off zero re-increments
+// its existing boxed counter instead of re-allocating its key — the
+// steady-state sliding window stays allocation-free — while the sweep keeps
+// a long-running window's histogram from accumulating unbounded dead keys.
+const maxDeadPatterns = 1 << 10
+
+// forgetPattern decrements the evicted row's histogram entry. Caller holds
 // e.mu.
 func (e *Empirical) forgetPattern(evicted *bitset.Set) {
 	if e.patterns == nil {
 		return
 	}
-	key := evicted.Key()
-	if n := e.patterns[key] - 1; n > 0 {
-		e.patterns[key] = n
-	} else {
-		delete(e.patterns, key)
+	e.keyBuf = evicted.AppendKey(e.keyBuf[:0])
+	if p, ok := e.patterns[string(e.keyBuf)]; ok {
+		if *p--; *p <= 0 {
+			e.deadPatterns++
+			if e.deadPatterns > maxDeadPatterns {
+				for k, v := range e.patterns {
+					if *v <= 0 {
+						delete(e.patterns, k)
+					}
+				}
+				e.deadPatterns = 0
+			}
+		}
 	}
 }
 
-// resetCaches clears the probability memos after a mutation. Caller holds
-// e.mu.
+// resetCaches clears the probability memos after a mutation, keeping their
+// storage: the NaN-filled single slice and the cleared maps retain capacity,
+// so a steady-state window (same query set every estimate) refills them
+// without allocating. Caller holds e.mu.
 func (e *Empirical) resetCaches() {
-	e.single = nil
-	if len(e.pairs) > 0 {
-		e.pairs = make(map[int64]float64)
+	for i := range e.single {
+		e.single[i] = math.NaN()
 	}
-	if len(e.memo) > 0 {
-		e.memo = make(map[string]float64)
-	}
+	clear(e.pairs)
+	clear(e.memo)
 }
 
 // NumPaths implements Source.
@@ -314,15 +384,87 @@ func (e *Empirical) ProbExactCongestedPaths(paths *bitset.Set) float64 {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.patterns == nil {
-		e.patterns = make(map[string]int)
-		row := bitset.New(e.store.NumSeries())
-		for t := 0; t < n; t++ {
-			e.store.RowInto(t, row)
-			e.patterns[row.Key()]++
-		}
+	e.materializePatterns(n)
+	e.keyBuf = paths.AppendKey(e.keyBuf[:0])
+	if p, ok := e.patterns[string(e.keyBuf)]; ok {
+		return float64(*p) / float64(n)
 	}
-	return float64(e.patterns[paths.Key()]) / float64(n)
+	return 0
+}
+
+// ProbCongestedPatternKey implements PatternKeySource: the histogram lookup
+// with the pattern's bitset.Key precomputed by the caller. Equal to
+// ProbExactCongestedPaths of the set the key encodes.
+func (e *Empirical) ProbCongestedPatternKey(key string) float64 {
+	n := e.store.Snapshots()
+	if n == 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializePatterns(n)
+	if p, ok := e.patterns[key]; ok {
+		return float64(*p) / float64(n)
+	}
+	return 0
+}
+
+// materializePatterns builds the congested-pattern histogram from the
+// retained rows on first use. Caller holds e.mu.
+func (e *Empirical) materializePatterns(n int) {
+	if e.patterns != nil {
+		return
+	}
+	e.patterns = make(map[string]*int)
+	row := bitset.New(e.store.NumSeries())
+	for t := 0; t < n; t++ {
+		e.store.RowInto(t, row)
+		e.recordPattern(row)
+	}
+}
+
+// PrimePairs implements BatchPairSource: it resolves every listed pair that
+// is not already cached with one cache-blocked pass over the path columns
+// (snapstore.CountPairsGood) and installs the results in the pair cache, so
+// the ProbPairGood calls that follow are map hits. Values are bit-identical
+// to per-pair lookups; a steady-state caller (same pair set each estimate)
+// allocates nothing beyond the cache's own warm-up.
+func (e *Empirical) PrimePairs(pairs []Pair) {
+	n := e.store.Snapshots()
+	if n == 0 || len(pairs) == 0 {
+		return
+	}
+	np := int64(e.store.NumSeries())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pairBuf = e.pairBuf[:0]
+	for _, p := range pairs {
+		i, j := p.A, p.B
+		if i == j {
+			continue // single-path query; not a pair cache entry
+		}
+		if j < i {
+			i, j = j, i
+		}
+		if _, ok := e.pairs[int64(i)*np+int64(j)]; ok {
+			continue
+		}
+		e.pairBuf = append(e.pairBuf, Pair{A: i, B: j})
+	}
+	if len(e.pairBuf) == 0 {
+		return
+	}
+	if cap(e.pairCounts) < len(e.pairBuf) {
+		e.pairCounts = make([]int, len(e.pairBuf))
+	}
+	e.pairCounts = e.pairCounts[:len(e.pairBuf)]
+	e.store.CountPairsGood(e.pairBuf, e.pairCounts)
+	if len(e.pairs) >= maxPairEntries {
+		e.pairs = make(map[int64]float64)
+	}
+	for k, p := range e.pairBuf {
+		e.pairs[int64(p.A)*np+int64(p.B)] = float64(e.pairCounts[k]) / float64(n)
+	}
 }
 
 // PathCongestionFrequency returns, per path, the fraction of snapshots in

@@ -86,24 +86,45 @@ func TestSlidingWindowMatchesBatch(t *testing.T) {
 }
 
 // TestSlidingWindowHistogramStaysBounded verifies eviction actually forgets
-// patterns: after streaming far past the window, the histogram holds at most
-// window entries (it would hold ~n distinct ones without eviction).
+// patterns: after streaming far past the window, at most window histogram
+// entries are live (non-zero), and the total entry count — live plus the
+// zero-count slack retained so recurring patterns re-increment their boxed
+// counter allocation-free — stays bounded by the sweep at
+// window + maxDeadPatterns even when every snapshot brings a brand-new
+// pattern.
 func TestSlidingWindowHistogramStaysBounded(t *testing.T) {
-	const paths, window = 64, 16
+	const paths, window = 96, 16
 	win, err := NewSlidingWindow(paths, window)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every snapshot has a distinct pattern.
-	for i := 0; i < 500; i++ {
-		win.Append(bitset.FromIndices(i % paths))
-		_ = win.ProbExactCongestedPaths(bitset.New(paths)) // keep histogram live
+	// Stream far more distinct patterns than the dead-entry slack so the
+	// sweep must fire: snapshot i congests a distinct pair of paths.
+	distinct := 0
+	for a := 0; a < paths && distinct < 3*maxDeadPatterns; a++ {
+		for b := a + 1; b < paths && distinct < 3*maxDeadPatterns; b++ {
+			win.Append(bitset.FromIndices(a, b))
+			_ = win.ProbExactCongestedPaths(bitset.New(paths)) // keep histogram live
+			distinct++
+		}
+	}
+	if distinct < 2*maxDeadPatterns {
+		t.Fatalf("test generated only %d distinct patterns; need > %d to exercise the sweep", distinct, 2*maxDeadPatterns)
 	}
 	win.mu.Lock()
 	entries := len(win.patterns)
+	live := 0
+	for _, v := range win.patterns {
+		if *v > 0 {
+			live++
+		}
+	}
 	win.mu.Unlock()
-	if entries > window {
-		t.Fatalf("pattern histogram holds %d entries, want ≤ %d", entries, window)
+	if live > window {
+		t.Fatalf("pattern histogram holds %d live entries, want ≤ %d", live, window)
+	}
+	if entries > window+maxDeadPatterns {
+		t.Fatalf("pattern histogram holds %d entries, want ≤ %d", entries, window+maxDeadPatterns)
 	}
 }
 

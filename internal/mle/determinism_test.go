@@ -1,0 +1,80 @@
+package mle
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/brite"
+)
+
+// TestCompileDeterministic pins the bitset-based pair dedup: compiling the
+// same topology repeatedly must produce the identical observation list —
+// same observations, same order, same pair query set — with no map anywhere
+// to perturb it.
+func TestCompileDeterministic(t *testing.T) {
+	net, err := brite.Generate(brite.Config{ASes: 30, EdgesPerAS: 2, Paths: 120, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Compile(net.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.pairs) == 0 {
+		t.Fatal("fixture produced no pair observations; pick a denser topology")
+	}
+	for trial := 0; trial < 5; trial++ {
+		p, err := Compile(net.Topology)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.observations) != len(ref.observations) {
+			t.Fatalf("trial %d: %d observations, want %d", trial, len(p.observations), len(ref.observations))
+		}
+		for i := range ref.observations {
+			if p.observations[i].i != ref.observations[i].i || p.observations[i].j != ref.observations[i].j {
+				t.Fatalf("trial %d: observation %d is (%d,%d), want (%d,%d)",
+					trial, i, p.observations[i].i, p.observations[i].j, ref.observations[i].i, ref.observations[i].j)
+			}
+			if !reflect.DeepEqual(p.observations[i].links, ref.observations[i].links) {
+				t.Fatalf("trial %d: observation %d link set differs", trial, i)
+			}
+		}
+		if !reflect.DeepEqual(p.pairs, ref.pairs) {
+			t.Fatalf("trial %d: pair query set differs", trial)
+		}
+		if !reflect.DeepEqual(p.pathsOf, ref.pathsOf) || !reflect.DeepEqual(p.linksOf, ref.linksOf) {
+			t.Fatalf("trial %d: incidence structure differs", trial)
+		}
+	}
+}
+
+// TestPairObservationOrderMatchesLinkScan pins the documented pair order: a
+// pair observation appears at the first link (in link order) both its paths
+// traverse, and the pair list mirrors the observation order exactly.
+func TestPairObservationOrderMatchesLinkScan(t *testing.T) {
+	net, err := brite.Generate(brite.Config{ASes: 20, EdgesPerAS: 2, Paths: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(net.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := 0
+	for _, o := range p.observations {
+		if o.j < 0 {
+			continue
+		}
+		if pi >= len(p.pairs) {
+			t.Fatalf("more pair observations than pair queries (%d)", len(p.pairs))
+		}
+		if got := p.pairs[pi]; got.A != int(o.i) || got.B != int(o.j) {
+			t.Fatalf("pair query %d is (%d,%d), want observation order (%d,%d)", pi, got.A, got.B, o.i, o.j)
+		}
+		pi++
+	}
+	if pi != len(p.pairs) {
+		t.Fatalf("%d pair observations but %d pair queries", pi, len(p.pairs))
+	}
+}

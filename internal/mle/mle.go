@@ -25,7 +25,12 @@ package mle
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/bitset"
+	"repro/internal/measure"
+	"repro/internal/scratch"
 	"repro/internal/topology"
 )
 
@@ -83,6 +88,17 @@ const (
 	gClamp = 1e-9 // keep path-good probabilities inside (0, 1)
 )
 
+// Clone returns a deep copy of the result — the way to retain a
+// workspace-owned result (EstimateIn) beyond the workspace's next use.
+func (r *Result) Clone() *Result {
+	return &Result{
+		CongestionProb: append([]float64(nil), r.CongestionProb...),
+		LogGoodProb:    append([]float64(nil), r.LogGoodProb...),
+		LogLikelihood:  r.LogLikelihood,
+		Iters:          r.Iters,
+	}
+}
+
 // obs is one composite-likelihood observation: the link set whose q-product
 // predicts the all-good frequency of a single path or a link-sharing path
 // pair. Which frequency to query is structural; the frequency itself is
@@ -102,9 +118,19 @@ type Plan struct {
 	observations []obs
 	pathsOf      [][]int // link → observation indices
 	linksOf      [][]int // observation → link indices
+	// pairs lists the pair observations' path pairs in observation order —
+	// the precomputed query set of the batched pair-count kernel
+	// (measure.BatchPairSource.PrimePairs).
+	pairs []measure.Pair
 }
 
 // Compile builds the estimator's observation structure for a topology.
+//
+// Pair deduplication uses one lazily allocated partner bitset per path (the
+// same device the Section-4 candidate enumeration uses) instead of a boxed
+// int64-keyed map: compile stays allocation-lean, and the observation order
+// is a pure function of the topology's link order — deterministic by
+// construction, with no map anywhere in the pipeline.
 func Compile(top *topology.Topology) (*Plan, error) {
 	if top == nil {
 		return nil, fmt.Errorf("mle: nil topology")
@@ -123,7 +149,8 @@ func Compile(top *topology.Topology) (*Plan, error) {
 			i:     id, j: -1,
 		})
 	}
-	seenPair := map[int64]bool{}
+	paired := make([]*bitset.Set, np)
+	var pairs []measure.Pair
 	maxPairs := 2 * nl
 	pairCount := 0
 pairScan:
@@ -132,17 +159,20 @@ pairScan:
 		for ai := 0; ai < len(through); ai++ {
 			for bi := ai + 1; bi < len(through); bi++ {
 				i, j := through[ai], through[bi]
-				key := int64(i)*int64(np) + int64(j)
-				if seenPair[key] {
+				if paired[i] == nil {
+					paired[i] = bitset.New(np)
+				}
+				if paired[i].Contains(int(j)) {
 					continue
 				}
-				seenPair[key] = true
+				paired[i].Add(int(j))
 				union := top.PathLinkSet(i).Clone()
 				union.UnionWith(top.PathLinkSet(j))
 				observations = append(observations, obs{
 					links: union.Indices(),
 					i:     i, j: j,
 				})
+				pairs = append(pairs, measure.Pair{A: int(i), B: int(j)})
 				pairCount++
 				if pairCount >= maxPairs {
 					break pairScan
@@ -160,7 +190,7 @@ pairScan:
 		}
 		linksOf[oi] = o.links
 	}
-	return &Plan{top: top, observations: observations, pathsOf: pathsOf, linksOf: linksOf}, nil
+	return &Plan{top: top, observations: observations, pathsOf: pathsOf, linksOf: linksOf, pairs: pairs}, nil
 }
 
 // Topology returns the topology the plan was compiled for.
@@ -177,11 +207,96 @@ func Estimate(top *topology.Topology, src Source, opts Options) (*Result, error)
 	return plan.Estimate(src, opts)
 }
 
+// Workspace holds the optimizer's transient state — observation
+// frequencies, the iterate, gradient, line-search trial, per-observation
+// good-probabilities, and the reused result — so steady-state estimation
+// allocates nothing. One goroutine may reuse one workspace across calls and
+// plans (buffers grow monotonically); concurrent use of one workspace is
+// detected and reported by panic. Results returned by EstimateIn alias
+// workspace storage: read-only, valid until the next call on the same
+// workspace. The allocating Estimate remains the safe default.
+type Workspace struct {
+	busy atomic.Int32
+
+	f     []float64 // observation good-frequencies
+	x     []float64 // iterate: log q_k ≤ 0
+	g     []float64 // per-observation good-probabilities (gradient pass)
+	grad  []float64
+	trial []float64
+	res   Result
+}
+
+// NewWorkspace returns an empty workspace. The zero value is also ready to
+// use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func (ws *Workspace) acquire() {
+	if !ws.busy.CompareAndSwap(0, 1) {
+		panic("mle: Workspace used concurrently by multiple goroutines; use one workspace per goroutine")
+	}
+}
+
+func (ws *Workspace) release() { ws.busy.Store(0) }
+
+// wsPool backs the allocating Estimate wrapper.
+var wsPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// logG returns Σ_{k∈links(obs i)} x_k — the log of observation i's predicted
+// good-probability.
+func (p *Plan) logG(x []float64, i int) float64 {
+	s := 0.0
+	for _, k := range p.linksOf[i] {
+		s += x[k]
+	}
+	return s
+}
+
+// likelihood evaluates the composite log-likelihood of iterate x against the
+// observation frequencies f.
+func (p *Plan) likelihood(x, f []float64) float64 {
+	ll := 0.0
+	for i := range p.observations {
+		g := math.Exp(p.logG(x, i))
+		if g > 1-gClamp {
+			g = 1 - gClamp
+		}
+		if g < gClamp {
+			g = gClamp
+		}
+		ll += f[i]*math.Log(g) + (1-f[i])*math.Log(1-g)
+	}
+	return ll
+}
+
 // Estimate fills the compiled observation structure's frequencies from the
 // source and maximizes the composite likelihood. Bit-identical to the
-// one-shot Estimate; allocates its own optimizer state, so concurrent calls
-// on a shared plan are safe.
+// one-shot Estimate; it wraps EstimateIn with a pooled workspace and
+// detaches the result, so concurrent calls on a shared plan are safe.
 func (p *Plan) Estimate(src Source, opts Options) (*Result, error) {
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	res, err := p.EstimateIn(ws, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		CongestionProb: append([]float64(nil), res.CongestionProb...),
+		LogGoodProb:    append([]float64(nil), res.LogGoodProb...),
+		LogLikelihood:  res.LogLikelihood,
+		Iters:          res.Iters,
+	}, nil
+}
+
+// EstimateIn is Estimate with workspace-owned state: every per-call and
+// per-iteration buffer (frequencies, iterate, gradient, line-search trial,
+// the per-observation g vector that used to be allocated inside every
+// gradient step) lives in ws, and pair frequencies are resolved by one
+// batched cache-blocked pass when the source supports it
+// (measure.BatchPairSource). Identical arithmetic to Estimate; the result
+// aliases ws and is valid until its next use.
+func (p *Plan) EstimateIn(ws *Workspace, src Source, opts Options) (*Result, error) {
+	ws.acquire()
+	defer ws.release()
 	top := p.top
 	if src.NumPaths() != top.NumPaths() {
 		return nil, fmt.Errorf("mle: source has %d paths, topology %d", src.NumPaths(), top.NumPaths())
@@ -189,55 +304,40 @@ func (p *Plan) Estimate(src Source, opts Options) (*Result, error) {
 	opts.fill()
 	nl := top.NumLinks()
 
+	if bp, ok := src.(measure.BatchPairSource); ok && len(p.pairs) > 0 {
+		bp.PrimePairs(p.pairs)
+	}
 	nObs := len(p.observations)
-	f := make([]float64, nObs)
-	for oi, o := range p.observations {
+	ws.f = scratch.Grow(ws.f, nObs)
+	f := ws.f
+	for oi := range p.observations {
+		o := &p.observations[oi]
 		if o.j < 0 {
 			f[oi] = src.ProbPathGood(o.i)
 		} else {
 			f[oi] = src.ProbPairGood(o.i, o.j)
 		}
 	}
-	pathsOf, linksOf := p.pathsOf, p.linksOf
+	pathsOf := p.pathsOf
 
-	x := make([]float64, nl) // log q_k ≤ 0
+	ws.x = scratch.Grow(ws.x, nl)
+	x := ws.x // log q_k ≤ 0
 	init := math.Log(1 - opts.InitialProb)
 	for k := range x {
 		x[k] = init
 	}
 
-	logG := func(x []float64, i int) float64 {
-		s := 0.0
-		for _, k := range linksOf[i] {
-			s += x[k]
-		}
-		return s
-	}
-	likelihood := func(x []float64) float64 {
-		ll := 0.0
-		for i := 0; i < nObs; i++ {
-			g := math.Exp(logG(x, i))
-			if g > 1-gClamp {
-				g = 1 - gClamp
-			}
-			if g < gClamp {
-				g = gClamp
-			}
-			ll += f[i]*math.Log(g) + (1-f[i])*math.Log(1-g)
-		}
-		return ll
-	}
-
-	ll := likelihood(x)
-	grad := make([]float64, nl)
-	trial := make([]float64, nl)
+	ll := p.likelihood(x, f)
+	ws.grad = scratch.Grow(ws.grad, nl)
+	ws.trial = scratch.Grow(ws.trial, nl)
+	ws.g = scratch.Grow(ws.g, nObs)
+	grad, trial, g := ws.grad, ws.trial, ws.g
 	iters := 0
 	step := 0.1
 	for ; iters < opts.MaxIters; iters++ {
 		// ∂L/∂x_k = Σ_{i ∋ k} [ f_i − (1−f_i)·g_i/(1−g_i) ]
-		g := make([]float64, nObs)
 		for i := 0; i < nObs; i++ {
-			gi := math.Exp(logG(x, i))
+			gi := math.Exp(p.logG(x, i))
 			if gi > 1-gClamp {
 				gi = 1 - gClamp
 			}
@@ -261,7 +361,7 @@ func (p *Plan) Estimate(src Source, opts Options) (*Result, error) {
 				}
 				trial[k] = v
 			}
-			nll := likelihood(trial)
+			nll := p.likelihood(trial, f)
 			if nll > ll {
 				copy(x, trial)
 				if nll-ll < opts.Tol*(math.Abs(ll)+1) {
@@ -284,12 +384,11 @@ func (p *Plan) Estimate(src Source, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{
-		CongestionProb: make([]float64, nl),
-		LogGoodProb:    x,
-		LogLikelihood:  ll,
-		Iters:          iters,
-	}
+	res := &ws.res
+	res.CongestionProb = scratch.Grow(res.CongestionProb, nl)
+	res.LogGoodProb = x
+	res.LogLikelihood = ll
+	res.Iters = iters
 	for k := 0; k < nl; k++ {
 		p := 1 - math.Exp(x[k])
 		if p < 0 {

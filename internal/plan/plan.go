@@ -165,6 +165,40 @@ func (p *Plan) linearPlan(identity bool, opts core.Options) (*core.LinearPlan, e
 	return e.lp, e.err
 }
 
+// Workspace bundles one reusable evaluate-phase scratch state per estimator
+// family (the core linear/theorem workspace and the MLE workspace). A
+// workspace is created with Plan.NewWorkspace (or zero-valued), reused by
+// one goroutine across any number of ...In calls — and across plans: it
+// holds no plan-specific state, only growable buffers — and must never be
+// shared between goroutines (concurrent use panics). Results of the ...In
+// methods alias workspace and plan storage: read-only, valid until the next
+// call on the same workspace.
+type Workspace struct {
+	core core.Workspace
+	mle  mle.Workspace
+}
+
+// NewWorkspace returns a workspace for the plan's ...In methods. Plans
+// don't retain workspaces; the method exists so call sites read
+// "plan.NewWorkspace()" at the point the ownership rule (one per goroutine)
+// matters.
+func (p *Plan) NewWorkspace() *Workspace { return &Workspace{} }
+
+// theoremPlan returns the memoized compiled theorem structure for one
+// options signature.
+func (p *Plan) theoremPlan(opts core.TheoremOptions) (*core.TheoremPlan, error) {
+	opts = opts.Normalized()
+	p.mu.Lock()
+	e := p.theorem[opts]
+	if e == nil {
+		e = &theoremEntry{}
+		p.theorem[opts] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.tp, e.err = core.CompileTheorem(p.top, opts) })
+	return e.tp, e.err
+}
+
 // Correlation runs the paper's Section-4 algorithm through the compiled
 // plan. Bit-identical to core.Correlation(top, src, opts).
 func (p *Plan) Correlation(src measure.Source, opts core.Options) (*core.Result, error) {
@@ -173,6 +207,16 @@ func (p *Plan) Correlation(src measure.Source, opts core.Options) (*core.Result,
 		return nil, err
 	}
 	return lp.Run(src)
+}
+
+// CorrelationIn is Correlation with workspace-owned outputs: zero
+// steady-state allocations, identical arithmetic. The result aliases ws.
+func (p *Plan) CorrelationIn(ws *Workspace, src measure.Source, opts core.Options) (*core.Result, error) {
+	lp, err := p.linearPlan(false, opts)
+	if err != nil {
+		return nil, err
+	}
+	return lp.RunIn(&ws.core, src)
 }
 
 // Independence runs the Nguyen–Thiran baseline through the compiled plan.
@@ -185,32 +229,60 @@ func (p *Plan) Independence(src measure.Source, opts core.Options) (*core.Result
 	return lp.Run(src)
 }
 
+// IndependenceIn is Independence with workspace-owned outputs: zero
+// steady-state allocations, identical arithmetic. The result aliases ws.
+func (p *Plan) IndependenceIn(ws *Workspace, src measure.Source, opts core.Options) (*core.Result, error) {
+	lp, err := p.linearPlan(true, opts)
+	if err != nil {
+		return nil, err
+	}
+	return lp.RunIn(&ws.core, src)
+}
+
 // Theorem runs the exact Appendix-A algorithm through the compiled plan.
 // Bit-identical to core.Theorem(top, src, opts).
 func (p *Plan) Theorem(src measure.PatternSource, opts core.TheoremOptions) (*core.TheoremResult, error) {
-	opts = opts.Normalized()
-	p.mu.Lock()
-	e := p.theorem[opts]
-	if e == nil {
-		e = &theoremEntry{}
-		p.theorem[opts] = e
+	tp, err := p.theoremPlan(opts)
+	if err != nil {
+		return nil, err
 	}
-	p.mu.Unlock()
-	e.once.Do(func() { e.tp, e.err = core.CompileTheorem(p.top, opts) })
-	if e.err != nil {
-		return nil, e.err
+	return tp.Run(src)
+}
+
+// TheoremIn is Theorem with workspace-owned outputs: zero steady-state
+// allocations when the source supports key-addressed pattern queries,
+// identical arithmetic. The result aliases ws.
+func (p *Plan) TheoremIn(ws *Workspace, src measure.PatternSource, opts core.TheoremOptions) (*core.TheoremResult, error) {
+	tp, err := p.theoremPlan(opts)
+	if err != nil {
+		return nil, err
 	}
-	return e.tp.Run(src)
+	return tp.RunIn(&ws.core, src)
 }
 
 // MLE runs the composite-likelihood estimator through the compiled plan.
 // Bit-identical to mle.Estimate(top, src, opts).
 func (p *Plan) MLE(src mle.Source, opts mle.Options) (*mle.Result, error) {
-	p.mleOnce.Do(func() { p.mlePlan, p.mleErr = mle.Compile(p.top) })
-	if p.mleErr != nil {
-		return nil, p.mleErr
+	mp, err := p.mlePlanCompiled()
+	if err != nil {
+		return nil, err
 	}
-	return p.mlePlan.Estimate(src, opts)
+	return mp.Estimate(src, opts)
+}
+
+// MLEIn is MLE with workspace-owned optimizer state: every per-iteration
+// buffer is reused, identical arithmetic. The result aliases ws.
+func (p *Plan) MLEIn(ws *Workspace, src mle.Source, opts mle.Options) (*mle.Result, error) {
+	mp, err := p.mlePlanCompiled()
+	if err != nil {
+		return nil, err
+	}
+	return mp.EstimateIn(&ws.mle, src, opts)
+}
+
+func (p *Plan) mlePlanCompiled() (*mle.Plan, error) {
+	p.mleOnce.Do(func() { p.mlePlan, p.mleErr = mle.Compile(p.top) })
+	return p.mlePlan, p.mleErr
 }
 
 // Identifiability returns the memoized Assumption-4 check for the given

@@ -1,0 +1,26 @@
+// Package scratch holds the one slice-resize idiom every workspace layer
+// uses: resize to n reusing capacity, allocating only on growth. Shared so
+// the growth policy lives in exactly one place.
+package scratch
+
+// Grow returns s resized to length n, reusing capacity when possible. The
+// contents of the returned slice are unspecified (previous values where
+// capacity was reused, zero values after a reallocation); callers must fill
+// every element they read.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// GrowZero returns s resized to length n with every element set to the zero
+// value.
+func GrowZero[T any](s []T, n int) []T {
+	s = Grow(s, n)
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}

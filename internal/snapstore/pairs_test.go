@@ -1,0 +1,88 @@
+package snapstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// randomPairStore builds a store (ring or fixed) with random observations.
+func randomPairStore(rng *rand.Rand, series, snapshots int, ring bool) *Store {
+	var s *Store
+	if ring {
+		s = NewRing(series, snapshots)
+	} else {
+		s = New(series)
+	}
+	row := bitset.New(series)
+	for t := 0; t < snapshots; t++ {
+		row.Clear()
+		for i := 0; i < series; i++ {
+			if rng.Intn(3) == 0 {
+				row.Add(i)
+			}
+		}
+		s.Append(row)
+	}
+	return s
+}
+
+// TestCountPairsGoodMatchesPerPair pins the blocked batch kernel against the
+// per-pair reference (CountAnyCongested) on random stores of many shapes,
+// including ring windows and stores larger than one cache block.
+func TestCountPairsGoodMatchesPerPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct {
+		series, snapshots int
+		ring              bool
+	}{
+		{1, 1, false},
+		{5, 63, false},
+		{8, 64, false},
+		{17, 1000, false},
+		{9, pairBlockWords*64 + 129, false}, // spans multiple blocks
+		{13, 700, true},                     // ring window, rotated slots
+	}
+	for _, sh := range shapes {
+		s := randomPairStore(rng, sh.series, sh.snapshots, sh.ring)
+		var pairs []Pair
+		for a := 0; a < sh.series; a++ {
+			for b := 0; b < sh.series; b++ {
+				if rng.Intn(2) == 0 {
+					pairs = append(pairs, Pair{A: a, B: b})
+				}
+			}
+		}
+		out := make([]int, len(pairs))
+		s.CountPairsGood(pairs, out)
+		scratch := make([]uint64, s.Words())
+		for i, p := range pairs {
+			want := s.CountAllGood([]int{p.A, p.B}, scratch)
+			if p.A == p.B {
+				want = s.CountAllGood([]int{p.A}, scratch)
+			}
+			if out[i] != want {
+				t.Fatalf("store %dx%d ring=%v pair %v: batched count %d, per-pair %d",
+					sh.series, sh.snapshots, sh.ring, p, out[i], want)
+			}
+		}
+	}
+}
+
+// TestCountPairsCongestedValidation pins the kernel's misuse panics.
+func TestCountPairsCongestedValidation(t *testing.T) {
+	s := NewFixed(3, 10)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short out", func() { s.CountPairsCongested(make([]Pair, 2), make([]int, 1)) })
+	mustPanic("series out of range", func() { s.CountPairsCongested([]Pair{{A: 0, B: 3}}, make([]int, 1)) })
+	mustPanic("negative series", func() { s.CountPairsCongested([]Pair{{A: -1, B: 0}}, make([]int, 1)) })
+}

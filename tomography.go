@@ -464,16 +464,24 @@ func EvaluateBatch(ctx context.Context, scenarios []*Scenario, opts BatchOptions
 	}
 	plans := newPlanCache(PlanOptions{Algorithm: opts.Algorithm})
 	pool := &runner.Runner{Workers: opts.Workers, Progress: opts.Progress}
+	// One evaluate workspace per concurrently active worker: tasks borrow a
+	// workspace for their inference calls and return it, so the per-scenario
+	// solver state (equation RHS, matrices, LP tableaus) is recycled across
+	// the whole batch instead of reallocated per trial.
+	workspaces := sync.Pool{New: func() any { return &plan.Workspace{} }}
 	return runner.Map(ctx, pool, len(scenarios), func(ctx context.Context, i int) (BatchResult, error) {
+		ws := workspaces.Get().(*plan.Workspace)
+		defer workspaces.Put(ws)
 		res := BatchResult{Scenario: scenarios[i]}
-		res.fill(ctx, opts, plans, runner.DeriveSeed(opts.Seed, i))
+		res.fill(ctx, opts, plans, ws, runner.DeriveSeed(opts.Seed, i))
 		return res, nil
 	})
 }
 
 // fill runs simulation + both algorithms for one scenario, recording any
-// failure in res.Err.
-func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, plans *planCache, seed int64) {
+// failure in res.Err. ws is the worker's borrowed evaluate workspace; the
+// retained results are detached from it before it is reused.
+func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, plans *planCache, ws *plan.Workspace, seed int64) {
 	s := res.Scenario
 	var rec *Record
 	var err error
@@ -515,18 +523,21 @@ func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, plans *plan
 		res.Err = err
 		return
 	}
-	corr, err := p.Correlation(src, opts.Algorithm)
+	// Run each estimator through the worker's workspace and detach what the
+	// BatchResult retains; the error samples are computed straight off the
+	// workspace-owned output before the next estimator reuses it.
+	corr, err := p.CorrelationIn(ws, src, opts.Algorithm)
 	if err != nil {
 		res.Err = err
 		return
 	}
-	indep, err := p.Independence(src, opts.Algorithm)
-	if err != nil {
-		res.Err = err
-		return
-	}
-	res.Correlation = corr
-	res.Independence = indep
 	res.CorrErrors = eval.AbsErrors(s.Truth, corr.CongestionProb, s.PotentiallyCongested)
+	res.Correlation = corr.Clone()
+	indep, err := p.IndependenceIn(ws, src, opts.Algorithm)
+	if err != nil {
+		res.Err = err
+		return
+	}
 	res.IndepErrors = eval.AbsErrors(s.Truth, indep.CongestionProb, s.PotentiallyCongested)
+	res.Independence = indep.Clone()
 }

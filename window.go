@@ -124,6 +124,11 @@ type Window struct {
 	detector *ChangeDetector
 	numPaths int
 	seen     int
+	// ws is the window's evaluate workspace: the plan stays shared across
+	// windows, while every per-estimate buffer (equation RHS, solver matrix,
+	// LP tableau, MLE optimizer state) lives here and is reused, so a
+	// steady-state EstimateShared allocates nothing.
+	ws *Workspace
 }
 
 // NewWindow opens a sliding-window inference session over a topology.
@@ -169,6 +174,7 @@ func NewWindow(top *Topology, cfg WindowConfig) (*Window, error) {
 		src:      src,
 		detector: det,
 		numPaths: top.NumPaths(),
+		ws:       NewWorkspace(),
 	}, nil
 }
 
@@ -182,12 +188,27 @@ func (w *Window) Observe(congested *PathSet) bool {
 }
 
 // Estimate runs the configured estimator over the current window contents
-// through the shared compiled plan.
+// through the shared compiled plan. The result is independently allocated
+// and may be retained across estimates; for the allocation-free steady
+// state use EstimateShared.
 func (w *Window) Estimate() (*EstimateResult, error) {
 	if w.src.Snapshots() == 0 {
 		return nil, fmt.Errorf("tomography: Window.Estimate: no observations yet")
 	}
 	return Estimate(w.name, w.plan, w.src, w.opts)
+}
+
+// EstimateShared is Estimate on the window's own workspace: after the first
+// few calls have grown the buffers, a steady-state estimate allocates
+// nothing for the linear and theorem estimators (and a small constant for
+// mle). The result is bit-identical to Estimate but aliases the workspace —
+// read it (or copy what you keep) before the next EstimateShared on this
+// window.
+func (w *Window) EstimateShared() (*EstimateResult, error) {
+	if w.src.Snapshots() == 0 {
+		return nil, fmt.Errorf("tomography: Window.EstimateShared: no observations yet")
+	}
+	return EstimateIn(w.ws, w.name, w.plan, w.src, w.opts)
 }
 
 // Source exposes the window's measurement source (e.g. to run a second
@@ -256,4 +277,48 @@ func WindowedEstimate(top *Topology, rec *Record, cfg WindowConfig, stride int) 
 		changed = false
 	}
 	return out, nil
+}
+
+// WindowedEstimateFunc is the steady-state form of WindowedEstimate: instead
+// of materializing every checkpoint, it invokes fn with each WindowPoint as
+// it is produced. The point's Result lives in the window's workspace and the
+// replay's row scratch is reused, so after warm-up the loop allocates
+// nothing per snapshot for the linear and theorem estimators — the
+// monitoring loop runs garbage-free at whatever rate snapshots arrive.
+// The Result passed to fn is valid only during the call; copy what you keep.
+// fn returning a non-nil error stops the replay and returns that error.
+func WindowedEstimateFunc(top *Topology, rec *Record, cfg WindowConfig, stride int, fn func(WindowPoint) error) error {
+	if rec == nil || rec.Paths == nil {
+		return fmt.Errorf("tomography: WindowedEstimate: nil record")
+	}
+	if stride <= 0 {
+		return fmt.Errorf("tomography: WindowedEstimate: stride = %d, want > 0", stride)
+	}
+	w, err := NewWindow(top, cfg)
+	if err != nil {
+		return err
+	}
+	row := NewPathSet()
+	n := rec.Snapshots()
+	changed := false
+	for t := 0; t < n; t++ {
+		rec.Paths.RowInto(t, row)
+		if w.Observe(row) {
+			changed = true
+		}
+		full := t+1 >= cfg.Size
+		checkpoint := (t+1)%stride == 0 || t == n-1
+		if !full || !checkpoint {
+			continue
+		}
+		res, err := w.EstimateShared()
+		if err != nil {
+			return fmt.Errorf("tomography: WindowedEstimate at snapshot %d: %w", t, err)
+		}
+		if err := fn(WindowPoint{T: t, Result: res, Changed: changed}); err != nil {
+			return err
+		}
+		changed = false
+	}
+	return nil
 }

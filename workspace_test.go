@@ -1,0 +1,359 @@
+package tomography_test
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	tomography "repro"
+	"repro/internal/bitset"
+	"repro/internal/brite"
+	"repro/internal/congestion"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+// quietDetector returns a change detector that never alarms (and therefore
+// never appends a change point), so allocation measurements see only the
+// inference pipeline.
+func quietDetector() *tomography.ChangeDetector {
+	return &tomography.ChangeDetector{Warmup: math.MaxInt32, Drift: 1, Threshold: 1e18, Smoothing: 1}
+}
+
+// briteWindowFixture builds a mid-sized Brite scenario record and
+// pre-materialized observation rows for windowed-inference tests.
+func briteWindowFixture(t testing.TB, snapshots int) (*scenario.Scenario, []*tomography.PathSet) {
+	t.Helper()
+	net, err := brite.Generate(brite.Config{ASes: 40, EdgesPerAS: 2, Paths: 150, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Brite(scenario.BriteConfig{
+		Net: net, FracCongested: 0.10, Level: scenario.HighCorrelation, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tomography.Simulate(tomography.SimConfig{
+		Topology: s.Topology, Model: s.Model, Snapshots: snapshots, Seed: 97, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rec.Paths.Rows()
+}
+
+// figure1AWindowFixture builds a record over the Figure-1(a) toy — small
+// enough for the theorem estimator — with a bounded pattern alphabet, so a
+// warmed sliding window sees no never-before-seen congestion pattern.
+func figure1AWindowFixture(t testing.TB, snapshots int) (*tomography.Topology, []*tomography.PathSet) {
+	t.Helper()
+	top := tomography.Figure1A()
+	model, err := congestion.NewTable(4, []congestion.GroupTable{
+		{
+			Links: []int{0, 1},
+			States: []congestion.SubsetProb{
+				{Links: bitset.New(0), P: 0.60},
+				{Links: bitset.FromIndices(0), P: 0.10},
+				{Links: bitset.FromIndices(1), P: 0.12},
+				{Links: bitset.FromIndices(0, 1), P: 0.18},
+			},
+		},
+		{Links: []int{2}, States: []congestion.SubsetProb{
+			{Links: bitset.New(0), P: 0.8}, {Links: bitset.FromIndices(2), P: 0.2},
+		}},
+		{Links: []int{3}, States: []congestion.SubsetProb{
+			{Links: bitset.New(0), P: 0.9}, {Links: bitset.FromIndices(3), P: 0.1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := netsim.Run(netsim.Config{Topology: top, Model: model, Snapshots: snapshots, Seed: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, rec.Paths.Rows()
+}
+
+// steadyStateAllocs measures the average allocations of one steady-state
+// windowed-inference step (Observe + EstimateShared) for an estimator after
+// a warm-up that has filled the window, grown every workspace buffer, and
+// seen every pattern the stream contains.
+func steadyStateAllocs(t *testing.T, top *tomography.Topology, rows []*tomography.PathSet, estimator string) float64 {
+	t.Helper()
+	const window = 256
+	w, err := tomography.NewWindow(top, tomography.WindowConfig{
+		Size:      window,
+		Estimator: estimator,
+		Detector:  quietDetector(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	observe := func() {
+		w.Observe(rows[next])
+		next = (next + 1) % len(rows)
+	}
+	estimate := func() {
+		if _, err := w.EstimateShared(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up: fill the window; one estimate grows every workspace buffer
+	// (and, for pattern-histogram estimators, materializes the histogram);
+	// a full cycle through the stream then charges every pattern it
+	// contains into the live histogram; a few more estimates settle map
+	// growth.
+	for i := 0; i < window; i++ {
+		observe()
+	}
+	estimate()
+	for i := 0; i < len(rows); i++ {
+		observe()
+	}
+	for i := 0; i < 3; i++ {
+		estimate()
+	}
+	return testing.AllocsPerRun(50, func() {
+		observe()
+		estimate()
+	})
+}
+
+// TestWindowedInferenceSteadyStateAllocs is the allocation budget of the
+// online monitoring loop: once a window is warm, Observe + EstimateShared
+// must run garbage-free for the linear-family and theorem estimators, and
+// within a small pinned constant for the MLE optimizer. This is the
+// regression gate CI enforces (any new per-estimate allocation on the hot
+// path fails it).
+func TestWindowedInferenceSteadyStateAllocs(t *testing.T) {
+	scn, briteRows := briteWindowFixture(t, 700)
+	toyTop, toyRows := figure1AWindowFixture(t, 700)
+
+	cases := []struct {
+		estimator string
+		top       *tomography.Topology
+		rows      []*tomography.PathSet
+		budget    float64
+	}{
+		{"correlation", scn.Topology, briteRows, 0},
+		{"independence", scn.Topology, briteRows, 0},
+		{"correlation", toyTop, toyRows, 0},
+		{"theorem", toyTop, toyRows, 0},
+		// The MLE optimizer is allocation-free too; budget 0 documents it.
+		{"mle", toyTop, toyRows, 0},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.estimator, func(t *testing.T) {
+			got := steadyStateAllocs(t, c.top, c.rows, c.estimator)
+			if got > c.budget {
+				t.Fatalf("steady-state Observe+EstimateShared allocates %.2f objects/op, budget %v", got, c.budget)
+			}
+		})
+	}
+}
+
+// TestWindowedEstimateFuncSteadyState pins the streaming replay: it must
+// produce the same checkpoints as WindowedEstimate, bit-identically, while
+// its results live in the window's workspace.
+func TestWindowedEstimateFuncSteadyState(t *testing.T) {
+	s, err := tomography.BuildScenario("quickstart", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tomography.Simulate(tomography.SimConfig{
+		Topology: s.Topology, Model: s.Model, Snapshots: 600, Seed: 11, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tomography.WindowConfig{Size: 256}
+	const stride = 64
+	want, err := tomography.WindowedEstimate(s.Topology, rec, cfg, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []tomography.WindowPoint
+	err = tomography.WindowedEstimateFunc(s.Topology, rec, cfg, stride, func(pt tomography.WindowPoint) error {
+		// The point's result aliases the window workspace; detach what the
+		// comparison keeps.
+		cp := *pt.Result
+		cp.CongestionProb = append([]float64(nil), cp.CongestionProb...)
+		pt.Result = &cp
+		got = append(got, pt)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("WindowedEstimateFunc produced %d checkpoints, WindowedEstimate %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].T != want[i].T || got[i].Changed != want[i].Changed {
+			t.Fatalf("checkpoint %d: (T=%d, Changed=%v) != (T=%d, Changed=%v)",
+				i, got[i].T, got[i].Changed, want[i].T, want[i].Changed)
+		}
+		if !reflect.DeepEqual(got[i].Result.CongestionProb, want[i].Result.CongestionProb) {
+			t.Fatalf("checkpoint %d: workspace replay diverged from allocating replay", i)
+		}
+	}
+}
+
+// TestEstimateInMatchesEstimate is the workspace-equivalence property: for
+// every registered estimator, running through a reused workspace must be
+// bit-identical to the allocating path — on a fresh workspace, and on one
+// already dirtied by other estimators and other sources.
+func TestEstimateInMatchesEstimate(t *testing.T) {
+	top, rows := figure1AWindowFixture(t, 2000)
+	rec := tomography.NewRecordFromRows(top.NumPaths(), rows)
+	src, err := tomography.NewEmpirical(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second source with different data dirties the workspace between runs.
+	otherSrc, err := tomography.NewEmpirical(tomography.NewRecordFromRows(top.NumPaths(), rows[:1000]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tomography.Compile(top, tomography.PlanOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := tomography.NewWorkspace()
+	for _, name := range tomography.EstimatorNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want, err := tomography.Estimate(name, plan, src, tomography.EstimateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tomography.EstimateIn(ws, name, plan, otherSrc, tomography.EstimateOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := tomography.EstimateIn(ws, name, plan, src, tomography.EstimateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Estimator != want.Estimator {
+				t.Fatalf("estimator name %q != %q", got.Estimator, want.Estimator)
+			}
+			if !reflect.DeepEqual(got.CongestionProb, want.CongestionProb) {
+				t.Fatalf("workspace CongestionProb diverges from allocating path:\n got %v\nwant %v", got.CongestionProb, want.CongestionProb)
+			}
+			switch {
+			case want.Linear != nil:
+				if got.Linear == nil || got.Linear.Solver != want.Linear.Solver ||
+					!reflect.DeepEqual(got.Linear.LogGoodProb, want.Linear.LogGoodProb) {
+					t.Fatalf("workspace linear result diverges from allocating path")
+				}
+				if got.Linear.System.Rank != want.Linear.System.Rank ||
+					got.Linear.System.SinglePathEqs != want.Linear.System.SinglePathEqs ||
+					got.Linear.System.PairEqs != want.Linear.System.PairEqs {
+					t.Fatalf("workspace equation system diverges from allocating path")
+				}
+			case want.Theorem != nil:
+				if got.Theorem == nil ||
+					!reflect.DeepEqual(got.Theorem.Alpha, want.Theorem.Alpha) ||
+					!reflect.DeepEqual(got.Theorem.JointProb, want.Theorem.JointProb) ||
+					!reflect.DeepEqual(got.Theorem.ProbSetEmpty, want.Theorem.ProbSetEmpty) {
+					t.Fatalf("workspace theorem result diverges from allocating path")
+				}
+			case want.MLE != nil:
+				if got.MLE == nil || got.MLE.Iters != want.MLE.Iters ||
+					got.MLE.LogLikelihood != want.MLE.LogLikelihood ||
+					!reflect.DeepEqual(got.MLE.LogGoodProb, want.MLE.LogGoodProb) {
+					t.Fatalf("workspace mle result diverges from allocating path")
+				}
+			}
+		})
+	}
+}
+
+// blockingSource is a measurement source whose first probability query
+// parks until released — it holds a workspace demonstrably mid-estimate so
+// the concurrency guard can be exercised deterministically.
+type blockingSource struct {
+	numPaths int
+	entered  chan struct{}
+	release  chan struct{}
+	once     sync.Once
+}
+
+func (s *blockingSource) NumPaths() int { return s.numPaths }
+
+func (s *blockingSource) ProbPathsGood(*tomography.PathSet) float64 {
+	s.once.Do(func() {
+		close(s.entered)
+		<-s.release
+	})
+	return 0.9
+}
+
+// TestWorkspaceConcurrentUseDetected pins the misuse contract: a second
+// goroutine calling EstimateIn on a workspace that is mid-estimate panics
+// with a diagnostic instead of silently corrupting results. Run under
+// -race in CI, which would additionally flag any unsynchronized access.
+func TestWorkspaceConcurrentUseDetected(t *testing.T) {
+	s, err := tomography.BuildScenario("quickstart", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tomography.Compile(s.Topology, tomography.PlanOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &blockingSource{
+		numPaths: s.Topology.NumPaths(),
+		entered:  make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+	ws := tomography.NewWorkspace()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tomography.EstimateIn(ws, "correlation", plan, src, tomography.EstimateOptions{})
+		done <- err
+	}()
+	<-src.entered // the workspace is now provably held mid-estimate
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		_, _ = tomography.EstimateIn(ws, "correlation", plan, src, tomography.EstimateOptions{})
+		panicked <- nil
+	}()
+	p := <-panicked
+	close(src.release)
+	if err := <-done; err != nil {
+		t.Fatalf("first EstimateIn failed: %v", err)
+	}
+	if p == nil {
+		t.Fatal("concurrent EstimateIn on one workspace did not panic")
+	}
+	msg, ok := p.(string)
+	if !ok || !strings.Contains(msg, "used concurrently") {
+		t.Fatalf("concurrent use panicked with %v, want a 'used concurrently' diagnostic", p)
+	}
+}
+
+// TestEstimateInNilWorkspace pins the nil-workspace error text.
+func TestEstimateInNilWorkspace(t *testing.T) {
+	s, err := tomography.BuildScenario("quickstart", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tomography.Compile(s.Topology, tomography.PlanOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tomography.EstimateIn(nil, "correlation", plan, nil, tomography.EstimateOptions{})
+	if err == nil || err.Error() != `tomography: EstimateIn "correlation": nil workspace (use NewWorkspace)` {
+		t.Fatalf("nil workspace error = %v", err)
+	}
+}
