@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	tomography "repro"
+	"repro/internal/bitset"
+)
+
+// TestDaemonMatchesOfflineReplay is the serving layer's headline
+// correctness guarantee: for EVERY registered estimator, the estimates the
+// daemon serves over HTTP are bit-identical to an offline WindowedEstimate
+// replay of the same probe stream. Four tenants (one per estimator) ingest
+// and estimate concurrently, so under -race this also proves the shard
+// partitioning isolates tenant state.
+//
+// The equivalence chain being pinned: HTTP ingest → wire decode → shard
+// queue → Window.Observe + EstimateIn on the shard worker's workspace must
+// land on exactly the floats that Window.Observe + Window.Estimate produce
+// in a single-goroutine offline replay.
+func TestDaemonMatchesOfflineReplay(t *testing.T) {
+	const (
+		window = 120
+		stride = 40
+		snaps  = 360
+		seed   = 11
+	)
+	estimators := tomography.EstimatorNames()
+	if len(estimators) < 4 {
+		t.Fatalf("estimator registry lists %v, want at least 4 for the concurrency guarantee", estimators)
+	}
+
+	d := New(Config{Shards: 2, QueueDepth: 64})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	defer d.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	for i, est := range estimators {
+		wg.Add(1)
+		go func(i int, est string) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("diff-%s", est)
+			scn, err := tomography.BuildScenario("quickstart", seed+int64(i))
+			if err != nil {
+				t.Errorf("%s: building scenario: %v", tenant, err)
+				return
+			}
+			rec, err := tomography.Simulate(tomography.SimConfig{
+				Topology: scn.Topology, Model: scn.Model, Snapshots: snaps, Seed: seed + 100 + int64(i),
+			})
+			if err != nil {
+				t.Errorf("%s: simulating: %v", tenant, err)
+				return
+			}
+
+			// Offline ground truth: the replay API over the same stream.
+			points, err := tomography.WindowedEstimate(scn.Topology, rec,
+				tomography.WindowConfig{Size: window, Estimator: est}, stride)
+			if err != nil {
+				t.Errorf("%s: offline replay: %v", tenant, err)
+				return
+			}
+
+			// Register the tenant with its inline topology document.
+			var topoJSON bytes.Buffer
+			if err := scn.Topology.Encode(&topoJSON); err != nil {
+				t.Errorf("%s: encoding topology: %v", tenant, err)
+				return
+			}
+			regBody, _ := json.Marshal(TenantConfig{
+				Name: tenant, Topology: topoJSON.Bytes(), Window: window, Estimator: est,
+			})
+			if status, body := post(t, srv.URL+"/v1/tenants", regBody); status != http.StatusCreated {
+				t.Errorf("%s: register: status %d: %s", tenant, status, body)
+				return
+			}
+
+			// Replay the stream through HTTP in stride-sized batches,
+			// requesting an estimate at every offline checkpoint.
+			next := 0
+			row := bitset.New(scn.Topology.NumPaths())
+			for at := 0; at < snaps; at += stride {
+				sets := make([]*bitset.Set, 0, stride)
+				for s := at; s < at+stride && s < snaps; s++ {
+					rec.Paths.RowInto(s, row)
+					sets = append(sets, row.Clone())
+				}
+				batch, err := EncodeReports(sets)
+				if err != nil {
+					t.Errorf("%s: encoding batch: %v", tenant, err)
+					return
+				}
+				if status, body := post(t, srv.URL+"/v1/ingest?tenant="+tenant, batch); status != http.StatusAccepted {
+					t.Errorf("%s: ingest at %d: status %d: %s", tenant, at, status, body)
+					return
+				}
+				if at+stride < window {
+					continue // window not yet warm at this checkpoint
+				}
+				var got EstimateResponse
+				if status, body := get(t, srv.URL+"/v1/estimate?tenant="+tenant, &got); status != http.StatusOK {
+					t.Errorf("%s: estimate at %d: status %d: %s", tenant, at, status, body)
+					return
+				}
+				if next >= len(points) {
+					t.Errorf("%s: daemon produced more estimates than the offline replay (%d)", tenant, len(points))
+					return
+				}
+				want := points[next]
+				next++
+				if got.SnapshotsSeen != want.T+1 {
+					t.Errorf("%s: estimate covers %d snapshots, offline checkpoint is T=%d", tenant, got.SnapshotsSeen, want.T)
+					return
+				}
+				if got.Estimator != est {
+					t.Errorf("%s: estimator %q in response", tenant, got.Estimator)
+				}
+				if !bitIdentical(got.CongestionProb, want.Result.CongestionProb) {
+					t.Errorf("%s: checkpoint T=%d: daemon estimate differs from offline replay\n daemon:  %v\n offline: %v",
+						tenant, want.T, got.CongestionProb, want.Result.CongestionProb)
+					return
+				}
+			}
+			if next != len(points) {
+				t.Errorf("%s: matched %d checkpoints, offline replay has %d", tenant, next, len(points))
+			}
+		}(i, est)
+	}
+	wg.Wait()
+}
+
+// bitIdentical compares float slices by their IEEE-754 bits — the "no
+// tolerance" equality every equivalence test in this repo uses.
+func bitIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// post issues a JSON POST and returns the status and body.
+func post(t *testing.T, url string, body []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// get issues a GET, decoding the body into out when non-nil; it returns
+// the status and raw body.
+func get(t *testing.T, url string, out any) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, b, err)
+		}
+	}
+	return resp.StatusCode, string(b)
+}

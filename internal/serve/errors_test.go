@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Table-driven error-path tests for the tenant/admin API, pinning EXACT
+// error strings and status codes (matching the style of the facade's
+// estimator_errors_test.go): operators alert on these responses, so a
+// refactor that rewords them is a breaking change that must show up here.
+func TestAPIErrorStrings(t *testing.T) {
+	d := New(Config{Shards: 1, QueueDepth: 64})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	defer d.Shutdown(context.Background())
+
+	// One live tenant: quickstart topology (3 paths), window 100, with 5
+	// snapshots ingested — enough to exercise warm-up and range errors.
+	regBody, _ := json.Marshal(TenantConfig{
+		Name: "alpha", Scenario: "quickstart", Seed: 1, Window: 100,
+	})
+	if status, body := post(t, srv.URL+"/v1/tenants", regBody); status != http.StatusCreated {
+		t.Fatalf("registering alpha: status %d: %s", status, body)
+	}
+	if status, body := post(t, srv.URL+"/v1/ingest?tenant=alpha",
+		[]byte(`{"reports":[[0],[1],[2],[0,1],[]]}`)); status != http.StatusAccepted {
+		t.Fatalf("seeding alpha: status %d: %s", status, body)
+	}
+
+	mustJSON := func(cfg TenantConfig) []byte {
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       []byte
+		wantStatus int
+		wantErr    string
+	}{
+		{
+			name: "unknown tenant (estimate)", method: http.MethodGet,
+			path:       "/v1/estimate?tenant=ghost",
+			wantStatus: http.StatusNotFound,
+			wantErr:    `serve: unknown tenant "ghost" (registered: [alpha])`,
+		},
+		{
+			name: "unknown tenant (ingest)", method: http.MethodPost,
+			path: "/v1/ingest?tenant=ghost", body: []byte(`{"reports":[[0]]}`),
+			wantStatus: http.StatusNotFound,
+			wantErr:    `serve: unknown tenant "ghost" (registered: [alpha])`,
+		},
+		{
+			name: "duplicate registration", method: http.MethodPost,
+			path: "/v1/tenants", body: mustJSON(TenantConfig{Name: "alpha", Scenario: "quickstart", Window: 100}),
+			wantStatus: http.StatusConflict,
+			wantErr:    `serve: tenant "alpha" already registered`,
+		},
+		{
+			name: "estimate before window warm", method: http.MethodGet,
+			path:       "/v1/estimate?tenant=alpha",
+			wantStatus: http.StatusTooEarly,
+			wantErr:    `serve: tenant "alpha" window warming: 5/100 snapshots`,
+		},
+		{
+			name: "register with empty name", method: http.MethodPost,
+			path: "/v1/tenants", body: mustJSON(TenantConfig{Scenario: "quickstart", Window: 10}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: register: tenant name is empty`,
+		},
+		{
+			name: "register with zero window", method: http.MethodPost,
+			path: "/v1/tenants", body: mustJSON(TenantConfig{Name: "w", Scenario: "quickstart"}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: register tenant "w": window = 0, want > 0`,
+		},
+		{
+			name: "register with neither scenario nor topology", method: http.MethodPost,
+			path: "/v1/tenants", body: mustJSON(TenantConfig{Name: "b", Window: 10}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: register tenant "b": specify exactly one of scenario or topology`,
+		},
+		{
+			name: "register with unknown scenario", method: http.MethodPost,
+			path: "/v1/tenants", body: mustJSON(TenantConfig{Name: "s", Scenario: "nope", Window: 10}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: register tenant "s": scenario: unknown scenario "nope" (registered: [diurnal flash-crowd link-flap planetlab-replay quickstart worm])`,
+		},
+		{
+			name: "register with unknown estimator", method: http.MethodPost,
+			path: "/v1/tenants", body: mustJSON(TenantConfig{Name: "e", Scenario: "quickstart", Window: 10, Estimator: "nope"}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: register tenant "e": tomography: NewWindow: unknown estimator "nope" (registered: [correlation independence mle theorem])`,
+		},
+		{
+			name: "malformed ingest JSON", method: http.MethodPost,
+			path: "/v1/ingest?tenant=alpha", body: []byte(`{not json`),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: decode probe batch: invalid character 'n' looking for beginning of object key string`,
+		},
+		{
+			name: "ingest with no reports", method: http.MethodPost,
+			path: "/v1/ingest?tenant=alpha", body: []byte(`{"reports":[]}`),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: probe batch carries no reports`,
+		},
+		{
+			name: "ingest with negative path index", method: http.MethodPost,
+			path: "/v1/ingest?tenant=alpha", body: []byte(`{"reports":[[-1]]}`),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: snapshot 0: negative path index -1`,
+		},
+		{
+			name: "ingest with out-of-range path index", method: http.MethodPost,
+			path: "/v1/ingest?tenant=alpha", body: []byte(`{"reports":[[0],[9]]}`),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: snapshot 1: path index 9 out of range for 3 paths`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var status int
+			var body string
+			if tc.method == http.MethodGet {
+				status, body = get(t, srv.URL+tc.path, nil)
+			} else {
+				status, body = post(t, srv.URL+tc.path, tc.body)
+			}
+			assertError(t, status, body, tc.wantStatus, tc.wantErr)
+		})
+	}
+}
+
+// TestAPIShutdownErrors pins the rejection behavior of a draining daemon:
+// ingest, estimate and registration during/after shutdown all answer 503
+// with the same message.
+func TestAPIShutdownErrors(t *testing.T) {
+	d := New(Config{Shards: 1, QueueDepth: 8})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	if _, err := d.Register(TenantConfig{Name: "a", Scenario: "quickstart", Seed: 1, Window: 10}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	const want = `serve: daemon shutting down`
+	status, body := post(t, srv.URL+"/v1/ingest?tenant=a", []byte(`{"reports":[[0]]}`))
+	assertError(t, status, body, http.StatusServiceUnavailable, want)
+	status, body = get(t, srv.URL+"/v1/estimate?tenant=a", nil)
+	assertError(t, status, body, http.StatusServiceUnavailable, want)
+	status, body = post(t, srv.URL+"/v1/tenants",
+		[]byte(`{"name":"late","scenario":"quickstart","window":10}`))
+	assertError(t, status, body, http.StatusServiceUnavailable, want)
+
+	// A second Shutdown is itself an exact-string error.
+	if _, err := d.Shutdown(ctx); err == nil || err.Error() != "serve: daemon already shut down" {
+		t.Fatalf("second shutdown error = %v, want %q", err, "serve: daemon already shut down")
+	}
+}
+
+// assertError checks status and the exact error-envelope message.
+func assertError(t *testing.T, status int, body string, wantStatus int, wantErr string) {
+	t.Helper()
+	if status != wantStatus {
+		t.Fatalf("status = %d, want %d (body: %s)", status, wantStatus, body)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &envelope); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %q (%v)", body, err)
+	}
+	if envelope.Error != wantErr {
+		t.Fatalf("error mismatch:\n got: %s\nwant: %s", envelope.Error, wantErr)
+	}
+}

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	tomography "repro"
+	"repro/internal/bitset"
+)
+
+// FirehoseConfig parameterizes the synthetic probe-firehose load client:
+// it registers Tenants tenants over the daemon's HTTP API (each built from
+// Scenario with seed Seed+i), pre-simulates each tenant's probe stream
+// from the scenario registry, then replays the streams as fast as the
+// daemon accepts them, requesting estimates at a fixed cadence and
+// honouring 429 backpressure with retries.
+type FirehoseConfig struct {
+	// BaseURL is the daemon's address, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Scenario is the registry scenario each tenant is built from.
+	Scenario string
+	// Seed is the root seed; tenant i uses Seed+i for its scenario and
+	// Seed+1000+i for its simulated probe stream.
+	Seed int64
+	// Tenants is the number of tenants to register and drive (> 0).
+	Tenants int
+	// Snapshots is the probe-stream length per tenant (> 0).
+	Snapshots int
+	// Batch is the number of snapshots per ingest POST (0 ⇒ 64).
+	Batch int
+	// Window is each tenant's sliding-window size (0 ⇒ 256).
+	Window int
+	// Estimator is the registry estimator each tenant runs
+	// ("" ⇒ correlation).
+	Estimator string
+	// EstimateEvery requests an estimate after every EstimateEvery accepted
+	// batches, once the window is warm (0 ⇒ 4).
+	EstimateEvery int
+	// Client overrides the HTTP client (nil ⇒ http.DefaultClient).
+	Client *http.Client
+}
+
+// FirehoseReport summarizes one firehose run — the content of
+// BENCH_serve.json. The count fields are deterministic functions of the
+// configuration; the timing fields measure this run's hardware.
+type FirehoseReport struct {
+	Scenario           string  `json:"scenario"`
+	Estimator          string  `json:"estimator"`
+	Tenants            int     `json:"tenants"`
+	SnapshotsPerTenant int     `json:"snapshots_per_tenant"`
+	Window             int     `json:"window"`
+	Batch              int     `json:"batch"`
+	SnapshotsIngested  int64   `json:"snapshots_ingested"`
+	Estimates          int64   `json:"estimates"`
+	Rejected429        int64   `json:"rejected_429"`
+	ElapsedSec         float64 `json:"elapsed_sec"`
+	SnapshotsPerSec    float64 `json:"snapshots_per_sec"`
+	EstimateP50Ms      float64 `json:"estimate_p50_ms"`
+	EstimateP99Ms      float64 `json:"estimate_p99_ms"`
+}
+
+// RunFirehose drives a daemon with synthetic probe traffic and returns the
+// sustained throughput and estimate-latency percentiles. Each tenant runs
+// on its own goroutine, so a multi-tenant run also exercises concurrent
+// ingest across shards.
+func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, error) {
+	if cfg.Tenants <= 0 {
+		return nil, fmt.Errorf("serve: firehose: tenants = %d, want > 0", cfg.Tenants)
+	}
+	if cfg.Snapshots <= 0 {
+		return nil, fmt.Errorf("serve: firehose: snapshots = %d, want > 0", cfg.Snapshots)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.Estimator == "" {
+		cfg.Estimator = "correlation"
+	}
+	if cfg.EstimateEvery <= 0 {
+		cfg.EstimateEvery = 4
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Window > cfg.Snapshots {
+		return nil, fmt.Errorf("serve: firehose: window %d exceeds stream length %d (no estimate would ever be warm)",
+			cfg.Window, cfg.Snapshots)
+	}
+
+	// Pre-simulate every tenant's probe stream so the measured loop is pure
+	// serving traffic, not simulation.
+	streams := make([][][]byte, cfg.Tenants) // per tenant, per batch: encoded wire body
+	for i := 0; i < cfg.Tenants; i++ {
+		scn, err := tomography.BuildScenario(cfg.Scenario, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve: firehose: %w", err)
+		}
+		rec, err := simulateScenario(scn, cfg.Snapshots, cfg.Seed+1000+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve: firehose: %w", err)
+		}
+		streams[i], err = encodeStream(rec, cfg.Batch)
+		if err != nil {
+			return nil, fmt.Errorf("serve: firehose: %w", err)
+		}
+	}
+
+	// Register the tenants over the wire — the same path an operator uses.
+	for i := 0; i < cfg.Tenants; i++ {
+		body, _ := json.Marshal(TenantConfig{
+			Name:      firehoseTenantName(i),
+			Scenario:  cfg.Scenario,
+			Seed:      cfg.Seed + int64(i),
+			Window:    cfg.Window,
+			Estimator: cfg.Estimator,
+		})
+		if err := postJSON(ctx, cfg.Client, cfg.BaseURL+"/v1/tenants", body, http.StatusCreated); err != nil {
+			return nil, fmt.Errorf("serve: firehose: registering tenant %d: %w", i, err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		ingested  int64
+		estimates int64
+		rejected  int64
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := firehoseTenantName(i)
+			snaps := 0
+			for b, body := range streams[i] {
+				n, rej, err := postBatch(ctx, cfg.Client, cfg.BaseURL, name, body)
+				mu.Lock()
+				rejected += rej
+				ingested += int64(n)
+				mu.Unlock()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				snaps += n
+				if (b+1)%cfg.EstimateEvery == 0 && snaps >= cfg.Window {
+					d, err := timeEstimate(ctx, cfg.Client, cfg.BaseURL, name)
+					mu.Lock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+					} else {
+						latencies = append(latencies, d)
+						estimates++
+					}
+					mu.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, fmt.Errorf("serve: firehose: %w", firstErr)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report := &FirehoseReport{
+		Scenario:           cfg.Scenario,
+		Estimator:          cfg.Estimator,
+		Tenants:            cfg.Tenants,
+		SnapshotsPerTenant: cfg.Snapshots,
+		Window:             cfg.Window,
+		Batch:              cfg.Batch,
+		SnapshotsIngested:  ingested,
+		Estimates:          estimates,
+		Rejected429:        rejected,
+		ElapsedSec:         elapsed.Seconds(),
+		SnapshotsPerSec:    float64(ingested) / elapsed.Seconds(),
+		EstimateP50Ms:      percentileMs(latencies, 0.50),
+		EstimateP99Ms:      percentileMs(latencies, 0.99),
+	}
+	return report, nil
+}
+
+func firehoseTenantName(i int) string { return fmt.Sprintf("t%d", i) }
+
+// simulateScenario produces a tenant's probe stream: the dynamic engine
+// for time-indexed scenarios, the i.i.d. simulator otherwise.
+func simulateScenario(scn *tomography.Scenario, snapshots int, seed int64) (*tomography.Record, error) {
+	if scn.Process != nil {
+		return tomography.SimulateDynamic(tomography.DynamicSimConfig{
+			Topology: scn.Topology, Process: scn.Process, Snapshots: snapshots, Seed: seed,
+		})
+	}
+	return tomography.Simulate(tomography.SimConfig{
+		Topology: scn.Topology, Model: scn.Model, Snapshots: snapshots, Seed: seed,
+	})
+}
+
+// encodeStream slices a record into wire-encoded ingest bodies of batch
+// snapshots each.
+func encodeStream(rec *tomography.Record, batch int) ([][]byte, error) {
+	n := rec.Snapshots()
+	var bodies [][]byte
+	row := bitset.New(1)
+	for at := 0; at < n; at += batch {
+		end := at + batch
+		if end > n {
+			end = n
+		}
+		sets := make([]*bitset.Set, 0, end-at)
+		for t := at; t < end; t++ {
+			rec.Paths.RowInto(t, row)
+			sets = append(sets, row.Clone())
+		}
+		body, err := EncodeReports(sets)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// postBatch POSTs one ingest body, retrying on 429 with a short pause. It
+// returns the accepted snapshot count and how many 429s it absorbed.
+func postBatch(ctx context.Context, client *http.Client, base, tenant string, body []byte) (accepted int, rejected int64, err error) {
+	url := fmt.Sprintf("%s/v1/ingest?tenant=%s", base, tenant)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return 0, rejected, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, rejected, err
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var out struct {
+				Accepted int `json:"accepted"`
+			}
+			if err := json.Unmarshal(respBody, &out); err != nil {
+				return 0, rejected, fmt.Errorf("decoding ingest response: %w", err)
+			}
+			return out.Accepted, rejected, nil
+		case http.StatusTooManyRequests:
+			rejected++
+			select {
+			case <-time.After(2 * time.Millisecond):
+			case <-ctx.Done():
+				return 0, rejected, ctx.Err()
+			}
+		default:
+			return 0, rejected, fmt.Errorf("ingest: unexpected status %d: %s", resp.StatusCode, respBody)
+		}
+	}
+}
+
+// timeEstimate requests one estimate and returns its client-observed
+// latency.
+func timeEstimate(ctx context.Context, client *http.Client, base, tenant string) (time.Duration, error) {
+	url := fmt.Sprintf("%s/v1/estimate?tenant=%s", base, tenant)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	d := time.Since(start)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("estimate: unexpected status %d: %s", resp.StatusCode, body)
+	}
+	return d, nil
+}
+
+// postJSON POSTs a JSON body and checks the expected status.
+func postJSON(ctx context.Context, client *http.Client, url string, body []byte, want int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("unexpected status %d: %s", resp.StatusCode, respBody)
+	}
+	return nil
+}
+
+// percentileMs returns the p-th percentile of sorted durations, in
+// milliseconds (0 for an empty slice).
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e6
+}

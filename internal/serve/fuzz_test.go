@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIngestDecode hardens the probe-report wire decoder, the one parser
+// that faces the network on every request: any byte sequence must either
+// decode into valid congested-path sets or fail with a descriptive
+// serve-prefixed error — never panic, and never hand back sets that
+// reference paths outside the tenant's topology. Corpus seeds live under
+// testdata/fuzz/FuzzIngestDecode and are replayed by the CI fuzz step.
+func FuzzIngestDecode(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"reports":[[0,2],[1],[]]}`),        // well-formed batch
+		[]byte(`{"reports":[]}`),                    // empty batch
+		[]byte(`{"reports":[[-1]]}`),                // negative index
+		[]byte(`{"reports":[[99]]}`),                // out of range
+		[]byte(`{"reports":[[0,0,0]]}`),             // duplicate indices
+		[]byte(`{}`),                                // missing field
+		[]byte(`{"reports":[[0.5]]}`),               // float index
+		[]byte(`{"reports":[["a"]]}`),               // string index
+		[]byte(`{"reports":[[0]],"extra":true}`),    // unknown field
+		[]byte(`{"reports":[[18446744073709551615]]}`), // uint64 overflow
+		[]byte(`not json at all`),
+		[]byte(`{"reports":[[`),
+		[]byte(``),
+		[]byte(`null`),
+		[]byte(`[[0]]`),
+	}
+	for _, s := range seeds {
+		f.Add(s, 8)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, numPaths int) {
+		if numPaths < 0 {
+			numPaths = -numPaths
+		}
+		numPaths %= 64
+		sets, err := DecodeReports(data, numPaths, 1024)
+		if err != nil {
+			if sets != nil {
+				t.Fatalf("non-nil sets alongside error %v", err)
+			}
+			if !strings.HasPrefix(err.Error(), "serve: ") {
+				t.Fatalf("error %q lacks the serve: prefix", err)
+			}
+			return
+		}
+		if len(sets) == 0 {
+			t.Fatal("decode succeeded with zero sets (empty batches must error)")
+		}
+		if len(sets) > 1024 {
+			t.Fatalf("decode returned %d sets, limit 1024", len(sets))
+		}
+		for i, s := range sets {
+			if s == nil {
+				t.Fatalf("set %d is nil", i)
+			}
+			s.ForEach(func(p int) bool {
+				if p < 0 || p >= numPaths {
+					t.Fatalf("set %d contains path %d, topology has %d", i, p, numPaths)
+				}
+				return true
+			})
+		}
+		// Round trip: re-encoding and re-decoding a valid batch must be
+		// lossless.
+		encoded, err := EncodeReports(sets)
+		if err != nil {
+			t.Fatalf("re-encoding valid sets: %v", err)
+		}
+		again, err := DecodeReports(encoded, numPaths, 1024)
+		if err != nil {
+			t.Fatalf("re-decoding encoded sets: %v", err)
+		}
+		if len(again) != len(sets) {
+			t.Fatalf("round trip changed batch length: %d -> %d", len(sets), len(again))
+		}
+		for i := range sets {
+			if !sets[i].Equal(again[i]) {
+				t.Fatalf("round trip changed set %d: %v -> %v", i, sets[i], again[i])
+			}
+		}
+	})
+}

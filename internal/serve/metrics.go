@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's process-wide instrumentation: lock-free atomic
+// counters plus an exponential-bucket latency histogram, rendered in the
+// Prometheus text exposition format by /metrics. No external dependency:
+// the container bakes in only the Go toolchain, and counters plus a fixed
+// histogram are all the serving loop needs.
+type metrics struct {
+	ingestBatches   atomic.Int64 // accepted ingest POSTs
+	ingestSnapshots atomic.Int64 // snapshots applied to tenant windows
+	ingestRejected  atomic.Int64 // 429 backpressure rejections
+	ingestInvalid   atomic.Int64 // 4xx malformed/mismatched batches
+	estimates       atomic.Int64 // estimates served
+	estimateErrors  atomic.Int64 // estimate requests that failed (incl. warming)
+	changePoints    atomic.Int64 // CUSUM change-point alerts across tenants
+	estimateLatency histogram    // enqueue-to-reply estimate latency
+}
+
+// latencyBuckets is the number of exponential histogram buckets: bucket i
+// holds observations in (2^i-1, 2^i] microseconds, so the range spans 1µs
+// to ~67s with the last bucket catching everything beyond.
+const latencyBuckets = 27
+
+// histogram is a fixed exponential-bucket latency histogram. observe is
+// wait-free; readers tolerate torn cross-bucket views (metrics scrapes are
+// advisory, the serving loop never blocks on them).
+type histogram struct {
+	buckets [latencyBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for b < latencyBuckets-1 && us > (int64(1)<<b) {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 when the histogram is empty).
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < latencyBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= rank {
+			return time.Duration(int64(1)<<b) * time.Microsecond
+		}
+	}
+	return time.Duration(int64(1)<<(latencyBuckets-1)) * time.Microsecond
+}
+
+// tenantStats is the per-tenant slice of /metrics, filled from the
+// tenants' atomically maintained gauges.
+type tenantStats struct {
+	name      string
+	seen      int64
+	occupancy int64
+	changes   int64
+}
+
+// writeTo renders the metrics in the Prometheus text format. queueLens
+// carries the instantaneous per-shard queue depths.
+func (m *metrics) writeTo(w io.Writer, tenants []tenantStats, queueLens []int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tomod_ingest_batches_total", "Accepted probe-report batches.", m.ingestBatches.Load())
+	counter("tomod_ingest_snapshots_total", "Snapshots applied to tenant windows.", m.ingestSnapshots.Load())
+	counter("tomod_ingest_rejected_total", "Batches rejected with 429 backpressure.", m.ingestRejected.Load())
+	counter("tomod_ingest_invalid_total", "Batches rejected as malformed or mismatched (4xx).", m.ingestInvalid.Load())
+	counter("tomod_estimates_total", "Estimates served.", m.estimates.Load())
+	counter("tomod_estimate_errors_total", "Estimate requests that failed (including window warm-up).", m.estimateErrors.Load())
+	counter("tomod_change_points_total", "CUSUM change-point alerts across all tenants.", m.changePoints.Load())
+
+	fmt.Fprintf(w, "# HELP tomod_estimate_latency_seconds Enqueue-to-reply estimate latency.\n")
+	fmt.Fprintf(w, "# TYPE tomod_estimate_latency_seconds summary\n")
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		fmt.Fprintf(w, "tomod_estimate_latency_seconds{quantile=%q} %g\n", fmt.Sprintf("%g", q), m.estimateLatency.quantile(q).Seconds())
+	}
+	fmt.Fprintf(w, "tomod_estimate_latency_seconds_sum %g\n", float64(m.estimateLatency.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "tomod_estimate_latency_seconds_count %d\n", m.estimateLatency.count.Load())
+
+	fmt.Fprintf(w, "# HELP tomod_window_occupancy Snapshots currently retained in each tenant's window.\n")
+	fmt.Fprintf(w, "# TYPE tomod_window_occupancy gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "tomod_window_occupancy{tenant=%q} %d\n", t.name, t.occupancy)
+	}
+	fmt.Fprintf(w, "# HELP tomod_snapshots_seen Total snapshots observed by each tenant.\n")
+	fmt.Fprintf(w, "# TYPE tomod_snapshots_seen counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "tomod_snapshots_seen{tenant=%q} %d\n", t.name, t.seen)
+	}
+	fmt.Fprintf(w, "# HELP tomod_tenant_change_points CUSUM change-point alerts fired per tenant.\n")
+	fmt.Fprintf(w, "# TYPE tomod_tenant_change_points counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "tomod_tenant_change_points{tenant=%q} %d\n", t.name, t.changes)
+	}
+	fmt.Fprintf(w, "# HELP tomod_shard_queue_depth Jobs waiting in each shard's ingest queue.\n")
+	fmt.Fprintf(w, "# TYPE tomod_shard_queue_depth gauge\n")
+	for i, n := range queueLens {
+		fmt.Fprintf(w, "tomod_shard_queue_depth{shard=\"%d\"} %d\n", i, n)
+	}
+}

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	tomography "repro"
+)
+
+// Config parameterizes a Daemon. The zero value is a usable default.
+type Config struct {
+	// Shards is the number of serving partitions, each a single worker
+	// goroutine with its own bounded queue (0 ⇒ GOMAXPROCS, capped at 16).
+	Shards int
+	// QueueDepth bounds each shard's job queue; a full queue rejects
+	// ingests with 429 + Retry-After (0 ⇒ 256).
+	QueueDepth int
+	// MaxBatch caps snapshots per ingest POST (0 ⇒ DefaultMaxBatch).
+	MaxBatch int
+	// MaxBody caps ingest/registration body bytes (0 ⇒ DefaultMaxBody).
+	MaxBody int64
+	// RetryAfter is the Retry-After hint on 429 responses, in seconds
+	// (0 ⇒ 1).
+	RetryAfter int
+}
+
+// Daemon is the multi-tenant serving core: tenant registry, shard workers,
+// and the HTTP API. Construct with New, mount Handler on a server, and
+// stop with Shutdown — which drains every queue, flushes one final
+// estimate per warm tenant, and leaves no goroutines behind.
+type Daemon struct {
+	cfg     Config
+	metrics metrics
+
+	// mu guards the tenant registry, the draining flag, and — critically —
+	// every send on a shard queue: senders hold it for reading, Shutdown
+	// flips draining and closes the queues while holding it for writing, so
+	// a send on a closed queue cannot happen.
+	mu        sync.RWMutex
+	tenants   map[string]*Tenant
+	nextShard int
+	draining  bool
+
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// New starts a daemon's shard workers and returns it ready to serve.
+func New(cfg Config) *Daemon {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 16 {
+			cfg.Shards = 16
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 1
+	}
+	d := &Daemon{cfg: cfg, tenants: map[string]*Tenant{}}
+	d.shards = make([]*shard, cfg.Shards)
+	for i := range d.shards {
+		d.shards[i] = &shard{queue: make(chan job, cfg.QueueDepth)}
+		d.wg.Add(1)
+		go d.worker(d.shards[i])
+	}
+	return d
+}
+
+// Config returns the daemon's resolved configuration.
+func (d *Daemon) Config() Config { return d.cfg }
+
+// errShuttingDown is the uniform rejection once Shutdown has begun; the
+// HTTP layer maps it to 503.
+var errShuttingDown = errors.New("serve: daemon shutting down")
+
+// Register adds a tenant: the topology is built (from a named scenario or
+// an inline document), compiled into a plan, and given an empty sliding
+// window on a round-robin-assigned shard. Duplicate names are rejected.
+func (d *Daemon) Register(cfg TenantConfig) (*Tenant, error) {
+	t, err := newTenant(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		return nil, errShuttingDown
+	}
+	if _, dup := d.tenants[cfg.Name]; dup {
+		return nil, errDuplicateTenant{msg: fmt.Sprintf("serve: tenant %q already registered", cfg.Name)}
+	}
+	t.shard = d.nextShard
+	d.nextShard = (d.nextShard + 1) % len(d.shards)
+	d.tenants[cfg.Name] = t
+	return t, nil
+}
+
+// errUnknownTenant and errDuplicateTenant carry their HTTP status (404 and
+// 409) as a type, so the handler layer never pattern-matches on message
+// text.
+type errUnknownTenant struct{ msg string }
+
+func (e errUnknownTenant) Error() string { return e.msg }
+
+type errDuplicateTenant struct{ msg string }
+
+func (e errDuplicateTenant) Error() string { return e.msg }
+
+// lookup resolves a tenant name under the read lock; the error lists the
+// registered names so a typo is diagnosable from the response alone.
+func (d *Daemon) lookupLocked(name string) (*Tenant, error) {
+	if t, ok := d.tenants[name]; ok {
+		return t, nil
+	}
+	return nil, errUnknownTenant{msg: fmt.Sprintf(
+		"serve: unknown tenant %q (registered: %v)", name, d.tenantNamesLocked())}
+}
+
+func (d *Daemon) tenantNamesLocked() []string {
+	names := make([]string, 0, len(d.tenants))
+	for n := range d.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tenants returns the admin view of every tenant, sorted by name.
+func (d *Daemon) Tenants() []TenantInfo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]TenantInfo, 0, len(d.tenants))
+	for _, name := range d.tenantNamesLocked() {
+		out = append(out, d.tenants[name].info())
+	}
+	return out
+}
+
+// Ingest validates one probe batch for the named tenant and enqueues it on
+// the tenant's shard. It never blocks: a full queue returns ErrBackpressure
+// immediately, and the caller (the HTTP layer, or a direct embedder)
+// decides how to retry.
+var ErrBackpressure = errors.New("serve: shard queue full")
+
+func (d *Daemon) Ingest(name string, body []byte) (accepted int, err error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.draining {
+		return 0, errShuttingDown
+	}
+	t, err := d.lookupLocked(name)
+	if err != nil {
+		return 0, err
+	}
+	sets, err := DecodeReports(body, t.numPaths, d.cfg.MaxBatch)
+	if err != nil {
+		d.metrics.ingestInvalid.Add(1)
+		return 0, err
+	}
+	select {
+	case d.shards[t.shard].queue <- job{tenant: t, reports: sets}:
+		d.metrics.ingestBatches.Add(1)
+		return len(sets), nil
+	default:
+		d.metrics.ingestRejected.Add(1)
+		return 0, ErrBackpressure
+	}
+}
+
+// EstimateResponse is the /v1/estimate JSON document.
+type EstimateResponse struct {
+	Tenant         string    `json:"tenant"`
+	Estimator      string    `json:"estimator"`
+	WindowSize     int       `json:"window_size"`
+	WindowLen      int       `json:"window_len"`
+	SnapshotsSeen  int       `json:"snapshots_seen"`
+	CongestionProb []float64 `json:"congestion_prob"`
+	ChangePoints   int       `json:"change_points"`
+}
+
+// Estimate runs the tenant's estimator over its current window. The
+// request is routed through the tenant's shard queue, so it observes every
+// previously accepted ingest batch and nothing newer; ctx bounds the wait
+// for both queue admission and the reply.
+func (d *Daemon) Estimate(ctx context.Context, name string) (*EstimateResponse, error) {
+	call := &estimateCall{enqueued: time.Now(), done: make(chan estimateReply, 1)}
+	d.mu.RLock()
+	if d.draining {
+		d.mu.RUnlock()
+		return nil, errShuttingDown
+	}
+	t, err := d.lookupLocked(name)
+	if err != nil {
+		d.mu.RUnlock()
+		return nil, err
+	}
+	select {
+	case d.shards[t.shard].queue <- job{tenant: t, est: call}:
+		d.mu.RUnlock()
+	case <-ctx.Done():
+		d.mu.RUnlock()
+		return nil, fmt.Errorf("serve: estimate %q: %w", name, ctx.Err())
+	}
+	select {
+	case reply := <-call.done:
+		return reply.res, reply.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: estimate %q: %w", name, ctx.Err())
+	}
+}
+
+// FinalEstimate is one tenant's shutdown-flush estimate.
+type FinalEstimate struct {
+	Tenant   string
+	Response *EstimateResponse
+	// Err records why no estimate was flushed (e.g. a still-warming window).
+	Err error
+}
+
+// Shutdown drains the daemon: new ingests, estimates and registrations are
+// rejected immediately, the shard workers finish every queued job and
+// exit, and one final estimate is flushed for every tenant whose window is
+// warm. It returns the final estimates sorted by tenant name. ctx bounds
+// the drain; on expiry the workers keep draining in the background but no
+// flush is attempted.
+func (d *Daemon) Shutdown(ctx context.Context) ([]FinalEstimate, error) {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("serve: daemon already shut down")
+	}
+	d.draining = true
+	for _, s := range d.shards {
+		close(s.queue)
+	}
+	d.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: shutdown drain: %w", ctx.Err())
+	}
+
+	// All workers have exited, so this goroutine is now the sole owner of
+	// every tenant window: flush one final estimate per warm tenant.
+	ws := tomography.NewWorkspace()
+	d.mu.RLock()
+	names := d.tenantNamesLocked()
+	var out []FinalEstimate
+	for _, name := range names {
+		t := d.tenants[name]
+		res, err := d.estimateTenant(ws, t)
+		out = append(out, FinalEstimate{Tenant: name, Response: res, Err: err})
+	}
+	d.mu.RUnlock()
+	return out, nil
+}
+
+// --- HTTP layer. ---
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/tenants   register a tenant (TenantConfig JSON)
+//	GET  /v1/tenants   list tenants
+//	POST /v1/ingest    ?tenant=NAME, probe-report batch JSON body
+//	GET  /v1/estimate  ?tenant=NAME
+//	GET  /v1/health    liveness + tenant/shard counts
+//	GET  /metrics      Prometheus text exposition
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tenants", d.handleTenants)
+	mux.HandleFunc("/v1/ingest", d.handleIngest)
+	mux.HandleFunc("/v1/estimate", d.handleEstimate)
+	mux.HandleFunc("/v1/health", d.handleHealth)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	return mux
+}
+
+// writeJSON emits a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError maps a daemon error to its HTTP status and envelope.
+func (d *Daemon) writeError(w http.ResponseWriter, err error) {
+	var warming errWindowWarming
+	var unknown errUnknownTenant
+	var duplicate errDuplicateTenant
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, errShuttingDown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrBackpressure):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", d.cfg.RetryAfter))
+		status = http.StatusTooManyRequests
+	case errors.As(err, &warming):
+		status = http.StatusTooEarly
+	case errors.As(err, &unknown):
+		status = http.StatusNotFound
+	case errors.As(err, &duplicate):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (d *Daemon) handleTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, d.Tenants())
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.cfg.MaxBody))
+		if err != nil {
+			d.writeError(w, fmt.Errorf("serve: register: reading body: %w", err))
+			return
+		}
+		var cfg TenantConfig
+		if err := json.Unmarshal(body, &cfg); err != nil {
+			d.writeError(w, fmt.Errorf("serve: register: decode: %w", err))
+			return
+		}
+		t, err := d.Register(cfg)
+		if err != nil {
+			d.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, t.info())
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.cfg.MaxBody))
+	if err != nil {
+		d.writeError(w, fmt.Errorf("serve: decode probe batch: reading body: %w", err))
+		return
+	}
+	accepted, err := d.Ingest(r.URL.Query().Get("tenant"), body)
+	if err != nil {
+		d.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		Accepted int `json:"accepted"`
+	}{Accepted: accepted})
+}
+
+func (d *Daemon) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	res, err := d.Estimate(r.Context(), r.URL.Query().Get("tenant"))
+	if err != nil {
+		d.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// HealthResponse is the /v1/health JSON document.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Tenants  int    `json:"tenants"`
+	Shards   int    `json:"shards"`
+	Draining bool   `json:"draining"`
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	resp := HealthResponse{
+		Status:   "ok",
+		Tenants:  len(d.tenants),
+		Shards:   len(d.shards),
+		Draining: d.draining,
+	}
+	d.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	stats := make([]tenantStats, 0, len(d.tenants))
+	for _, name := range d.tenantNamesLocked() {
+		t := d.tenants[name]
+		stats = append(stats, tenantStats{
+			name:      t.name,
+			seen:      t.seen.Load(),
+			occupancy: t.occupancy.Load(),
+			changes:   t.changePoints.Load(),
+		})
+	}
+	queueLens := make([]int, len(d.shards))
+	for i, s := range d.shards {
+		queueLens[i] = len(s.queue)
+	}
+	d.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	d.metrics.writeTo(w, stats, queueLens)
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	tomography "repro"
+	"repro/internal/bitset"
+)
+
+// job is one unit of work on a shard queue. Exactly one of the payload
+// fields is set: reports applies an ingest batch to a tenant's window, est
+// runs an estimate and replies, block parks the worker until the channel
+// closes (a test hook for deterministic backpressure scenarios).
+type job struct {
+	tenant  *Tenant
+	reports []*bitset.Set
+	est     *estimateCall
+	block   <-chan struct{}
+}
+
+// estimateCall is a synchronous estimate request routed through the
+// tenant's shard queue: queueing it after an accepted ingest batch
+// guarantees the estimate observes that batch — the ordering the
+// differential replay tests rely on. The measured latency therefore
+// includes queue wait, which is the number an operator actually
+// experiences under load.
+type estimateCall struct {
+	enqueued time.Time
+	done     chan estimateReply
+}
+
+type estimateReply struct {
+	res *EstimateResponse
+	err error
+}
+
+// shard is one serving partition: a bounded job queue drained by a single
+// worker goroutine. Every tenant maps to exactly one shard, so the worker
+// is the sole writer of its tenants' windows — appends to the columnar
+// ring stores proceed without locks, and per-tenant operations are
+// totally ordered by queue position.
+type shard struct {
+	queue chan job
+}
+
+// worker drains one shard until its queue closes (daemon shutdown). It
+// owns a single evaluate workspace reused by every estimate it serves, so
+// the steady-state serving loop performs zero per-snapshot allocations —
+// the same pooled-workspace contract the offline replay path runs under.
+func (d *Daemon) worker(s *shard) {
+	defer d.wg.Done()
+	ws := tomography.NewWorkspace()
+	for j := range s.queue {
+		switch {
+		case j.block != nil:
+			<-j.block
+		case j.reports != nil:
+			t := j.tenant
+			for _, r := range j.reports {
+				if t.win.Observe(r) {
+					t.changePoints.Add(1)
+					d.metrics.changePoints.Add(1)
+				}
+			}
+			t.syncStats()
+			d.metrics.ingestSnapshots.Add(int64(len(j.reports)))
+		case j.est != nil:
+			res, err := d.estimateTenant(ws, j.tenant)
+			d.metrics.estimateLatency.observe(time.Since(j.est.enqueued))
+			j.est.done <- estimateReply{res: res, err: err}
+		}
+	}
+}
+
+// errWindowWarming marks an estimate requested before the tenant's window
+// filled; the HTTP layer maps it to 425 Too Early.
+type errWindowWarming struct{ msg string }
+
+func (e errWindowWarming) Error() string { return e.msg }
+
+// estimateTenant runs the tenant's configured estimator over its current
+// window on the worker's workspace, detaching the response from the
+// workspace before it escapes. Called only with exclusive ownership of the
+// tenant's window (by its shard worker, or by Shutdown after all workers
+// exited).
+func (d *Daemon) estimateTenant(ws *tomography.Workspace, t *Tenant) (*EstimateResponse, error) {
+	if t.win.Len() < t.window {
+		d.metrics.estimateErrors.Add(1)
+		return nil, errWindowWarming{msg: fmt.Sprintf(
+			"serve: tenant %q window warming: %d/%d snapshots", t.name, t.win.Len(), t.window)}
+	}
+	res, err := tomography.EstimateIn(ws, t.estimator, t.win.Plan(), t.win.Source(), t.opts)
+	if err != nil {
+		d.metrics.estimateErrors.Add(1)
+		return nil, err
+	}
+	probs := make([]float64, len(res.CongestionProb))
+	copy(probs, res.CongestionProb)
+	t.estimates.Add(1)
+	d.metrics.estimates.Add(1)
+	return &EstimateResponse{
+		Tenant:         t.name,
+		Estimator:      t.estimator,
+		WindowSize:     t.window,
+		WindowLen:      t.win.Len(),
+		SnapshotsSeen:  t.win.Seen(),
+		CongestionProb: probs,
+		ChangePoints:   len(t.win.ChangePoints()),
+	}, nil
+}

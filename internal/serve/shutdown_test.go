@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrains pins the shutdown contract: every ingest
+// batch the daemon ACCEPTED (202) before shutdown is applied to its
+// tenant's window, one final estimate is flushed per warm tenant, and no
+// serving goroutines are left behind — checked with a runtime.NumGoroutine
+// fence, since the container has no goleak dependency.
+func TestGracefulShutdownDrains(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	d := New(Config{Shards: 2, QueueDepth: 8})
+	srv := httptest.NewServer(d.Handler())
+	if _, err := d.Register(TenantConfig{Name: "g0", Scenario: "quickstart", Seed: 1, Window: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Register(TenantConfig{Name: "g1", Scenario: "quickstart", Seed: 2, Window: 500}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent ingest load on both tenants while the daemon runs; each
+	// accepted batch carries 4 snapshots. 429s are retried, so every batch
+	// is eventually accepted.
+	var accepted [2]atomic.Int64
+	batch := []byte(`{"reports":[[0],[1],[2],[0,2]]}`)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []string{"g0", "g1"}[g]
+			for i := 0; i < 25; i++ {
+				for {
+					status, body := post(t, srv.URL+"/v1/ingest?tenant="+name, batch)
+					if status == http.StatusAccepted {
+						accepted[g].Add(4)
+						break
+					}
+					if status != http.StatusTooManyRequests {
+						t.Errorf("%s: unexpected ingest status %d: %s", name, status, body)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	finals, err := d.Shutdown(ctx)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Drained: everything accepted was applied.
+	infos := d.Tenants()
+	for g, info := range infos {
+		if want := accepted[g].Load(); info.Seen != want {
+			t.Errorf("%s: saw %d snapshots, accepted %d — shutdown dropped queued ingest", info.Name, info.Seen, want)
+		}
+	}
+
+	// Final flush: g0 (window 20, 100 snapshots seen) is warm and flushes;
+	// g1 (window 500) is still warming and is skipped with the exact
+	// warm-up error.
+	if len(finals) != 2 {
+		t.Fatalf("finals = %d entries, want 2", len(finals))
+	}
+	if finals[0].Tenant != "g0" || finals[0].Err != nil || finals[0].Response == nil {
+		t.Errorf("g0 final = %+v, want a flushed estimate", finals[0])
+	} else if got := finals[0].Response.WindowLen; got != 20 {
+		t.Errorf("g0 final covers %d snapshots, want 20", got)
+	}
+	if finals[1].Tenant != "g1" || finals[1].Err == nil {
+		t.Errorf("g1 final = %+v, want a warm-up skip", finals[1])
+	} else if want := `serve: tenant "g1" window warming: 100/500 snapshots`; finals[1].Err.Error() != want {
+		t.Errorf("g1 final error = %q, want %q", finals[1].Err, want)
+	}
+
+	// Goroutine fence: with the HTTP server closed and the daemon drained,
+	// the serving goroutines must all be gone.
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d goroutines after shutdown, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestShutdownWithQueuedWork pins that Shutdown itself performs the drain:
+// batches sitting unprocessed in a shard queue at shutdown time are applied
+// before the final flush runs.
+func TestShutdownWithQueuedWork(t *testing.T) {
+	d := New(Config{Shards: 1, QueueDepth: 16})
+	if _, err := d.Register(TenantConfig{Name: "q", Scenario: "quickstart", Seed: 1, Window: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the worker, then stack 3 batches (12 snapshots) in the queue.
+	release := make(chan struct{})
+	d.shards[0].queue <- job{block: release}
+	waitFor(t, "worker parked", func() bool { return len(d.shards[0].queue) == 0 })
+	for i := 0; i < 3; i++ {
+		if _, err := d.Ingest("q", []byte(`{"reports":[[0],[1],[2],[0,1]]}`)); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	finals, err := d.Shutdown(ctx)
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if seen := d.Tenants()[0].Seen; seen != 12 {
+		t.Fatalf("tenant saw %d snapshots after drain, want 12", seen)
+	}
+	if len(finals) != 1 || finals[0].Err != nil {
+		t.Fatalf("finals = %+v, want one flushed estimate", finals)
+	}
+	if finals[0].Response.SnapshotsSeen != 12 {
+		t.Fatalf("final estimate sees %d snapshots, want 12", finals[0].Response.SnapshotsSeen)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	tomography "repro"
+	"repro/internal/topology"
+)
+
+// TenantConfig is the registration payload of the admin API (POST
+// /v1/tenants): a tenant is one topology with one sliding-window inference
+// session. Exactly one of Scenario or Topology selects where the topology
+// comes from — a named scenario from the registry (built from Seed), or an
+// inline topology document in the cmd/topogen JSON format.
+type TenantConfig struct {
+	// Name is the tenant's unique key.
+	Name string `json:"name"`
+	// Scenario names a registry scenario to take the topology from.
+	Scenario string `json:"scenario,omitempty"`
+	// Seed builds the named scenario reproducibly.
+	Seed int64 `json:"seed,omitempty"`
+	// Topology is an inline topology JSON document (cmd/topogen format).
+	Topology json.RawMessage `json:"topology,omitempty"`
+	// Window is the sliding-window length in snapshots (> 0).
+	Window int `json:"window"`
+	// Estimator is the registry estimator to run per estimate
+	// ("" ⇒ correlation).
+	Estimator string `json:"estimator,omitempty"`
+}
+
+// Tenant is one registered inference session: a topology, its compiled
+// plan, and a ring-buffer sliding window over the columnar snapshot store.
+// The window (and everything reachable from it) is owned exclusively by
+// the tenant's shard worker — every ingest and estimate for this tenant
+// flows through that shard's queue, so window appends never take a lock
+// and the tenant observes a total order over its operations. The atomic
+// gauges below are the only fields other goroutines read.
+type Tenant struct {
+	name      string
+	scenario  string // registry scenario the topology came from ("" for inline)
+	estimator string
+	window    int // configured window size (warm ⇔ occupancy == window)
+	numPaths  int
+	numLinks  int
+	shard     int
+	win       *tomography.Window
+	opts      tomography.EstimateOptions
+
+	// Gauges maintained by the shard worker after each job, read by the
+	// admin/metrics handlers.
+	seen         atomic.Int64 // total snapshots observed
+	occupancy    atomic.Int64 // snapshots currently retained
+	changePoints atomic.Int64 // CUSUM alerts fired
+	estimates    atomic.Int64 // estimates served
+}
+
+// Name returns the tenant's registry key.
+func (t *Tenant) Name() string { return t.name }
+
+// Seen returns the total number of snapshots the tenant has observed.
+func (t *Tenant) Seen() int64 { return t.seen.Load() }
+
+// ChangePoints returns the number of CUSUM change-point alerts fired.
+func (t *Tenant) ChangePoints() int64 { return t.changePoints.Load() }
+
+// syncStats publishes the window gauges after a job; called only by the
+// owning shard worker.
+func (t *Tenant) syncStats() {
+	t.seen.Store(int64(t.win.Seen()))
+	t.occupancy.Store(int64(t.win.Len()))
+}
+
+// newTenant validates a TenantConfig and builds the tenant (plan compiled,
+// window empty). The shard index is assigned by the daemon.
+func newTenant(cfg TenantConfig) (*Tenant, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("serve: register: tenant name is empty")
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("serve: register tenant %q: window = %d, want > 0", cfg.Name, cfg.Window)
+	}
+	hasScenario := cfg.Scenario != ""
+	hasTopology := len(cfg.Topology) > 0
+	if hasScenario == hasTopology {
+		return nil, fmt.Errorf("serve: register tenant %q: specify exactly one of scenario or topology", cfg.Name)
+	}
+	var top *tomography.Topology
+	if hasScenario {
+		scn, err := tomography.BuildScenario(cfg.Scenario, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("serve: register tenant %q: %w", cfg.Name, err)
+		}
+		top = scn.Topology
+	} else {
+		var err error
+		top, err = decodeTopology(cfg.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("serve: register tenant %q: %w", cfg.Name, err)
+		}
+	}
+	estimator := cfg.Estimator
+	if estimator == "" {
+		estimator = "correlation"
+	}
+	win, err := tomography.NewWindow(top, tomography.WindowConfig{
+		Size:      cfg.Window,
+		Estimator: estimator,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: register tenant %q: %w", cfg.Name, err)
+	}
+	return &Tenant{
+		name:      cfg.Name,
+		scenario:  cfg.Scenario,
+		estimator: estimator,
+		window:    cfg.Window,
+		numPaths:  top.NumPaths(),
+		numLinks:  top.NumLinks(),
+		win:       win,
+	}, nil
+}
+
+// decodeTopology parses an inline topology document through the validating
+// decoder (same path as cmd/tomo's stdin topology).
+func decodeTopology(raw json.RawMessage) (*tomography.Topology, error) {
+	return topology.Decode(bytes.NewReader(raw))
+}
+
+// TenantInfo is the admin API's view of one tenant (GET /v1/tenants).
+type TenantInfo struct {
+	Name         string `json:"name"`
+	Scenario     string `json:"scenario,omitempty"`
+	Estimator    string `json:"estimator"`
+	Window       int    `json:"window"`
+	NumPaths     int    `json:"num_paths"`
+	NumLinks     int    `json:"num_links"`
+	Shard        int    `json:"shard"`
+	Seen         int64  `json:"snapshots_seen"`
+	Occupancy    int64  `json:"window_occupancy"`
+	ChangePoints int64  `json:"change_points"`
+	Estimates    int64  `json:"estimates"`
+}
+
+// info snapshots the tenant's admin view.
+func (t *Tenant) info() TenantInfo {
+	return TenantInfo{
+		Name:         t.name,
+		Scenario:     t.scenario,
+		Estimator:    t.estimator,
+		Window:       t.window,
+		NumPaths:     t.numPaths,
+		NumLinks:     t.numLinks,
+		Shard:        t.shard,
+		Seen:         t.seen.Load(),
+		Occupancy:    t.occupancy.Load(),
+		ChangePoints: t.changePoints.Load(),
+		Estimates:    t.estimates.Load(),
+	}
+}

@@ -1,0 +1,100 @@
+// Package serve is the multi-tenant serving layer of the tomography
+// library: a long-running daemon that ingests probe-report batches over
+// HTTP, maintains one sliding-window inference session per registered
+// tenant, and answers estimate, health and metrics queries while the
+// stream keeps flowing.
+//
+// The hot path is built from the pieces PRs 2–5 prepared: each tenant owns
+// a compiled inference plan (shared, immutable), a ring-buffer sliding
+// window over the columnar snapshot store (single-writer, so appends are
+// lock-free), and estimates run on per-worker evaluate workspaces, so the
+// steady state allocates nothing per snapshot. Tenants are partitioned
+// across a fixed set of shards; each shard is one goroutine draining one
+// bounded job queue, which gives every tenant a total order over its
+// ingests and estimates — the property the differential replay tests pin.
+// When a shard's queue is full the HTTP layer answers 429 with Retry-After
+// instead of buffering unboundedly: backpressure is explicit and
+// immediate.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Wire-format limits. They bound what a single POST may demand before any
+// validation has run, so a malformed (or adversarial) request cannot force
+// an enormous allocation.
+const (
+	// DefaultMaxBatch is the default cap on snapshots per probe batch.
+	DefaultMaxBatch = 4096
+	// DefaultMaxBody is the default cap on request-body bytes.
+	DefaultMaxBody = 4 << 20
+)
+
+// reportBatch is the probe-report wire format: one JSON object per ingest
+// POST, carrying one or more snapshots for a single tenant. Each report is
+// the congested-path observation of one snapshot, as a list of path
+// indices into the tenant's topology.
+//
+//	{"reports": [[0, 2], [1], []]}
+type reportBatch struct {
+	Reports [][]int `json:"reports"`
+}
+
+// DecodeReports parses and validates one probe-report batch against a
+// tenant's path count. It returns one congested-path set per snapshot, in
+// arrival order. Malformed JSON, a missing or empty reports list, more
+// than maxBatch snapshots, negative path indices and indices outside
+// [0, numPaths) are all rejected with a descriptive error — the ingest
+// handler maps every one of them to a 4xx, never a panic (the FuzzIngestDecode
+// target pins this).
+func DecodeReports(data []byte, numPaths, maxBatch int) ([]*bitset.Set, error) {
+	if numPaths <= 0 {
+		return nil, fmt.Errorf("serve: decode probe batch: tenant has %d paths", numPaths)
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	var batch reportBatch
+	if err := json.Unmarshal(data, &batch); err != nil {
+		return nil, fmt.Errorf("serve: decode probe batch: %w", err)
+	}
+	if len(batch.Reports) == 0 {
+		return nil, fmt.Errorf("serve: probe batch carries no reports")
+	}
+	if len(batch.Reports) > maxBatch {
+		return nil, fmt.Errorf("serve: probe batch carries %d snapshots, limit %d", len(batch.Reports), maxBatch)
+	}
+	sets := make([]*bitset.Set, len(batch.Reports))
+	for t, report := range batch.Reports {
+		set := bitset.New(numPaths)
+		for _, p := range report {
+			if p < 0 {
+				return nil, fmt.Errorf("serve: snapshot %d: negative path index %d", t, p)
+			}
+			if p >= numPaths {
+				return nil, fmt.Errorf("serve: snapshot %d: path index %d out of range for %d paths", t, p, numPaths)
+			}
+			set.Add(p)
+		}
+		sets[t] = set
+	}
+	return sets, nil
+}
+
+// EncodeReports renders congested-path sets as a wire batch — the client
+// half of the format, used by the firehose load generator and tests.
+func EncodeReports(sets []*bitset.Set) ([]byte, error) {
+	batch := reportBatch{Reports: make([][]int, len(sets))}
+	for t, s := range sets {
+		idx := s.Indices()
+		if idx == nil {
+			idx = []int{}
+		}
+		batch.Reports[t] = idx
+	}
+	return json.Marshal(batch)
+}
