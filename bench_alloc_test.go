@@ -123,6 +123,11 @@ func countAllocs(b *testing.B, op func()) float64 {
 	return float64(after.Mallocs-before.Mallocs) / float64(b.N)
 }
 
+// pr5BatchedNsPerOp is the serial cache-blocked kernel's batched-ns/op
+// recorded in BENCH_alloc.json by PR 5 on the CI reference machine — the
+// fixed baseline the workspace and multicore kernels are measured against.
+const pr5BatchedNsPerOp = 335829748.67
+
 // BenchmarkBatchPairCount prices the cache-blocked batched pair-count
 // kernel (snapstore.CountPairsGood) against the per-pair path the pair
 // cache used before it: one copy+OR+popcount streaming pass over both full
@@ -131,6 +136,14 @@ func countAllocs(b *testing.B, op func()) float64 {
 // while the blocked sweep reads each column block from memory once and
 // serves all its pairs from cache — the kernel's cache reuse shows up as
 // memory traffic saved, on top of fusing three word passes into one.
+//
+// The workspace sub-benchmarks price the multicore kernel on top: the
+// serial workspace run isolates the block-summary skip path and the fused
+// OR+POPCNT sweep, and the 8-worker run adds the deterministic fan-out.
+// All three produce bit-identical counts; on a single-core machine the
+// 8-worker figure degrades to roughly the serial one (the workers
+// time-slice one core), so interpret the parallel speedup together with
+// the machine block writeBenchJSONFile records.
 func BenchmarkBatchPairCount(b *testing.B) {
 	const (
 		paths     = 128
@@ -185,10 +198,40 @@ func BenchmarkBatchPairCount(b *testing.B) {
 		benchSink += float64(sum)
 		metrics["batched-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	})
+	var ws snapstore.CountWorkspace
+	defer ws.Close()
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"batched-ws-serial", 1},
+		{"batched-parallel-8", 8},
+	} {
+		key := bc.name + "-ns/op"
+		b.Run(bc.name, func(b *testing.B) {
+			sum := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store.CountPairsGoodWS(&ws, pairs, out, bc.workers)
+				for _, c := range out {
+					sum += c
+				}
+			}
+			benchSink += float64(sum)
+			metrics[key] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		})
+	}
+	metrics["pr5-batched-ns/op"] = pr5BatchedNsPerOp
 	if pp, bb := metrics["per-pair-ns/op"], metrics["batched-ns/op"]; pp > 0 && bb > 0 {
 		metrics["speedup"] = pp / bb
-		b.Logf("pair counting over %d pairs × %d snapshots: per-pair %.2f ms, batched blocked %.2f ms (%.1f×)",
-			len(pairs), snapshots, pp/1e6, bb/1e6, metrics["speedup"])
+		ser, par := metrics["batched-ws-serial-ns/op"], metrics["batched-parallel-8-ns/op"]
+		if ser > 0 && par > 0 {
+			metrics["parallel-vs-serial"] = ser / par
+			metrics["parallel-8-vs-pr5-serial"] = pr5BatchedNsPerOp / par
+		}
+		b.Logf("pair counting over %d pairs × %d snapshots: per-pair %.2f ms, batched blocked %.2f ms (%.1f×), ws serial %.2f ms, 8 workers %.2f ms (%.2f× vs ws serial, %.2f× vs PR 5 serial)",
+			len(pairs), snapshots, pp/1e6, bb/1e6, metrics["speedup"],
+			ser/1e6, par/1e6, metrics["parallel-vs-serial"], metrics["parallel-8-vs-pr5-serial"])
 	}
 	writeBenchJSONFile(b, "BENCH_alloc.json", "BenchmarkBatchPairCount", metrics)
 }

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"testing"
 
+	"repro/internal/benchmeta"
 	"repro/internal/bitset"
 	"repro/internal/brite"
 	"repro/internal/congestion"
@@ -425,14 +427,30 @@ func writeBenchJSON(b *testing.B, bench string, metrics map[string]float64) {
 	writeBenchJSONFile(b, "BENCH_measure.json", bench, metrics)
 }
 
-// writeBenchJSONFile merges the metrics into the named benchmark artifact.
+// writeBenchJSONFile merges the metrics into the named benchmark artifact,
+// stamping the machine metadata (GOMAXPROCS, GOAMD64, CPU model, …) every
+// artifact carries so perf numbers across PRs are interpretable. The
+// BENCH_JSON_SUFFIX environment variable inserts a suffix before ".json" —
+// the CI mechanism that keeps the GOAMD64=v2 and =v3 legs in separate
+// artifacts.
 func writeBenchJSONFile(b *testing.B, path, bench string, metrics map[string]float64) {
 	b.Helper()
-	all := map[string]map[string]float64{}
+	if s := os.Getenv("BENCH_JSON_SUFFIX"); s != "" {
+		path = strings.TrimSuffix(path, ".json") + s + ".json"
+	}
+	all := map[string]json.RawMessage{}
 	if data, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(data, &all)
 	}
-	all[bench] = metrics
+	enc := func(v any) json.RawMessage {
+		data, err := json.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return data
+	}
+	all[bench] = enc(metrics)
+	all["machine"] = enc(benchmeta.Collect())
 	data, err := json.MarshalIndent(all, "", "  ")
 	if err != nil {
 		b.Fatal(err)

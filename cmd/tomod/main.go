@@ -69,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batch     = fs.Int("batch", 64, "selftest: snapshots per ingest POST")
 		estEvery  = fs.Int("estimate-every", 4, "selftest: request an estimate after this many accepted batches")
 		benchOut  = fs.String("bench-out", "BENCH_serve.json", "selftest: write the firehose report to this file ('' = skip)")
+		countWork = fs.Int("count-workers", 0, "fan each tenant's batched pair-count kernel out across this many workers during estimates (0/1 = serial); estimates are bit-identical for every setting")
 		noTiming  = fs.Bool("no-timing", false, "suppress timing-dependent output (throughput, latency, 429 counts) for reproducible logs")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -93,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
-	d := serve.New(serve.Config{Shards: *shards, QueueDepth: *queue})
+	d := serve.New(serve.Config{Shards: *shards, QueueDepth: *queue, CountWorkers: *countWork})
 	cfg := d.Config()
 	fmt.Fprintf(stdout, "tomod: sharded multi-tenant inference daemon\n")
 	fmt.Fprintf(stdout, "  shards:      %d\n", cfg.Shards)
@@ -103,6 +104,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "  window:      %d\n", *window)
 	fmt.Fprintf(stdout, "  estimator:   %s\n", *estimator)
 	fmt.Fprintf(stdout, "  seed:        %d\n", *seed)
+	if cfg.CountWorkers > 1 {
+		// Printed only when enabled so default-config goldens are unchanged.
+		fmt.Fprintf(stdout, "  count workers: %d\n", cfg.CountWorkers)
+	}
 
 	if *selftest {
 		return runSelftest(d, stdout, selftestConfig{

@@ -1,0 +1,84 @@
+// Package benchmeta collects the machine/runtime metadata every BENCH_*.json
+// artifact embeds, so performance numbers recorded across PRs and CI runs
+// are interpretable: a kernel speedup means nothing without the core count
+// and instruction-set level it was measured at.
+package benchmeta
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Machine describes the hardware and runtime configuration of one benchmark
+// run.
+type Machine struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// GOAMD64 is the amd64 microarchitecture level the binary was compiled
+	// for (v1..v4); it decides whether the popcount kernels lower to bare
+	// POPCNT. Empty on other architectures.
+	GOAMD64    string `json:"goamd64,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is the "model name" from /proc/cpuinfo; empty where
+	// unavailable.
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// Collect gathers the current process's machine metadata. It never fails:
+// fields that cannot be determined are left at their zero value.
+func Collect() Machine {
+	m := Machine{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+	if runtime.GOARCH == "amd64" {
+		m.GOAMD64 = goamd64()
+	}
+	return m
+}
+
+// goamd64 resolves the binary's compiled GOAMD64 level: the build info
+// records the effective setting (including toolchain defaults); the
+// environment is the fallback for stripped binaries.
+func goamd64() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				return s.Value
+			}
+		}
+	}
+	if v := os.Getenv("GOAMD64"); v != "" {
+		return v
+	}
+	return "v1"
+}
+
+// cpuModel reads the first "model name" entry from /proc/cpuinfo (Linux;
+// empty elsewhere).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "model name") {
+			if _, v, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

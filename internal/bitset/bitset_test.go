@@ -1,6 +1,7 @@
 package bitset
 
 import (
+	"math/bits"
 	"math/rand"
 	"sort"
 	"testing"
@@ -365,5 +366,66 @@ func TestAppendKeyMatchesKey(t *testing.T) {
 	}
 	if got := New(10).Key(); got != "" {
 		t.Fatalf("empty set key = %q, want empty string", got)
+	}
+}
+
+// TestUnrolledKernelsAgainstReference pins the 8-way unrolled word kernels
+// (and the fused OR/AND-NOT popcount variants) bit-identical to naive
+// single-word reference loops, across lengths that exercise every unroll
+// remainder (0..17 words) and mismatched slice lengths.
+func TestUnrolledKernelsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	randWords := func(n int) []uint64 {
+		ws := make([]uint64, n)
+		for i := range ws {
+			ws[i] = rng.Uint64()
+			if rng.Intn(4) == 0 {
+				ws[i] = 0 // zero words exercise skip-friendly inputs
+			}
+		}
+		return ws
+	}
+	for la := 0; la <= 17; la++ {
+		for _, lb := range []int{0, 1, la, la + 3} {
+			a, b := randWords(la), randWords(lb)
+			n := min(la, lb)
+
+			wantOrPop, wantAndNotPop := 0, 0
+			for i := 0; i < n; i++ {
+				wantOrPop += bits.OnesCount64(a[i] | b[i])
+				wantAndNotPop += bits.OnesCount64(a[i] &^ b[i])
+			}
+			if got := OrPopCountWords(a, b); got != wantOrPop {
+				t.Fatalf("OrPopCountWords(len %d, %d) = %d, want %d", la, lb, got, wantOrPop)
+			}
+			if got := AndNotPopCountWords(a, b); got != wantAndNotPop {
+				t.Fatalf("AndNotPopCountWords(len %d, %d) = %d, want %d", la, lb, got, wantAndNotPop)
+			}
+
+			wantPop := 0
+			for _, w := range a {
+				wantPop += bits.OnesCount64(w)
+			}
+			if got := PopCountWords(a); got != wantPop {
+				t.Fatalf("PopCountWords(len %d) = %d, want %d", la, got, wantPop)
+			}
+
+			or := append([]uint64(nil), a...)
+			OrWords(or, b)
+			an := append([]uint64(nil), a...)
+			AndNotWords(an, b)
+			for i := range a {
+				wo, wa := a[i], a[i]
+				if i < n {
+					wo, wa = a[i]|b[i], a[i]&^b[i]
+				}
+				if or[i] != wo {
+					t.Fatalf("OrWords(len %d, %d)[%d] = %x, want %x", la, lb, i, or[i], wo)
+				}
+				if an[i] != wa {
+					t.Fatalf("AndNotWords(len %d, %d)[%d] = %x, want %x", la, lb, i, an[i], wa)
+				}
+			}
+		}
 	}
 }

@@ -116,6 +116,15 @@ type Empirical struct {
 	// pairBuf/pairCounts are the batched-pair-kernel scratch of PrimePairs.
 	pairBuf    []snapstore.Pair
 	pairCounts []int
+	// idxBuf is the reusable index buffer of ProbPathsGood's general case.
+	idxBuf []int
+	// countWS/countWorkers drive the batched pair-count kernel: PrimePairs
+	// runs snapstore.CountPairsGoodWS through this workspace (block-summary
+	// skips always; parallel fan-out when countWorkers > 1). Guarded by mu
+	// like the other scratch, which satisfies the workspace's
+	// single-goroutine ownership contract.
+	countWS      snapstore.CountWorkspace
+	countWorkers int
 }
 
 // NewEmpirical wraps a simulation record. It returns an error for a nil or
@@ -187,6 +196,74 @@ func (e *Empirical) Append(congested *bitset.Set) {
 	}
 	e.recordPattern(congested)
 	e.resetCaches()
+}
+
+// AppendBatch ingests a batch of snapshots in one mutation, bit-identical
+// to calling Append on each row in order but paying the bookkeeping once:
+// the evictions a full window's batch forces are applied as one batched
+// snapstore.DropOldest (each affected column word written once instead of
+// once per evicted snapshot) and the probability caches are reset once for
+// the whole batch instead of once per row. Like Append, it panics on a
+// record-backed estimator and must not run concurrently with queries.
+func (e *Empirical) AppendBatch(rows []*bitset.Set) {
+	if !e.streaming {
+		panic("measure: Append requires a streaming estimator (NewStreaming); record-backed estimators are read-only views")
+	}
+	if len(rows) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.store.Capacity()
+	if d := e.store.Snapshots() + len(rows) - c; c > 0 && d > 0 && d <= e.store.Snapshots() {
+		// The batch displaces exactly the d oldest retained snapshots:
+		// forget their histogram entries row by row, then clear their slots
+		// in one blocked pass. (A batch larger than the whole window — d
+		// exceeding the retained count — falls through to the per-row loop,
+		// where AppendEvict handles the mid-batch evictions.)
+		if e.patterns != nil {
+			for t := 0; t < d; t++ {
+				e.store.RowInto(t, e.evictScratch)
+				e.forgetPattern(e.evictScratch)
+			}
+		}
+		e.store.DropOldest(d)
+	}
+	for _, row := range rows {
+		if e.store.AppendEvict(row, e.evictScratch) {
+			e.forgetPattern(e.evictScratch)
+		}
+		e.recordPattern(row)
+	}
+	e.resetCaches()
+}
+
+// SetCountWorkers sets how many workers the batched pair-count kernel
+// (PrimePairs) fans out across snapstore blocks. n ≤ 1 — and the default —
+// runs on the calling goroutine; results are bit-identical for every
+// setting (see snapstore.CountPairsCongestedWS). An estimator that has run
+// with n > 1 holds parked pool goroutines until Close.
+func (e *Empirical) SetCountWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.countWorkers = n
+}
+
+// CountWorkers returns the configured count-kernel worker count (0 or 1
+// mean serial).
+func (e *Empirical) CountWorkers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.countWorkers
+}
+
+// Close releases the pool goroutines of the parallel count workspace. It is
+// idempotent, cheap on estimators that never went parallel, and the
+// estimator remains fully usable afterwards.
+func (e *Empirical) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.countWS.Close()
 }
 
 // Evict drops the oldest retained snapshot of a sliding-window estimator
@@ -280,35 +357,40 @@ func (e *Empirical) NumPaths() int { return e.store.NumSeries() }
 func (e *Empirical) Snapshots() int { return e.store.Snapshots() }
 
 // ProbPathsGood implements Source: the fraction of snapshots in which no
-// path of the set was congested.
+// path of the set was congested. A memoized query allocates nothing: the
+// set's key is encoded into a reusable buffer and looked up zero-copy; the
+// key string is materialized only when a result is first inserted.
 func (e *Empirical) ProbPathsGood(paths *bitset.Set) float64 {
-	idx := paths.Indices()
-	switch len(idx) {
+	switch paths.Len() {
 	case 0:
 		return 1
 	case 1:
-		return e.ProbPathGood(topology.PathID(idx[0]))
+		return e.ProbPathGood(topology.PathID(paths.Min()))
 	case 2:
-		return e.ProbPairGood(topology.PathID(idx[0]), topology.PathID(idx[1]))
+		var pair [2]int
+		k := 0
+		paths.ForEach(func(i int) bool { pair[k] = i; k++; return true })
+		return e.ProbPairGood(topology.PathID(pair[0]), topology.PathID(pair[1]))
 	}
 	n := e.store.Snapshots()
 	if n == 0 {
 		return 0
 	}
-	key := paths.Key()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if p, ok := e.memo[key]; ok {
+	e.keyBuf = paths.AppendKey(e.keyBuf[:0])
+	if p, ok := e.memo[string(e.keyBuf)]; ok {
 		return p
 	}
+	e.idxBuf = paths.AppendIndices(e.idxBuf[:0])
 	if cap(e.scratch) < e.store.Words() {
 		e.scratch = make([]uint64, e.store.Words())
 	}
-	p := float64(e.store.CountAllGood(idx, e.scratch)) / float64(n)
+	p := float64(e.store.CountAllGood(e.idxBuf, e.scratch)) / float64(n)
 	if len(e.memo) >= maxMemoEntries {
 		e.memo = make(map[string]float64)
 	}
-	e.memo[key] = p
+	e.memo[string(e.keyBuf)] = p
 	return p
 }
 
@@ -425,7 +507,9 @@ func (e *Empirical) materializePatterns(n int) {
 
 // PrimePairs implements BatchPairSource: it resolves every listed pair that
 // is not already cached with one cache-blocked pass over the path columns
-// (snapstore.CountPairsGood) and installs the results in the pair cache, so
+// (snapstore.CountPairsGoodWS — block-summary skips always, fanned out
+// across SetCountWorkers workers when configured) and installs the results
+// in the pair cache, so
 // the ProbPairGood calls that follow are map hits. Values are bit-identical
 // to per-pair lookups; a steady-state caller (same pair set each estimate)
 // allocates nothing beyond the cache's own warm-up.
@@ -458,7 +542,7 @@ func (e *Empirical) PrimePairs(pairs []Pair) {
 		e.pairCounts = make([]int, len(e.pairBuf))
 	}
 	e.pairCounts = e.pairCounts[:len(e.pairBuf)]
-	e.store.CountPairsGood(e.pairBuf, e.pairCounts)
+	e.store.CountPairsGoodWS(&e.countWS, e.pairBuf, e.pairCounts, e.countWorkers)
 	if len(e.pairs) >= maxPairEntries {
 		e.pairs = make(map[int64]float64)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/bitset"
 	"repro/internal/dynamics"
@@ -40,18 +41,30 @@ type DynamicConfig struct {
 	// OnSnapshot, when non-nil, is called after each simulated snapshot with
 	// its index and congested-path observation — the streaming tap online
 	// consumers (sliding windows, change detectors) attach to. The set is
-	// reused between calls; clone it to retain.
+	// reused between calls; clone it to retain. Calls arrive in snapshot
+	// order regardless of Workers.
 	OnSnapshot func(t int, congestedPaths *bitset.Set)
+	// Workers caps the per-path observation fan-out (0 ⇒ GOMAXPROCS, capped
+	// by any worker budget the context carries; 1 ⇒ the fully sequential
+	// loop). The process advance and the store emission stay sequential for
+	// determinism, so records and OnSnapshot sequences are bit-identical for
+	// every setting.
+	Workers int
 }
 
 // RunDynamic executes a time-evolving simulation. Unlike RunContext's
-// block-sharded fill, the loop is inherently sequential — snapshot t's
-// congestion state depends on snapshot t−1's — so observations are emitted
-// through the columnar store's streaming Append path, exactly as a live
-// probe feed would arrive. The run is deterministic in cfg.Seed: the process
-// realization consumes one RNG stream and per-snapshot measurement noise
-// uses runner.DeriveSeed(seed, t), so records never depend on scheduling.
-// ctx is honoured between snapshots.
+// block-sharded fill, the process chain is inherently sequential — snapshot
+// t's congestion state depends on snapshot t−1's — so observations are
+// emitted through the columnar store's streaming Append path, exactly as a
+// live probe feed would arrive. The per-snapshot path observation, however,
+// is independent given the link state, so RunDynamic pipelines in chunks:
+// the modulator advances sequentially into a chunk of buffered link states,
+// per-path column emission fans out across cfg.Workers (the expensive step
+// under PacketLevel measurement), and the chunk is appended in snapshot
+// order. The run is deterministic in cfg.Seed: the process realization
+// consumes one RNG stream and per-snapshot measurement noise uses
+// runner.DeriveSeed(seed, t), so records never depend on scheduling or
+// worker count. ctx is honoured between snapshots.
 func RunDynamic(ctx context.Context, cfg DynamicConfig) (*Record, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("netsim: nil topology")
@@ -87,6 +100,13 @@ func RunDynamic(ctx context.Context, cfg DynamicConfig) (*Record, error) {
 	}
 	run := cfg.Process.Start(cfg.Seed)
 	linkState := bitset.New(cfg.Topology.NumLinks())
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		return runDynamicChunked(ctx, cfg, rec, run, linkState, tl, packets)
+	}
 	pathState := bitset.New(cfg.Topology.NumPaths())
 	for t := 0; t < cfg.Snapshots; t++ {
 		if t%1024 == 0 {
@@ -105,6 +125,63 @@ func RunDynamic(ctx context.Context, cfg DynamicConfig) (*Record, error) {
 		}
 		if cfg.OnSnapshot != nil {
 			cfg.OnSnapshot(t, pathState)
+		}
+	}
+	return rec, nil
+}
+
+// dynChunkSnapshots is the pipeline chunk of the parallel RunDynamic path:
+// big enough to amortize the per-chunk fan-out, small enough that the
+// buffered link/path states stay cache-resident and OnSnapshot latency stays
+// bounded.
+const dynChunkSnapshots = 512
+
+// runDynamicChunked is the parallel body of RunDynamic: advance the process
+// sequentially into a chunk of buffered link states, observe the chunk's
+// paths in parallel (each snapshot's measurement noise comes from its own
+// derived stream, so tasks are independent), then emit the chunk in
+// snapshot order. Emission order, store contents and OnSnapshot sequence
+// are exactly the sequential loop's.
+func runDynamicChunked(ctx context.Context, cfg DynamicConfig, rec *Record, run dynamics.Run, linkState *bitset.Set, tl float64, packets int) (*Record, error) {
+	chunk := dynChunkSnapshots
+	if chunk > cfg.Snapshots {
+		chunk = cfg.Snapshots
+	}
+	linkStates := make([]*bitset.Set, chunk)
+	pathStates := make([]*bitset.Set, chunk)
+	for i := range linkStates {
+		linkStates[i] = bitset.New(cfg.Topology.NumLinks())
+		pathStates[i] = bitset.New(cfg.Topology.NumPaths())
+	}
+	r := &runner.Runner{Workers: cfg.Workers}
+	for base := 0; base < cfg.Snapshots; base += chunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m := chunk
+		if base+m > cfg.Snapshots {
+			m = cfg.Snapshots - base
+		}
+		for i := 0; i < m; i++ {
+			run.Next(linkState)
+			linkStates[i].CopyFrom(linkState)
+		}
+		err := r.Run(ctx, m, func(_ context.Context, i int) error {
+			rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, base+i)))
+			observePaths(cfg.Topology, linkStates[i], rng, cfg.Mode, tl, packets, pathStates[i])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m; i++ {
+			rec.Paths.Append(pathStates[i])
+			if rec.Links != nil {
+				rec.Links.Append(linkStates[i])
+			}
+			if cfg.OnSnapshot != nil {
+				cfg.OnSnapshot(base+i, pathStates[i])
+			}
 		}
 	}
 	return rec, nil

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	tomography "repro"
+	"repro/internal/benchmeta"
 	"repro/internal/bitset"
 )
 
@@ -49,21 +50,23 @@ type FirehoseConfig struct {
 
 // FirehoseReport summarizes one firehose run — the content of
 // BENCH_serve.json. The count fields are deterministic functions of the
-// configuration; the timing fields measure this run's hardware.
+// configuration; the timing fields measure this run's hardware, which the
+// Machine block identifies.
 type FirehoseReport struct {
-	Scenario           string  `json:"scenario"`
-	Estimator          string  `json:"estimator"`
-	Tenants            int     `json:"tenants"`
-	SnapshotsPerTenant int     `json:"snapshots_per_tenant"`
-	Window             int     `json:"window"`
-	Batch              int     `json:"batch"`
-	SnapshotsIngested  int64   `json:"snapshots_ingested"`
-	Estimates          int64   `json:"estimates"`
-	Rejected429        int64   `json:"rejected_429"`
-	ElapsedSec         float64 `json:"elapsed_sec"`
-	SnapshotsPerSec    float64 `json:"snapshots_per_sec"`
-	EstimateP50Ms      float64 `json:"estimate_p50_ms"`
-	EstimateP99Ms      float64 `json:"estimate_p99_ms"`
+	Machine            benchmeta.Machine `json:"machine"`
+	Scenario           string            `json:"scenario"`
+	Estimator          string            `json:"estimator"`
+	Tenants            int               `json:"tenants"`
+	SnapshotsPerTenant int               `json:"snapshots_per_tenant"`
+	Window             int               `json:"window"`
+	Batch              int               `json:"batch"`
+	SnapshotsIngested  int64             `json:"snapshots_ingested"`
+	Estimates          int64             `json:"estimates"`
+	Rejected429        int64             `json:"rejected_429"`
+	ElapsedSec         float64           `json:"elapsed_sec"`
+	SnapshotsPerSec    float64           `json:"snapshots_per_sec"`
+	EstimateP50Ms      float64           `json:"estimate_p50_ms"`
+	EstimateP99Ms      float64           `json:"estimate_p99_ms"`
 }
 
 // RunFirehose drives a daemon with synthetic probe traffic and returns the
@@ -187,6 +190,7 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	report := &FirehoseReport{
+		Machine:            benchmeta.Collect(),
 		Scenario:           cfg.Scenario,
 		Estimator:          cfg.Estimator,
 		Tenants:            cfg.Tenants,

@@ -13,15 +13,15 @@ import (
 // testdata/fuzz/FuzzIngestDecode and are replayed by the CI fuzz step.
 func FuzzIngestDecode(f *testing.F) {
 	seeds := [][]byte{
-		[]byte(`{"reports":[[0,2],[1],[]]}`),        // well-formed batch
-		[]byte(`{"reports":[]}`),                    // empty batch
-		[]byte(`{"reports":[[-1]]}`),                // negative index
-		[]byte(`{"reports":[[99]]}`),                // out of range
-		[]byte(`{"reports":[[0,0,0]]}`),             // duplicate indices
-		[]byte(`{}`),                                // missing field
-		[]byte(`{"reports":[[0.5]]}`),               // float index
-		[]byte(`{"reports":[["a"]]}`),               // string index
-		[]byte(`{"reports":[[0]],"extra":true}`),    // unknown field
+		[]byte(`{"reports":[[0,2],[1],[]]}`),           // well-formed batch
+		[]byte(`{"reports":[]}`),                       // empty batch
+		[]byte(`{"reports":[[-1]]}`),                   // negative index
+		[]byte(`{"reports":[[99]]}`),                   // out of range
+		[]byte(`{"reports":[[0,0,0]]}`),                // duplicate indices
+		[]byte(`{}`),                                   // missing field
+		[]byte(`{"reports":[[0.5]]}`),                  // float index
+		[]byte(`{"reports":[["a"]]}`),                  // string index
+		[]byte(`{"reports":[[0]],"extra":true}`),       // unknown field
 		[]byte(`{"reports":[[18446744073709551615]]}`), // uint64 overflow
 		[]byte(`not json at all`),
 		[]byte(`{"reports":[[`),

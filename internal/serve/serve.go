@@ -30,6 +30,13 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on 429 responses, in seconds
 	// (0 ⇒ 1).
 	RetryAfter int
+	// CountWorkers, when > 1, fans each tenant window's batched pair-count
+	// kernel out across that many workers during estimates. Opt-in: the
+	// default (0 or 1) keeps estimates single-core per shard, which is
+	// right when shards already saturate the machine; a deployment with
+	// few tenants and idle cores can spend them here instead. Estimates
+	// are bit-identical for every setting.
+	CountWorkers int
 }
 
 // Daemon is the multi-tenant serving core: tenant registry, shard workers,
@@ -94,7 +101,7 @@ var errShuttingDown = errors.New("serve: daemon shutting down")
 // an inline document), compiled into a plan, and given an empty sliding
 // window on a round-robin-assigned shard. Duplicate names are rejected.
 func (d *Daemon) Register(cfg TenantConfig) (*Tenant, error) {
-	t, err := newTenant(cfg)
+	t, err := newTenant(cfg, d.cfg.CountWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +280,9 @@ func (d *Daemon) Shutdown(ctx context.Context) ([]FinalEstimate, error) {
 		t := d.tenants[name]
 		res, err := d.estimateTenant(ws, t)
 		out = append(out, FinalEstimate{Tenant: name, Response: res, Err: err})
+		// Release the window's count-kernel pool goroutines (a no-op for
+		// serial windows) so shutdown leaves none behind.
+		t.win.Close()
 	}
 	d.mu.RUnlock()
 	return out, nil

@@ -57,11 +57,11 @@ func (d *Daemon) worker(s *shard) {
 			<-j.block
 		case j.reports != nil:
 			t := j.tenant
-			for _, r := range j.reports {
-				if t.win.Observe(r) {
-					t.changePoints.Add(1)
-					d.metrics.changePoints.Add(1)
-				}
+			// Batched window maintenance: one blocked eviction pass and one
+			// cache reset for the whole ingest batch instead of per report.
+			if flagged := t.win.ObserveBatch(j.reports); flagged > 0 {
+				t.changePoints.Add(int64(flagged))
+				d.metrics.changePoints.Add(int64(flagged))
 			}
 			t.syncStats()
 			d.metrics.ingestSnapshots.Add(int64(len(j.reports)))

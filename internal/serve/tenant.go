@@ -74,8 +74,9 @@ func (t *Tenant) syncStats() {
 }
 
 // newTenant validates a TenantConfig and builds the tenant (plan compiled,
-// window empty). The shard index is assigned by the daemon.
-func newTenant(cfg TenantConfig) (*Tenant, error) {
+// window empty). The shard index is assigned by the daemon, which also
+// passes its configured count-kernel worker fan-out down to the window.
+func newTenant(cfg TenantConfig, countWorkers int) (*Tenant, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("serve: register: tenant name is empty")
 	}
@@ -106,8 +107,9 @@ func newTenant(cfg TenantConfig) (*Tenant, error) {
 		estimator = "correlation"
 	}
 	win, err := tomography.NewWindow(top, tomography.WindowConfig{
-		Size:      cfg.Window,
-		Estimator: estimator,
+		Size:         cfg.Window,
+		Estimator:    estimator,
+		CountWorkers: countWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: register tenant %q: %w", cfg.Name, err)

@@ -1,0 +1,240 @@
+package snapstore
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// CountWorkspace holds the reusable state of the workspace count kernels
+// CountPairsCongestedWS/CountPairsGoodWS: per-block column summaries, the
+// referenced-column registry, per-worker partial sums, and a persistent pool
+// of worker goroutines for the parallel fan-out. A workspace may be reused
+// across calls and across stores, but — like the evaluate workspaces — it
+// must not be shared between goroutines: single-goroutine ownership, with
+// the workspace (not the store) owning all mutable scratch.
+//
+// The zero value is ready to use. A workspace that has run with workers > 1
+// keeps its pool goroutines parked on an idle channel receive until Close is
+// called; Close is idempotent and the workspace is reusable afterwards (the
+// next parallel call restarts the pool).
+type CountWorkspace struct {
+	pos  []int32 // series → 1+index into cols; 0 = unreferenced (cleared after every call)
+	cols []int   // series referenced by the current call, in first-use order
+	pops []int32 // per-block column popcounts: pops[ci*blocks+b] for cols[ci], block b
+
+	partials [][]int // per pool worker, per-pair partial counts (disjoint from out)
+
+	spawned int            // live pool goroutines
+	tasks   chan countTask // unbuffered; each send hands one block range to an idle worker
+	done    chan struct{}  // one signal per completed task
+}
+
+// countTask is one worker's share of a blocked sweep: block range [loB, hiB)
+// accumulated into its private out slice. Tasks travel by value through an
+// unbuffered channel, so dispatch allocates nothing in steady state.
+type countTask struct {
+	s     *Store
+	ws    *CountWorkspace
+	pairs []Pair
+	out   []int
+	loB   int
+	hiB   int
+	words int
+}
+
+// run sweeps the task's block range. For each block it first records every
+// referenced column's popcount (the block summary), then serves each pair
+// from the summaries when it can: a block where both columns are untouched
+// contributes nothing, a block where one column is untouched contributes the
+// other's precomputed popcount, and only blocks where both columns have bits
+// set pay the fused OR+POPCNT word sweep. Mostly-good columns — the dominant
+// regime in the paper's workloads — skip almost every word.
+//
+// Summaries are written and read only by the block's owning task, and tasks
+// own disjoint block ranges, so pops needs no synchronization.
+func (t countTask) run() {
+	s, ws := t.s, t.ws
+	blocks := (t.words + pairBlockWords - 1) / pairBlockWords
+	for b := t.loB; b < t.hiB; b++ {
+		lo := b * pairBlockWords
+		hi := lo + pairBlockWords
+		if hi > t.words {
+			hi = t.words
+		}
+		for ci, c := range ws.cols {
+			ws.pops[ci*blocks+b] = int32(bitset.PopCountWords(s.cols[c][lo:hi]))
+		}
+		for i, p := range t.pairs {
+			pa := ws.pops[int(ws.pos[p.A]-1)*blocks+b]
+			pb := ws.pops[int(ws.pos[p.B]-1)*blocks+b]
+			switch {
+			case pa == 0 && pb == 0:
+				// Both columns untouched in this block: skip.
+			case pa == 0:
+				t.out[i] += int(pb)
+			case pb == 0:
+				t.out[i] += int(pa)
+			default:
+				t.out[i] += bitset.OrPopCountWords(s.cols[p.A][lo:hi], s.cols[p.B][lo:hi])
+			}
+		}
+	}
+}
+
+// ensureWorkers grows the persistent pool to at least n goroutines.
+func (ws *CountWorkspace) ensureWorkers(n int) {
+	if ws.tasks == nil {
+		ws.tasks = make(chan countTask)
+		ws.done = make(chan struct{})
+	}
+	for ws.spawned < n {
+		ws.spawned++
+		go ws.workerLoop(ws.tasks, ws.done)
+	}
+}
+
+func (ws *CountWorkspace) workerLoop(tasks <-chan countTask, done chan<- struct{}) {
+	for t := range tasks {
+		t.run()
+		done <- struct{}{}
+	}
+}
+
+// Close releases the workspace's pool goroutines. It is idempotent, safe on
+// the zero value and on workspaces that never went parallel, and the
+// workspace remains usable afterwards — the next parallel call restarts the
+// pool. Callers that hold a workspace for the life of a server (e.g. the
+// serving shards) should Close it on shutdown so goroutine-leak fences stay
+// quiet.
+func (ws *CountWorkspace) Close() {
+	if ws == nil || ws.tasks == nil {
+		return
+	}
+	close(ws.tasks)
+	ws.tasks, ws.done, ws.spawned = nil, nil, 0
+}
+
+// CountPairsCongestedWS is the workspace form of CountPairsCongested: the
+// same cache-blocked sweep, extended with per-block column summaries (see
+// countTask.run) and an optional parallel fan-out across 512-word block
+// ranges. workers ≤ 1 runs everything on the calling goroutine; workers > 1
+// splits the block range into contiguous chunks, one per worker, each
+// accumulating into a disjoint per-worker partial-sum slice, and the partials
+// are reduced into out in fixed worker order after all tasks finish. Because
+// every block's contribution is an exact integer and addition over disjoint
+// block sets is commutative, the result is bit-identical to the serial
+// kernel for every worker count and schedule — the same determinism contract
+// as internal/runner.
+//
+// ws must be owned by the calling goroutine; out must have at least
+// len(pairs) slots. A nil ws falls back to the serial kernel.
+func (s *Store) CountPairsCongestedWS(ws *CountWorkspace, pairs []Pair, out []int, workers int) {
+	if ws == nil {
+		s.CountPairsCongested(pairs, out)
+		return
+	}
+	if len(out) < len(pairs) {
+		panic(fmt.Sprintf("snapstore: CountPairsCongested out has %d slots for %d pairs", len(out), len(pairs)))
+	}
+	out = out[:len(pairs)]
+	for i := range out {
+		out[i] = 0
+	}
+
+	// Register the referenced columns (validating like the serial kernel):
+	// pos maps series → 1+index into cols so block summaries are stored
+	// densely per referenced column rather than per series.
+	if cap(ws.pos) < len(s.cols) {
+		ws.pos = make([]int32, len(s.cols))
+	}
+	ws.pos = ws.pos[:len(s.cols)]
+	ws.cols = ws.cols[:0]
+	for _, p := range pairs {
+		if p.A < 0 || p.A >= len(s.cols) || p.B < 0 || p.B >= len(s.cols) {
+			for _, c := range ws.cols {
+				ws.pos[c] = 0 // keep the workspace reusable past the panic
+			}
+			panic(fmt.Sprintf("snapstore: pair (%d,%d) out of range (%d series)", p.A, p.B, len(s.cols)))
+		}
+		if ws.pos[p.A] == 0 {
+			ws.cols = append(ws.cols, p.A)
+			ws.pos[p.A] = int32(len(ws.cols))
+		}
+		if ws.pos[p.B] == 0 {
+			ws.cols = append(ws.cols, p.B)
+			ws.pos[p.B] = int32(len(ws.cols))
+		}
+	}
+
+	words := s.Words()
+	blocks := (words + pairBlockWords - 1) / pairBlockWords
+	if n := len(ws.cols) * blocks; cap(ws.pops) < n {
+		ws.pops = make([]int32, n)
+	}
+
+	if workers > blocks {
+		workers = blocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	base := countTask{s: s, ws: ws, pairs: pairs, words: words}
+	if workers == 1 {
+		base.out, base.loB, base.hiB = out, 0, blocks
+		base.run()
+	} else {
+		ws.ensureWorkers(workers - 1)
+		for len(ws.partials) < workers-1 {
+			ws.partials = append(ws.partials, nil)
+		}
+		for k := 0; k < workers-1; k++ {
+			if cap(ws.partials[k]) < len(pairs) {
+				ws.partials[k] = make([]int, len(pairs))
+			}
+			ws.partials[k] = ws.partials[k][:len(pairs)]
+			for i := range ws.partials[k] {
+				ws.partials[k][i] = 0
+			}
+		}
+		// Dispatch block ranges 1..workers-1 to the pool, sweep range 0 on
+		// the calling goroutine, then wait for every task before reducing.
+		for k := 1; k < workers; k++ {
+			t := base
+			t.out = ws.partials[k-1]
+			t.loB = k * blocks / workers
+			t.hiB = (k + 1) * blocks / workers
+			ws.tasks <- t
+		}
+		base.out, base.loB, base.hiB = out, 0, blocks/workers
+		base.run()
+		for k := 1; k < workers; k++ {
+			<-ws.done
+		}
+		// Fixed-order reduction of the disjoint partial sums. Integer
+		// addition is exact, so any order would give the same bits; fixing
+		// it keeps the kernel schedule-independent by construction.
+		for k := 0; k < workers-1; k++ {
+			part := ws.partials[k]
+			for i := range out {
+				out[i] += part[i]
+			}
+		}
+	}
+
+	// Unregister the referenced columns so the next call starts clean.
+	for _, c := range ws.cols {
+		ws.pos[c] = 0
+	}
+}
+
+// CountPairsGoodWS fills out[i] with the number of snapshots in which
+// neither series of pairs[i] was congested, via CountPairsCongestedWS — the
+// workspace/parallel form of CountPairsGood.
+func (s *Store) CountPairsGoodWS(ws *CountWorkspace, pairs []Pair, out []int, workers int) {
+	s.CountPairsCongestedWS(ws, pairs, out, workers)
+	n := s.Snapshots()
+	for i := range pairs {
+		out[i] = n - out[i]
+	}
+}

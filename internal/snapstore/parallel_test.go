@@ -1,0 +1,256 @@
+package snapstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// sparsePairStore builds a store where some columns are entirely untouched
+// and others are congested only inside a narrow block range — the shapes
+// that exercise the block-summary skip paths (both-zero, one-zero) rather
+// than the fused sweep.
+func sparsePairStore(rng *rand.Rand, series, snapshots int, ring bool) *Store {
+	var s *Store
+	if ring {
+		s = NewRing(series, snapshots)
+	} else {
+		s = New(series)
+	}
+	// Series i is active only if i%3 != 2, and only inside a random
+	// contiguous snapshot span, so most (series, block) cells are all-zero.
+	type span struct{ lo, hi int }
+	spans := make([]span, series)
+	for i := range spans {
+		lo := rng.Intn(snapshots)
+		spans[i] = span{lo: lo, hi: lo + rng.Intn(snapshots-lo) + 1}
+	}
+	row := bitset.New(series)
+	for t := 0; t < snapshots; t++ {
+		row.Clear()
+		for i := 0; i < series; i++ {
+			if i%3 != 2 && t >= spans[i].lo && t < spans[i].hi && rng.Intn(4) == 0 {
+				row.Add(i)
+			}
+		}
+		s.Append(row)
+	}
+	return s
+}
+
+// TestCountPairsWSMatchesSerial pins the workspace kernels bit-identical to
+// the serial blocked kernels across worker counts {1, 2, 7, 8}, on dense and
+// sparse stores (the sparse ones drive the block-summary skip paths),
+// including ring windows and stores spanning many 512-word blocks. Counts
+// are exact integers, so "bit-identical" is plain equality.
+func TestCountPairsWSMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct {
+		series, snapshots int
+		ring, sparse      bool
+	}{
+		{1, 1, false, false},
+		{5, 63, false, false},
+		{8, 64, false, true},
+		{17, 1000, false, false},
+		{9, pairBlockWords*64 + 129, false, false}, // spans multiple blocks
+		{7, pairBlockWords*64 + 129, false, true},  // multi-block, mostly zero
+		{13, 700, true, false},                     // ring window, rotated slots
+		{11, 900, true, true},
+	}
+	ws := &CountWorkspace{}
+	defer ws.Close()
+	for _, sh := range shapes {
+		var s *Store
+		if sh.sparse {
+			s = sparsePairStore(rng, sh.series, sh.snapshots, sh.ring)
+		} else {
+			s = randomPairStore(rng, sh.series, sh.snapshots, sh.ring)
+		}
+		var pairs []Pair
+		for a := 0; a < sh.series; a++ {
+			for b := 0; b < sh.series; b++ {
+				if rng.Intn(2) == 0 {
+					pairs = append(pairs, Pair{A: a, B: b})
+				}
+			}
+		}
+		want := make([]int, len(pairs))
+		s.CountPairsCongested(pairs, want)
+		wantGood := make([]int, len(pairs))
+		s.CountPairsGood(pairs, wantGood)
+		got := make([]int, len(pairs))
+		for _, workers := range []int{1, 2, 7, 8} {
+			s.CountPairsCongestedWS(ws, pairs, got, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("store %dx%d ring=%v sparse=%v workers=%d pair %v: WS congested %d, serial %d",
+						sh.series, sh.snapshots, sh.ring, sh.sparse, workers, pairs[i], got[i], want[i])
+				}
+			}
+			s.CountPairsGoodWS(ws, pairs, got, workers)
+			for i := range wantGood {
+				if got[i] != wantGood[i] {
+					t.Fatalf("store %dx%d ring=%v sparse=%v workers=%d pair %v: WS good %d, serial %d",
+						sh.series, sh.snapshots, sh.ring, sh.sparse, workers, pairs[i], got[i], wantGood[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCountPairsWSWorkspaceReuse pins that one workspace survives reuse
+// across stores of different shapes, Close mid-stream (the pool restarts on
+// the next parallel call), double Close, Close on the zero value, and a nil
+// workspace falling back to the serial kernel.
+func TestCountPairsWSWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ws := &CountWorkspace{}
+	big := randomPairStore(rng, 6, pairBlockWords*64*2+65, false)
+	small := randomPairStore(rng, 3, 100, false)
+	pairsBig := []Pair{{0, 1}, {2, 5}, {4, 4}}
+	pairsSmall := []Pair{{0, 2}, {1, 1}}
+
+	check := func(s *Store, pairs []Pair, workers int) {
+		t.Helper()
+		want := make([]int, len(pairs))
+		s.CountPairsCongested(pairs, want)
+		got := make([]int, len(pairs))
+		s.CountPairsCongestedWS(ws, pairs, got, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d pair %v: got %d, want %d", workers, pairs[i], got[i], want[i])
+			}
+		}
+	}
+
+	check(big, pairsBig, 8)
+	check(small, pairsSmall, 4) // shrink store between calls
+	ws.Close()
+	check(big, pairsBig, 8) // pool restarts after Close
+	ws.Close()
+	ws.Close() // idempotent
+	(&CountWorkspace{}).Close()
+
+	// nil workspace falls back to the serial kernel.
+	want := make([]int, len(pairsBig))
+	big.CountPairsCongested(pairsBig, want)
+	got := make([]int, len(pairsBig))
+	big.CountPairsCongestedWS(nil, pairsBig, got, 8)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nil ws pair %v: got %d, want %d", pairsBig[i], got[i], want[i])
+		}
+	}
+}
+
+// TestCountPairsWSValidation pins that the workspace kernel panics on the
+// same misuse as the serial kernel and stays reusable after the panic.
+func TestCountPairsWSValidation(t *testing.T) {
+	s := NewFixed(3, 10)
+	ws := &CountWorkspace{}
+	defer ws.Close()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short out", func() { s.CountPairsCongestedWS(ws, make([]Pair, 2), make([]int, 1), 2) })
+	mustPanic("series out of range", func() { s.CountPairsCongestedWS(ws, []Pair{{A: 0, B: 3}}, make([]int, 1), 2) })
+	mustPanic("negative series", func() { s.CountPairsCongestedWS(ws, []Pair{{A: -1, B: 0}}, make([]int, 1), 2) })
+
+	// The panic paths must leave the column registry clean for reuse.
+	rng := rand.New(rand.NewSource(3))
+	st := randomPairStore(rng, 4, 200, false)
+	pairs := []Pair{{0, 1}, {2, 3}}
+	want := make([]int, len(pairs))
+	st.CountPairsCongested(pairs, want)
+	got := make([]int, len(pairs))
+	st.CountPairsCongestedWS(ws, pairs, got, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after panic: pair %v got %d, want %d", pairs[i], got[i], want[i])
+		}
+	}
+}
+
+// TestCountPairsWSSteadyStateAllocs extends the 0 allocs/op gate to the
+// parallel kernels: once the workspace pool is warm, a parallel count must
+// not allocate (tasks travel by value through the pool channels).
+func TestCountPairsWSSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	s := randomPairStore(rng, 8, pairBlockWords*64+200, false)
+	pairs := []Pair{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {1, 6}}
+	out := make([]int, len(pairs))
+	for _, workers := range []int{1, 4} {
+		ws := &CountWorkspace{}
+		s.CountPairsCongestedWS(ws, pairs, out, workers) // warm pool + scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			s.CountPairsCongestedWS(ws, pairs, out, workers)
+		})
+		ws.Close()
+		if allocs != 0 {
+			t.Fatalf("workers=%d steady-state CountPairsCongestedWS: %.1f allocs/op, want 0", workers, allocs)
+		}
+	}
+}
+
+// TestDropOldestMatchesEvictLoop pins the batched ring eviction against a
+// per-snapshot EvictOldest loop on a shadow store, across drop sizes that
+// hit every mask shape: within one word, word-aligned, spanning words, and
+// wrapping the ring boundary.
+func TestDropOldestMatchesEvictLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, capacity := range []int{1, 63, 64, 65, 200, 700} {
+		a := NewRing(5, capacity)
+		b := NewRing(5, capacity)
+		row := bitset.New(5)
+		appendRandom := func(n int) {
+			for i := 0; i < n; i++ {
+				row.Clear()
+				for j := 0; j < 5; j++ {
+					if rng.Intn(3) == 0 {
+						row.Add(j)
+					}
+				}
+				a.Append(row)
+				b.Append(row)
+			}
+		}
+		// Rotate the window first so slot(0) is mid-ring, then exercise a
+		// range of drop sizes including overshoot (k > retained).
+		appendRandom(capacity + capacity/3 + 1)
+		for _, k := range []int{0, 1, 7, 63, 64, 65, capacity / 2, capacity, capacity + 9} {
+			appendRandom(rng.Intn(capacity/2 + 1))
+			wantDropped := 0
+			for i := 0; i < k && b.Snapshots() > 0; i++ {
+				b.EvictOldest(nil)
+				wantDropped++
+			}
+			if got := a.DropOldest(k); got != wantDropped {
+				t.Fatalf("cap=%d k=%d: DropOldest returned %d, evict loop dropped %d", capacity, k, got, wantDropped)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("cap=%d k=%d: stores diverged after batched drop", capacity, k)
+			}
+			if a.Snapshots() != b.Snapshots() {
+				t.Fatalf("cap=%d k=%d: retained %d vs %d", capacity, k, a.Snapshots(), b.Snapshots())
+			}
+		}
+	}
+}
+
+// TestDropOldestUnboundedPanics pins the misuse panic.
+func TestDropOldestUnboundedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DropOldest on an unbounded store did not panic")
+		}
+	}()
+	New(3).DropOldest(1)
+}

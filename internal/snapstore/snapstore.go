@@ -31,7 +31,6 @@ package snapstore
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/bitset"
 )
@@ -280,6 +279,69 @@ func (s *Store) EvictOldest(evicted *bitset.Set) bool {
 	return true
 }
 
+// DropOldest drops the k oldest retained snapshots of a ring store in one
+// blocked pass and returns how many were dropped (min(k, retained)). Where a
+// loop over EvictOldest clears one bit of every column per snapshot,
+// DropOldest resolves the evicted slot range to word masks once and touches
+// each affected column word exactly once — the batch-eviction primitive for
+// sliding windows that ingest whole probe batches. The dropped rows are not
+// reported; callers maintaining per-row state (e.g. a pattern histogram)
+// must read them with RowInto before dropping. It panics on an unbounded
+// store, like EvictOldest.
+func (s *Store) DropOldest(k int) int {
+	if s.capacity == 0 {
+		panic("snapstore: DropOldest on an unbounded store (NewRing creates ring stores)")
+	}
+	if k > s.retained {
+		k = s.retained
+	}
+	if k <= 0 {
+		return 0
+	}
+	// The k oldest retained snapshots occupy the contiguous (mod capacity)
+	// slot range [slot(0), slot(0)+k); the wrap splits it into at most two
+	// linear spans.
+	start := s.slot(0)
+	first := k
+	if start+first > s.capacity {
+		first = s.capacity - start
+	}
+	s.clearSlotSpan(start, first)
+	if rest := k - first; rest > 0 {
+		s.clearSlotSpan(0, rest)
+	}
+	s.retained -= k
+	return k
+}
+
+// clearSlotSpan zeroes bit positions [p, p+n) of every column: full interior
+// words are zeroed outright, the partial head and tail words are masked, so
+// each affected word is written once regardless of how many snapshots the
+// span covers.
+func (s *Store) clearSlotSpan(p, n int) {
+	if n <= 0 {
+		return
+	}
+	loWord, hiWord := p/wordBits, (p+n-1)/wordBits
+	headMask := ^uint64(0) << uint(p%wordBits)
+	tailMask := ^uint64(0) >> uint(wordBits-1-(p+n-1)%wordBits)
+	if loWord == hiWord {
+		mask := headMask & tailMask
+		for i := range s.cols {
+			s.cols[i][loWord] &^= mask
+		}
+		return
+	}
+	for i := range s.cols {
+		col := s.cols[i]
+		col[loWord] &^= headMask
+		for w := loWord + 1; w < hiWord; w++ {
+			col[w] = 0
+		}
+		col[hiWord] &^= tailMask
+	}
+}
+
 // Column exposes series i's packed column. The slice aliases store storage
 // and must be treated as read-only.
 func (s *Store) Column(i int) []uint64 { return s.cols[i] }
@@ -358,20 +420,7 @@ func (s *Store) CountPairsCongested(pairs []Pair, out []int) {
 			hi = words
 		}
 		for i, p := range pairs {
-			a, b := s.cols[p.A][lo:hi], s.cols[p.B][lo:hi]
-			b = b[:len(a)] // hoist the bounds check out of the fused loop
-			c := 0
-			w := 0
-			for ; w+4 <= len(a); w += 4 {
-				c += bits.OnesCount64(a[w]|b[w]) +
-					bits.OnesCount64(a[w+1]|b[w+1]) +
-					bits.OnesCount64(a[w+2]|b[w+2]) +
-					bits.OnesCount64(a[w+3]|b[w+3])
-			}
-			for ; w < len(a); w++ {
-				c += bits.OnesCount64(a[w] | b[w])
-			}
-			out[i] += c
+			out[i] += bitset.OrPopCountWords(s.cols[p.A][lo:hi], s.cols[p.B][lo:hi])
 		}
 	}
 }

@@ -1,0 +1,76 @@
+// Opt-in performance regression smoke: CI sets PERF_SMOKE=1 on a
+// multi-core runner to assert the multicore pair-count kernel actually
+// scales, not just that it stays bit-identical. Kept out of the default
+// test run because wall-clock assertions are meaningless on loaded or
+// single-core machines.
+package tomography_test
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/snapstore"
+)
+
+// TestBatchPairCountParallelSpeedup fails if fanning CountPairsGoodWS out
+// over 8 workers does not beat the serial workspace kernel by at least 2×
+// on the BenchmarkBatchPairCount workload shape. The 2× bar is deliberately
+// loose for an 8-way fan-out: the kernel is memory-bound, so perfect
+// scaling is not expected, but a broken fan-out (workers serialized on a
+// lock, partial sums false-sharing) lands near 1× and trips it.
+func TestBatchPairCountParallelSpeedup(t *testing.T) {
+	if os.Getenv("PERF_SMOKE") == "" {
+		t.Skip("set PERF_SMOKE=1 to run wall-clock speedup assertions")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful parallel speedup, have %d", n)
+	}
+
+	const (
+		paths     = 128
+		snapshots = 6_000_000 // 128 columns x 750 KB ≈ 96 MB, past L3
+		fanout    = 12
+		rounds    = 3 // best-of-N guards against a one-off scheduling stall
+	)
+	rng := rand.New(rand.NewSource(7))
+	store := snapstore.NewFixed(paths, snapshots)
+	for i := 0; i < snapshots; i++ {
+		store.SetBit(rng.Intn(paths), i)
+	}
+	var pairs []snapstore.Pair
+	for i := 0; i < paths; i++ {
+		for d := 1; d <= fanout && i+d < paths; d++ {
+			pairs = append(pairs, snapstore.Pair{A: i, B: i + d})
+		}
+	}
+	out := make([]int, len(pairs))
+	var ws snapstore.CountWorkspace
+	defer ws.Close()
+
+	timeKernel := func(workers int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			store.CountPairsGoodWS(&ws, pairs, out, workers)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	// Warm the pool and the page cache before timing either side.
+	store.CountPairsGoodWS(&ws, pairs, out, 8)
+	serial := timeKernel(1)
+	parallel := timeKernel(8)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("pair counting over %d pairs: serial %v, 8 workers %v (%.2fx)",
+		len(pairs), serial, parallel, speedup)
+	if speedup < 2 {
+		t.Errorf("8-worker speedup %.2fx < 2x over serial (serial %v, parallel %v)",
+			speedup, serial, parallel)
+	}
+}

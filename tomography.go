@@ -486,8 +486,9 @@ func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, plans *plan
 	var rec *Record
 	var err error
 	if s.Process != nil {
-		// Time-indexed scenario: the sequential dynamic engine evolves the
-		// congestion state snapshot by snapshot.
+		// Time-indexed scenario: the dynamic engine evolves the congestion
+		// state snapshot by snapshot (the process chain stays sequential;
+		// per-path observation fans out across the worker budget).
 		rec, err = netsim.RunDynamic(ctx, netsim.DynamicConfig{
 			Topology:       s.Topology,
 			Process:        s.Process,
@@ -495,6 +496,9 @@ func (res *BatchResult) fill(ctx context.Context, opts BatchOptions, plans *plan
 			Seed:           seed,
 			Mode:           opts.Mode,
 			PacketsPerPath: opts.PacketsPerPath,
+			// Like the i.i.d. branch: a fanned-out batch forces this nested
+			// fan-out serial; a one-scenario batch hands it the full budget.
+			Workers: opts.Workers,
 		})
 	} else {
 		rec, err = netsim.RunContext(ctx, netsim.Config{

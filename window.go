@@ -102,6 +102,11 @@ type WindowConfig struct {
 	// Detector overrides the change-point detector (nil ⇒ defaults). The
 	// detector observes the per-snapshot fraction of congested paths.
 	Detector *ChangeDetector
+	// CountWorkers fans the window's batched pair-count kernel out across
+	// that many workers during estimates (0 or 1 ⇒ serial). Estimates are
+	// bit-identical for every setting. A window that has estimated with
+	// CountWorkers > 1 holds parked pool goroutines until Close.
+	CountWorkers int
 }
 
 // Window is an online sliding-window inference session: feed it one
@@ -160,6 +165,7 @@ func NewWindow(top *Topology, cfg WindowConfig) (*Window, error) {
 	if err != nil {
 		return nil, err
 	}
+	src.SetCountWorkers(cfg.CountWorkers)
 	det := cfg.Detector
 	if det == nil {
 		det, err = NewChangeDetector(0, 0, 0)
@@ -186,6 +192,30 @@ func (w *Window) Observe(congested *PathSet) bool {
 	w.seen++
 	return w.detector.Observe(float64(congested.Len()) / float64(w.numPaths))
 }
+
+// ObserveBatch feeds a batch of snapshots in observation order, equivalent
+// to calling Observe on each row but with the window maintenance batched:
+// the evictions the batch forces are applied in one blocked pass over the
+// columns and the probability caches are reset once. It returns how many of
+// the batch's snapshots the change-point detector flagged. Rows may be
+// reused by the caller after the call returns.
+func (w *Window) ObserveBatch(rows []*PathSet) int {
+	w.src.AppendBatch(rows)
+	w.seen += len(rows)
+	flagged := 0
+	for _, row := range rows {
+		if w.detector.Observe(float64(row.Len()) / float64(w.numPaths)) {
+			flagged++
+		}
+	}
+	return flagged
+}
+
+// Close releases the pool goroutines behind a CountWorkers > 1 window. It
+// is idempotent, cheap for serial windows, and the window remains usable —
+// long-lived holders (the serving shards) close their windows on shutdown
+// so goroutine-leak fences stay quiet.
+func (w *Window) Close() { w.src.Close() }
 
 // Estimate runs the configured estimator over the current window contents
 // through the shared compiled plan. The result is independently allocated

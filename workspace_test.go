@@ -82,17 +82,18 @@ func figure1AWindowFixture(t testing.TB, snapshots int) (*tomography.Topology, [
 // windowed-inference step (Observe + EstimateShared) for an estimator after
 // a warm-up that has filled the window, grown every workspace buffer, and
 // seen every pattern the stream contains.
-func steadyStateAllocs(t *testing.T, top *tomography.Topology, rows []*tomography.PathSet, estimator string) float64 {
+func steadyStateAllocs(t *testing.T, top *tomography.Topology, rows []*tomography.PathSet, estimator string, window, countWorkers int) float64 {
 	t.Helper()
-	const window = 256
 	w, err := tomography.NewWindow(top, tomography.WindowConfig{
-		Size:      window,
-		Estimator: estimator,
-		Detector:  quietDetector(),
+		Size:         window,
+		Estimator:    estimator,
+		Detector:     quietDetector(),
+		CountWorkers: countWorkers,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer w.Close()
 	next := 0
 	observe := func() {
 		w.Observe(rows[next])
@@ -135,22 +136,30 @@ func TestWindowedInferenceSteadyStateAllocs(t *testing.T) {
 	toyTop, toyRows := figure1AWindowFixture(t, 700)
 
 	cases := []struct {
+		name      string
 		estimator string
 		top       *tomography.Topology
 		rows      []*tomography.PathSet
+		window    int
+		workers   int
 		budget    float64
 	}{
-		{"correlation", scn.Topology, briteRows, 0},
-		{"independence", scn.Topology, briteRows, 0},
-		{"correlation", toyTop, toyRows, 0},
-		{"theorem", toyTop, toyRows, 0},
+		{"correlation/brite", "correlation", scn.Topology, briteRows, 256, 0, 0},
+		{"independence/brite", "independence", scn.Topology, briteRows, 256, 0, 0},
+		{"correlation/toy", "correlation", toyTop, toyRows, 256, 0, 0},
+		{"theorem/toy", "theorem", toyTop, toyRows, 256, 0, 0},
 		// The MLE optimizer is allocation-free too; budget 0 documents it.
-		{"mle", toyTop, toyRows, 0},
+		{"mle/toy", "mle", toyTop, toyRows, 256, 0, 0},
+		// The parallel count kernels share the budget: once the workspace
+		// pool is warm, dispatching estimate counts across 4 workers must
+		// not allocate either. The window spans multiple 512-word blocks so
+		// the fan-out actually engages (smaller windows clamp to serial).
+		{"correlation/toy/parallel-counts", "correlation", toyTop, toyRows, 64*512 + 300, 4, 0},
 	}
 	for _, c := range cases {
 		c := c
-		t.Run(c.estimator, func(t *testing.T) {
-			got := steadyStateAllocs(t, c.top, c.rows, c.estimator)
+		t.Run(c.name, func(t *testing.T) {
+			got := steadyStateAllocs(t, c.top, c.rows, c.estimator, c.window, c.workers)
 			if got > c.budget {
 				t.Fatalf("steady-state Observe+EstimateShared allocates %.2f objects/op, budget %v", got, c.budget)
 			}
