@@ -1,0 +1,189 @@
+// Out-of-core segment-store benchmarks (BENCH_store.json): price the fused
+// count kernels running over mmap-backed sealed segments against the same
+// kernels on the RAM-resident ring, and record the spill write path's
+// throughput. The acceptance target for this artifact is warm mapped counts
+// at ≥ 0.8× the RAM store — pages are resident after the first pass, so the
+// remaining gap is the per-segment dispatch and boundary masking.
+package tomography_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/segstore"
+	"repro/internal/snapstore"
+)
+
+// storeBenchFixture appends the same deterministic bursty rows to a
+// RAM-resident ring and a tiered store whose window covers every row, so
+// both answer identical count queries. snapshots is a multiple of segRows:
+// every tiered row but the last segment's worth is sealed to disk and
+// queried through the mapped read path.
+func storeBenchFixture(b *testing.B, series, snapshots, segRows int) (*snapstore.Store, *segstore.TieredStore, []snapstore.Pair) {
+	b.Helper()
+	ram := snapstore.NewRing(series, snapshots)
+	tiered, err := segstore.NewTiered(series, snapshots, segstore.Options{
+		Dir: b.TempDir(), SegmentRows: segRows, Reset: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(tiered.Close)
+	rng := rand.New(rand.NewSource(41))
+	row := bitset.New(series)
+	for t := 0; t < snapshots; t++ {
+		row.Clear()
+		// Bursty fill: a few hot columns plus background noise, so segments
+		// carry a realistic mix of zero-span and dense columns.
+		for k := 0; k < 6; k++ {
+			row.Add(rng.Intn(series))
+		}
+		if t%97 < 13 {
+			row.Add(series - 1 - t%7)
+		}
+		ram.Append(row)
+		tiered.Append(row)
+	}
+	var pairs []snapstore.Pair
+	for i := 0; i < series; i++ {
+		for d := 1; d <= 8 && i+d < series; d++ {
+			pairs = append(pairs, snapstore.Pair{A: i, B: i + d})
+		}
+	}
+	return ram, tiered, pairs
+}
+
+// BenchmarkSegmentStoreCounts is the mapped-vs-RAM count comparison the
+// BENCH_store.json artifact records: the batched pair kernel and the
+// all-good set kernel on the RAM ring versus the tiered store's warm mapped
+// read path (one throwaway pass faults every page in first). Counts are
+// verified identical before timing.
+func BenchmarkSegmentStoreCounts(b *testing.B) {
+	const (
+		series    = 128
+		segRows   = 8192
+		snapshots = 16 * segRows // 131072 rows ≈ 2 MB/column-set segment tier
+	)
+	ram, tiered, pairs := storeBenchFixture(b, series, snapshots, segRows)
+	outRAM := make([]int, len(pairs))
+	outMapped := make([]int, len(pairs))
+	scratch := make([]uint64, ram.Words())
+	sets := [][]int{{0, 1, 2}, {5, 40, 90, 100}, {7}, {30, 31, 32, 33, 34}}
+
+	// Warm + verify: identical counts from both tiers before any timing.
+	ram.CountPairsGood(pairs, outRAM)
+	tiered.CountPairsGood(pairs, outMapped, 0)
+	for k := range pairs {
+		if outRAM[k] != outMapped[k] {
+			b.Fatalf("pair %v: RAM %d, mapped %d", pairs[k], outRAM[k], outMapped[k])
+		}
+	}
+	for _, s := range sets {
+		if r, m := ram.CountAllGood(s, scratch), tiered.CountAllGood(s); r != m {
+			b.Fatalf("set %v: RAM %d, mapped %d", s, r, m)
+		}
+	}
+
+	metrics := map[string]float64{
+		"series":          series,
+		"snapshots":       snapshots,
+		"segment-rows":    segRows,
+		"pairs":           float64(len(pairs)),
+		"sealed-segments": float64(tiered.SealedSegments()),
+		"spilled-bytes":   float64(tiered.SpilledBytes()),
+	}
+	b.Run("pairs-ram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ram.CountPairsGood(pairs, outRAM)
+		}
+		metrics["pairs-ram-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("pairs-mapped-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tiered.CountPairsGood(pairs, outMapped, 0)
+		}
+		metrics["pairs-mapped-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("allgood-ram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range sets {
+				benchSink += float64(ram.CountAllGood(s, scratch))
+			}
+		}
+		metrics["allgood-ram-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("allgood-mapped-warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range sets {
+				benchSink += float64(tiered.CountAllGood(s))
+			}
+		}
+		metrics["allgood-mapped-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	// Cold read path: drop the mapped pages (MADV_DONTNEED where available)
+	// and time one full re-faulting pass — the page-cache price of the first
+	// query after a spill.
+	b.Run("pairs-mapped-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tiered.ReleaseMapped()
+			b.StartTimer()
+			tiered.CountPairsGood(pairs, outMapped, 0)
+		}
+		metrics["pairs-mapped-cold-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if r, m := metrics["pairs-ram-ns/op"], metrics["pairs-mapped-ns/op"]; r > 0 && m > 0 {
+		metrics["mapped-vs-ram-pairs"] = r / m
+		metrics["mapped-vs-ram-allgood"] = metrics["allgood-ram-ns/op"] / metrics["allgood-mapped-ns/op"]
+		b.Logf("counts over %d sealed segments (%d rows × %d series): pairs RAM %.2f ms vs mapped warm %.2f ms (%.2f× of RAM), all-good %.2f× of RAM, cold re-fault %.2f ms",
+			tiered.SealedSegments(), snapshots, series, r/1e6, m/1e6,
+			metrics["mapped-vs-ram-pairs"], metrics["mapped-vs-ram-allgood"],
+			metrics["pairs-mapped-cold-ns/op"]/1e6)
+	}
+	writeBenchJSONFile(b, "BENCH_store.json", "BenchmarkSegmentStoreCounts", metrics)
+}
+
+// BenchmarkSegmentSpill prices the write path: streaming appends through
+// the tiered store including encode + CRC + fsync'd seal of every segment,
+// against appends into the RAM ring.
+func BenchmarkSegmentSpill(b *testing.B) {
+	const (
+		series  = 128
+		segRows = 8192
+	)
+	rows := make([]*bitset.Set, 1024)
+	rng := rand.New(rand.NewSource(43))
+	for i := range rows {
+		rows[i] = bitset.New(series)
+		for k := 0; k < 6; k++ {
+			rows[i].Add(rng.Intn(series))
+		}
+	}
+	metrics := map[string]float64{"series": series, "segment-rows": segRows}
+	b.Run("ram-append", func(b *testing.B) {
+		ram := snapstore.NewRing(series, 4*segRows)
+		for i := 0; i < b.N; i++ {
+			ram.AppendEvict(rows[i%len(rows)], nil)
+		}
+		metrics["ram-append-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("spill-append", func(b *testing.B) {
+		tiered, err := segstore.NewTiered(series, 4*segRows, segstore.Options{
+			Dir: b.TempDir(), SegmentRows: segRows, Reset: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tiered.Close()
+		for i := 0; i < b.N; i++ {
+			tiered.AppendEvict(rows[i%len(rows)], nil)
+		}
+		metrics["spill-append-ns/op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		metrics["spilled-bytes"] = float64(tiered.SpilledBytes())
+	})
+	if r, s := metrics["ram-append-ns/op"], metrics["spill-append-ns/op"]; r > 0 && s > 0 {
+		b.Logf("append: RAM %.0f ns/op, spill (amortized seal+fsync) %.0f ns/op (%.1f× RAM)", r, s, s/r)
+	}
+	writeBenchJSONFile(b, "BENCH_store.json", "BenchmarkSegmentSpill", metrics)
+}

@@ -428,13 +428,14 @@ func writeBenchJSON(b *testing.B, bench string, metrics map[string]float64) {
 }
 
 // writeBenchJSONFile merges the metrics into the named benchmark artifact,
-// stamping the machine metadata (GOMAXPROCS, GOAMD64, CPU model, …) every
-// artifact carries so perf numbers across PRs are interpretable. The
-// BENCH_JSON_SUFFIX environment variable inserts a suffix before ".json" —
-// the CI mechanism that keeps the GOAMD64=v2 and =v3 legs in separate
-// artifacts.
-func writeBenchJSONFile(b *testing.B, path, bench string, metrics map[string]float64) {
-	b.Helper()
+// stamping the machine metadata (GOMAXPROCS, GOAMD64, CPU model, page size,
+// mmap availability, …) every artifact carries so perf numbers across PRs
+// are interpretable. The BENCH_JSON_SUFFIX environment variable inserts a
+// suffix before ".json" — the CI mechanism that keeps the GOAMD64=v2 and
+// =v3 legs in separate artifacts. It takes a testing.TB so env-gated smoke
+// tests (not just benchmarks) can record artifacts too.
+func writeBenchJSONFile(tb testing.TB, path, bench string, metrics map[string]float64) {
+	tb.Helper()
 	if s := os.Getenv("BENCH_JSON_SUFFIX"); s != "" {
 		path = strings.TrimSuffix(path, ".json") + s + ".json"
 	}
@@ -445,7 +446,7 @@ func writeBenchJSONFile(b *testing.B, path, bench string, metrics map[string]flo
 	enc := func(v any) json.RawMessage {
 		data, err := json.Marshal(v)
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		return data
 	}
@@ -453,10 +454,10 @@ func writeBenchJSONFile(b *testing.B, path, bench string, metrics map[string]flo
 	all["machine"] = enc(benchmeta.Collect())
 	data, err := json.MarshalIndent(all, "", "  ")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 }
 

@@ -54,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		estimator = fs.String("estimator", "", "registered estimator(s), comma-separated: "+estimators+" (also: both = correlation,independence)")
 		algo      = fs.String("algorithm", "", "deprecated alias for -estimator")
 		packet    = fs.Bool("packet-level", false, "simulate probe packets and loss rates")
+		storeDir  = fs.String("store-dir", "", "spill measurement columns to checksummed segment files under this directory (out-of-core; existing contents are replaced). Estimates are bit-identical to the in-RAM run")
 		summary   = fs.Bool("summary", false, "print error summary instead of the per-link table")
 		topN      = fs.Int("top", 0, "print only the N links with the highest inferred congestion probability")
 		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
@@ -97,23 +98,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *packet {
 		mode = tomography.PacketLevel
 	}
-	var rec *tomography.Record
-	if scn.Process != nil {
-		rec, err = tomography.SimulateDynamic(tomography.DynamicSimConfig{
-			Topology: top, Process: scn.Process, Snapshots: *snapshots, Seed: *seed + 99, Mode: mode,
-		})
-	} else {
-		rec, err = tomography.Simulate(tomography.SimConfig{
-			Topology: top, Model: scn.Model, Snapshots: *snapshots, Seed: *seed + 99, Mode: mode,
-		})
-	}
+	src, err := simulateSource(scn, *snapshots, *seed, mode, *storeDir)
 	if err != nil {
 		return err
 	}
-	src, err := tomography.NewEmpirical(rec)
-	if err != nil {
-		return err
-	}
+	defer src.Close()
 
 	// One compiled plan serves every selected estimator.
 	plan, err := tomography.Compile(top, tomography.PlanOptions{Lazy: true})
@@ -182,6 +171,59 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout)
 	}
 	return nil
+}
+
+// simulateSource simulates the scenario's measurements and returns the
+// estimation source. With storeDir empty everything lives in RAM (a record
+// plus a batch Empirical over it); with storeDir set the observations go to
+// an out-of-core spill window sized to hold every snapshot — dynamic
+// scenarios stream straight from the simulator with no record in RAM, static
+// ones replay their record through it. Both sources hold identical retained
+// rows, so the estimates (and the printed report) are bit-identical.
+func simulateSource(scn *tomography.Scenario, snapshots int, seed int64, mode tomography.SimMode, storeDir string) (*tomography.Empirical, error) {
+	if storeDir == "" {
+		var rec *tomography.Record
+		var err error
+		if scn.Process != nil {
+			rec, err = tomography.SimulateDynamic(tomography.DynamicSimConfig{
+				Topology: scn.Topology, Process: scn.Process, Snapshots: snapshots, Seed: seed + 99, Mode: mode,
+			})
+		} else {
+			rec, err = tomography.Simulate(tomography.SimConfig{
+				Topology: scn.Topology, Model: scn.Model, Snapshots: snapshots, Seed: seed + 99, Mode: mode,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return tomography.NewEmpirical(rec)
+	}
+	emp, err := tomography.NewSlidingWindowSpill(scn.Topology.NumPaths(), snapshots,
+		tomography.SpillConfig{Dir: storeDir, Reset: true})
+	if err != nil {
+		return nil, err
+	}
+	if scn.Process != nil {
+		err = tomography.SimulateDynamicStream(tomography.DynamicSimConfig{
+			Topology: scn.Topology, Process: scn.Process, Snapshots: snapshots, Seed: seed + 99, Mode: mode,
+			OnSnapshot: func(_ int, congested *tomography.PathSet) { emp.Append(congested) },
+		})
+	} else {
+		var rec *tomography.Record
+		rec, err = tomography.Simulate(tomography.SimConfig{
+			Topology: scn.Topology, Model: scn.Model, Snapshots: snapshots, Seed: seed + 99, Mode: mode,
+		})
+		if err == nil {
+			for ts := 0; ts < rec.Snapshots(); ts++ {
+				emp.Append(rec.PathSnapshot(ts))
+			}
+		}
+	}
+	if err != nil {
+		emp.Close()
+		return nil, err
+	}
+	return emp, nil
 }
 
 // buildScenario resolves the scenario source: the named registry when

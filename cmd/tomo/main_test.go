@@ -62,6 +62,12 @@ func TestGolden(t *testing.T) {
 		{"quickstart-summary", []string{"-scenario", "quickstart", "-snapshots", "800", "-seed", "3", "-estimator", "both", "-summary"}, ""},
 		{"quickstart-json", []string{"-scenario", "quickstart", "-snapshots", "800", "-seed", "3", "-estimator", "correlation,mle", "-json"}, ""},
 		{"dynamic-linkflap-summary", []string{"-scenario", "link-flap", "-snapshots", "600", "-seed", "2", "-summary"}, ""},
+		{"diurnal-week-summary", []string{"-scenario", "diurnal-week", "-snapshots", "800", "-seed", "2", "-summary"}, ""},
+		{"diurnal-week-json", []string{"-scenario", "diurnal-week", "-snapshots", "800", "-seed", "2", "-json"}, ""},
+		{"gray-failure-summary", []string{"-scenario", "gray-failure", "-snapshots", "800", "-seed", "2", "-summary"}, ""},
+		{"gray-failure-json", []string{"-scenario", "gray-failure", "-snapshots", "800", "-seed", "2", "-json"}, ""},
+		{"adversarial-loss-summary", []string{"-scenario", "adversarial-loss", "-snapshots", "800", "-seed", "2", "-summary"}, ""},
+		{"adversarial-loss-json", []string{"-scenario", "adversarial-loss", "-snapshots", "800", "-seed", "2", "-json"}, ""},
 		{"stdin-topology-top3", []string{"-frac", "0.5", "-snapshots", "500", "-seed", "4", "-top", "3"}, "FIG1A"},
 		{"theorem-estimator", []string{"-scenario", "quickstart", "-snapshots", "500", "-seed", "5", "-estimator", "theorem"}, ""},
 	}
@@ -77,6 +83,47 @@ func TestGolden(t *testing.T) {
 				t.Fatalf("run(%v): %v", tc.args, err)
 			}
 			checkGolden(t, tc.name, out.String())
+		})
+	}
+}
+
+// TestStoreDirMatchesRAM is the CLI half of the out-of-core bit-identity
+// contract: the exact same bytes must come out of a run whose measurement
+// columns spill to segment files as out of the all-in-RAM run — for a static
+// scenario (record replayed through the spill store) and a dynamic one
+// (snapshots streamed into it with no record in RAM). It also checks the
+// spill directory really was populated.
+func TestStoreDirMatchesRAM(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"static", []string{"-scenario", "quickstart", "-snapshots", "800", "-seed", "3", "-estimator", "both"}},
+		{"dynamic", []string{"-scenario", "link-flap", "-snapshots", "600", "-seed", "2", "-summary", "-json"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var ram, errBuf bytes.Buffer
+			if err := run(tc.args, strings.NewReader(""), &ram, &errBuf); err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			var spill bytes.Buffer
+			if err := run(append(tc.args, "-store-dir", dir), strings.NewReader(""), &spill, &errBuf); err != nil {
+				t.Fatal(err)
+			}
+			if ram.String() != spill.String() {
+				t.Errorf("output with -store-dir differs from RAM run:\n--- RAM ---\n%s\n--- spill ---\n%s",
+					ram.String(), spill.String())
+			}
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) == 0 {
+				t.Error("-store-dir run left the spill directory empty")
+			}
 		})
 	}
 }

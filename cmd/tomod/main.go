@@ -70,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		estEvery  = fs.Int("estimate-every", 4, "selftest: request an estimate after this many accepted batches")
 		benchOut  = fs.String("bench-out", "BENCH_serve.json", "selftest: write the firehose report to this file ('' = skip)")
 		countWork = fs.Int("count-workers", 0, "fan each tenant's batched pair-count kernel out across this many workers during estimates (0/1 = serial); estimates are bit-identical for every setting")
+		spillDir  = fs.String("spill-dir", "", "back every tenant window with the out-of-core segment store under this directory (per-tenant subdirectories, reset at registration); estimates are bit-identical to the in-RAM windows")
 		noTiming  = fs.Bool("no-timing", false, "suppress timing-dependent output (throughput, latency, 429 counts) for reproducible logs")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -94,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
-	d := serve.New(serve.Config{Shards: *shards, QueueDepth: *queue, CountWorkers: *countWork})
+	d := serve.New(serve.Config{Shards: *shards, QueueDepth: *queue, CountWorkers: *countWork, SpillDir: *spillDir})
 	cfg := d.Config()
 	fmt.Fprintf(stdout, "tomod: sharded multi-tenant inference daemon\n")
 	fmt.Fprintf(stdout, "  shards:      %d\n", cfg.Shards)
@@ -107,6 +108,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if cfg.CountWorkers > 1 {
 		// Printed only when enabled so default-config goldens are unchanged.
 		fmt.Fprintf(stdout, "  count workers: %d\n", cfg.CountWorkers)
+	}
+	if cfg.SpillDir != "" {
+		fmt.Fprintf(stdout, "  spill dir:   %s\n", cfg.SpillDir)
 	}
 
 	if *selftest {

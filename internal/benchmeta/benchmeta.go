@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+
+	"repro/internal/segstore"
 )
 
 // Machine describes the hardware and runtime configuration of one benchmark
@@ -27,6 +29,12 @@ type Machine struct {
 	// CPUModel is the "model name" from /proc/cpuinfo; empty where
 	// unavailable.
 	CPUModel string `json:"cpu_model,omitempty"`
+	// PageSize is the OS memory page size in bytes — the mapping granularity
+	// of the out-of-core segment store's read path.
+	PageSize int `json:"page_size"`
+	// Mmap reports whether the segment store's mmap read path is available
+	// on this platform (false ⇒ sealed segments are read into the heap).
+	Mmap bool `json:"mmap"`
 }
 
 // Collect gathers the current process's machine metadata. It never fails:
@@ -39,6 +47,8 @@ func Collect() Machine {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		CPUModel:   cpuModel(),
+		PageSize:   os.Getpagesize(),
+		Mmap:       segstore.MmapAvailable(),
 	}
 	if runtime.GOARCH == "amd64" {
 		m.GOAMD64 = goamd64()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/congestion"
 	"repro/internal/netsim"
+	"repro/internal/segstore"
 	"repro/internal/snapstore"
 	"repro/internal/topology"
 )
@@ -86,18 +87,26 @@ const (
 // concurrent use, except Append which must not run concurrently with
 // queries or other Appends.
 type Empirical struct {
-	store *snapstore.Store
+	// cols is the storage/counting backend: RAM ring columns by default,
+	// the out-of-core tiered segment store for spill-enabled windows. The
+	// estimator is a pure function of the integer counts cols returns.
+	cols columnBackend
+	// ring is the RAM store when cols wraps one (the Store accessor);
+	// nil for a spill-backed estimator.
+	ring *snapstore.Store
+	// tiered is the segment store when cols is one (the SpillStore
+	// accessor); nil otherwise.
+	tiered *segstore.TieredStore
 	// streaming marks estimators that own their store (NewStreaming).
 	// Record-backed estimators alias the record's path store, where an
 	// Append would silently desync the record's link store — so only
 	// streaming estimators accept Append.
 	streaming bool
 
-	mu      sync.Mutex
-	scratch []uint64           // word buffer for multi-column OR queries
-	single  []float64          // per-path P(good); NaN = not yet computed
-	pairs   map[int64]float64  // i*NumPaths+j (i<j) → P(both good)
-	memo    map[string]float64 // path-set key → P(all good), for |set| > 2
+	mu     sync.Mutex
+	single []float64          // per-path P(good); NaN = not yet computed
+	pairs  map[int64]float64  // i*NumPaths+j (i<j) → P(both good)
+	memo   map[string]float64 // path-set key → P(all good), for |set| > 2
 	// patterns is the congested-pattern histogram (pattern key → snapshot
 	// count). nil until a PatternSource query materializes it; maintained
 	// incrementally by Append (and Evict, for sliding windows) afterwards.
@@ -118,12 +127,10 @@ type Empirical struct {
 	pairCounts []int
 	// idxBuf is the reusable index buffer of ProbPathsGood's general case.
 	idxBuf []int
-	// countWS/countWorkers drive the batched pair-count kernel: PrimePairs
-	// runs snapstore.CountPairsGoodWS through this workspace (block-summary
-	// skips always; parallel fan-out when countWorkers > 1). Guarded by mu
-	// like the other scratch, which satisfies the workspace's
-	// single-goroutine ownership contract.
-	countWS      snapstore.CountWorkspace
+	// countWorkers is handed to the backend's batched pair-count kernel:
+	// the RAM backend fans snapstore.CountPairsGoodWS across that many
+	// workers (block-summary skips always; bit-identical for every
+	// setting), the tiered backend counts serially and ignores it.
 	countWorkers int
 }
 
@@ -138,6 +145,30 @@ func NewEmpirical(rec *netsim.Record) (*Empirical, error) {
 		return nil, fmt.Errorf("measure: record has no snapshots; estimates would be 0/0")
 	}
 	return newEmpirical(rec.Paths), nil
+}
+
+// NewSlidingWindowSpill returns a sliding-window estimator whose columns
+// live in an out-of-core segment store (segstore.TieredStore): appended
+// snapshots accumulate in a RAM buffer that is sealed to mmap-backed disk
+// segments, and count queries sweep the mapped segments plus the buffer.
+// Estimates are bit-identical to NewSlidingWindow over the same rows; what
+// changes is that window no longer has to fit in RAM. The estimator owns
+// the store — Close unmaps it, after which the estimator must not be used
+// (unlike a RAM estimator's Close). Append-side disk failures panic with a
+// "segstore:" message; see segstore.TieredStore.
+func NewSlidingWindowSpill(numPaths, window int, opts segstore.Options) (*Empirical, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("measure: sliding window size = %d, want > 0", window)
+	}
+	ts, err := segstore.NewTiered(numPaths, window, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := newEmpiricalBackend(ts)
+	e.tiered = ts
+	e.streaming = true
+	e.evictScratch = bitset.New(numPaths)
+	return e, nil
 }
 
 // NewStreaming returns an empty streaming estimator over numPaths paths.
@@ -167,15 +198,27 @@ func NewSlidingWindow(numPaths, window int) (*Empirical, error) {
 }
 
 func newEmpirical(store *snapstore.Store) *Empirical {
+	e := newEmpiricalBackend(newRingColumns(store))
+	e.ring = store
+	return e
+}
+
+func newEmpiricalBackend(cols columnBackend) *Empirical {
 	return &Empirical{
-		store: store,
+		cols:  cols,
 		pairs: make(map[int64]float64),
 		memo:  make(map[string]float64),
 	}
 }
 
-// Store exposes the underlying columnar snapshot store (read-only).
-func (e *Empirical) Store() *snapstore.Store { return e.store }
+// Store exposes the underlying columnar snapshot store (read-only). It is
+// nil for a spill-backed estimator (NewSlidingWindowSpill), whose columns
+// live in the segment store SpillStore returns instead.
+func (e *Empirical) Store() *snapstore.Store { return e.ring }
+
+// SpillStore exposes the out-of-core segment store of a spill-backed
+// estimator (read-only), or nil for a RAM-resident one.
+func (e *Empirical) SpillStore() *segstore.TieredStore { return e.tiered }
 
 // Append ingests one more snapshot (the set of congested paths) and keeps
 // the pattern histogram current, so PatternSource queries stay valid
@@ -191,8 +234,15 @@ func (e *Empirical) Append(congested *bitset.Set) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.store.AppendEvict(congested, e.evictScratch) {
-		e.forgetPattern(e.evictScratch)
+	// Only the pattern histogram consumes evicted rows; when it is not
+	// materialized, let the backend skip producing them (the out-of-core
+	// backend pays O(paths) per eviction otherwise).
+	ev := e.evictScratch
+	if e.patterns == nil {
+		ev = nil
+	}
+	if e.cols.AppendEvict(congested, ev) && ev != nil {
+		e.forgetPattern(ev)
 	}
 	e.recordPattern(congested)
 	e.resetCaches()
@@ -214,8 +264,8 @@ func (e *Empirical) AppendBatch(rows []*bitset.Set) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	c := e.store.Capacity()
-	if d := e.store.Snapshots() + len(rows) - c; c > 0 && d > 0 && d <= e.store.Snapshots() {
+	c := e.cols.Capacity()
+	if d := e.cols.Snapshots() + len(rows) - c; c > 0 && d > 0 && d <= e.cols.Snapshots() {
 		// The batch displaces exactly the d oldest retained snapshots:
 		// forget their histogram entries row by row, then clear their slots
 		// in one blocked pass. (A batch larger than the whole window — d
@@ -223,15 +273,19 @@ func (e *Empirical) AppendBatch(rows []*bitset.Set) {
 		// where AppendEvict handles the mid-batch evictions.)
 		if e.patterns != nil {
 			for t := 0; t < d; t++ {
-				e.store.RowInto(t, e.evictScratch)
+				e.cols.RowInto(t, e.evictScratch)
 				e.forgetPattern(e.evictScratch)
 			}
 		}
-		e.store.DropOldest(d)
+		e.cols.DropOldest(d)
+	}
+	ev := e.evictScratch
+	if e.patterns == nil {
+		ev = nil
 	}
 	for _, row := range rows {
-		if e.store.AppendEvict(row, e.evictScratch) {
-			e.forgetPattern(e.evictScratch)
+		if e.cols.AppendEvict(row, ev) && ev != nil {
+			e.forgetPattern(ev)
 		}
 		e.recordPattern(row)
 	}
@@ -257,13 +311,14 @@ func (e *Empirical) CountWorkers() int {
 	return e.countWorkers
 }
 
-// Close releases the pool goroutines of the parallel count workspace. It is
-// idempotent, cheap on estimators that never went parallel, and the
-// estimator remains fully usable afterwards.
+// Close releases the backend's resources: the pool goroutines of a RAM
+// estimator's parallel count workspace (the estimator remains fully usable
+// afterwards — the pool respawns on demand), or the segment mappings of a
+// spill-backed estimator (which must not be used after Close). Idempotent.
 func (e *Empirical) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.countWS.Close()
+	e.cols.Close()
 }
 
 // Evict drops the oldest retained snapshot of a sliding-window estimator
@@ -272,22 +327,28 @@ func (e *Empirical) Close() {
 // on a non-windowed estimator. Like Append, it must not run concurrently
 // with queries.
 func (e *Empirical) Evict() bool {
-	if e.store.Capacity() == 0 {
+	if e.cols.Capacity() == 0 {
 		panic("measure: Evict requires a sliding-window estimator (NewSlidingWindow)")
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if !e.store.EvictOldest(e.evictScratch) {
+	ev := e.evictScratch
+	if e.patterns == nil {
+		ev = nil
+	}
+	if !e.cols.EvictOldest(ev) {
 		return false
 	}
-	e.forgetPattern(e.evictScratch)
+	if ev != nil {
+		e.forgetPattern(ev)
+	}
 	e.resetCaches()
 	return true
 }
 
 // Window returns the sliding-window capacity, or 0 for an unbounded
 // estimator.
-func (e *Empirical) Window() int { return e.store.Capacity() }
+func (e *Empirical) Window() int { return e.cols.Capacity() }
 
 // recordPattern bumps the appended row's histogram entry. A recurring
 // pattern is a map read plus a boxed increment; only a never-seen pattern
@@ -351,10 +412,10 @@ func (e *Empirical) resetCaches() {
 }
 
 // NumPaths implements Source.
-func (e *Empirical) NumPaths() int { return e.store.NumSeries() }
+func (e *Empirical) NumPaths() int { return e.cols.NumSeries() }
 
 // Snapshots returns the number of snapshots backing the estimates.
-func (e *Empirical) Snapshots() int { return e.store.Snapshots() }
+func (e *Empirical) Snapshots() int { return e.cols.Snapshots() }
 
 // ProbPathsGood implements Source: the fraction of snapshots in which no
 // path of the set was congested. A memoized query allocates nothing: the
@@ -372,7 +433,7 @@ func (e *Empirical) ProbPathsGood(paths *bitset.Set) float64 {
 		paths.ForEach(func(i int) bool { pair[k] = i; k++; return true })
 		return e.ProbPairGood(topology.PathID(pair[0]), topology.PathID(pair[1]))
 	}
-	n := e.store.Snapshots()
+	n := e.cols.Snapshots()
 	if n == 0 {
 		return 0
 	}
@@ -383,10 +444,7 @@ func (e *Empirical) ProbPathsGood(paths *bitset.Set) float64 {
 		return p
 	}
 	e.idxBuf = paths.AppendIndices(e.idxBuf[:0])
-	if cap(e.scratch) < e.store.Words() {
-		e.scratch = make([]uint64, e.store.Words())
-	}
-	p := float64(e.store.CountAllGood(e.idxBuf, e.scratch)) / float64(n)
+	p := float64(e.cols.CountAllGood(e.idxBuf)) / float64(n)
 	if len(e.memo) >= maxMemoEntries {
 		e.memo = make(map[string]float64)
 	}
@@ -396,14 +454,14 @@ func (e *Empirical) ProbPathsGood(paths *bitset.Set) float64 {
 
 // ProbPathGood implements FastPairSource via the per-path cache.
 func (e *Empirical) ProbPathGood(i topology.PathID) float64 {
-	n := e.store.Snapshots()
+	n := e.cols.Snapshots()
 	if n == 0 {
 		return 0
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.single == nil {
-		e.single = make([]float64, e.store.NumSeries())
+		e.single = make([]float64, e.cols.NumSeries())
 		for k := range e.single {
 			e.single[k] = math.NaN()
 		}
@@ -411,7 +469,7 @@ func (e *Empirical) ProbPathGood(i topology.PathID) float64 {
 	if p := e.single[i]; !math.IsNaN(p) {
 		return p
 	}
-	p := float64(n-e.store.CongestedCount(int(i))) / float64(n)
+	p := float64(n-e.cols.CongestedCount(int(i))) / float64(n)
 	e.single[i] = p
 	return p
 }
@@ -424,21 +482,17 @@ func (e *Empirical) ProbPairGood(i, j topology.PathID) float64 {
 	if j < i {
 		i, j = j, i
 	}
-	n := e.store.Snapshots()
+	n := e.cols.Snapshots()
 	if n == 0 {
 		return 0
 	}
-	key := int64(i)*int64(e.store.NumSeries()) + int64(j)
+	key := int64(i)*int64(e.cols.NumSeries()) + int64(j)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if p, ok := e.pairs[key]; ok {
 		return p
 	}
-	if cap(e.scratch) < e.store.Words() {
-		e.scratch = make([]uint64, e.store.Words())
-	}
-	good := e.store.Snapshots() - e.countPairCongested(int(i), int(j))
-	p := float64(good) / float64(n)
+	p := float64(e.cols.CountPairGood(int(i), int(j))) / float64(n)
 	if len(e.pairs) >= maxPairEntries {
 		e.pairs = make(map[int64]float64)
 	}
@@ -446,21 +500,11 @@ func (e *Empirical) ProbPairGood(i, j topology.PathID) float64 {
 	return p
 }
 
-// countPairCongested is the two-column OR+popcount, inlined without an index
-// slice. Caller holds e.mu (for scratch).
-func (e *Empirical) countPairCongested(i, j int) int {
-	a, b := e.store.Column(i), e.store.Column(j)
-	e.scratch = e.scratch[:e.store.Words()]
-	copy(e.scratch, a)
-	bitset.OrWords(e.scratch, b)
-	return bitset.PopCountWords(e.scratch)
-}
-
 // ProbExactCongestedPaths implements PatternSource via the pattern
 // histogram, materialized lazily from the columns on first use and kept
 // current by Append.
 func (e *Empirical) ProbExactCongestedPaths(paths *bitset.Set) float64 {
-	n := e.store.Snapshots()
+	n := e.cols.Snapshots()
 	if n == 0 {
 		return 0
 	}
@@ -478,7 +522,7 @@ func (e *Empirical) ProbExactCongestedPaths(paths *bitset.Set) float64 {
 // with the pattern's bitset.Key precomputed by the caller. Equal to
 // ProbExactCongestedPaths of the set the key encodes.
 func (e *Empirical) ProbCongestedPatternKey(key string) float64 {
-	n := e.store.Snapshots()
+	n := e.cols.Snapshots()
 	if n == 0 {
 		return 0
 	}
@@ -498,9 +542,9 @@ func (e *Empirical) materializePatterns(n int) {
 		return
 	}
 	e.patterns = make(map[string]*int)
-	row := bitset.New(e.store.NumSeries())
+	row := bitset.New(e.cols.NumSeries())
 	for t := 0; t < n; t++ {
-		e.store.RowInto(t, row)
+		e.cols.RowInto(t, row)
 		e.recordPattern(row)
 	}
 }
@@ -514,11 +558,11 @@ func (e *Empirical) materializePatterns(n int) {
 // to per-pair lookups; a steady-state caller (same pair set each estimate)
 // allocates nothing beyond the cache's own warm-up.
 func (e *Empirical) PrimePairs(pairs []Pair) {
-	n := e.store.Snapshots()
+	n := e.cols.Snapshots()
 	if n == 0 || len(pairs) == 0 {
 		return
 	}
-	np := int64(e.store.NumSeries())
+	np := int64(e.cols.NumSeries())
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.pairBuf = e.pairBuf[:0]
@@ -542,7 +586,7 @@ func (e *Empirical) PrimePairs(pairs []Pair) {
 		e.pairCounts = make([]int, len(e.pairBuf))
 	}
 	e.pairCounts = e.pairCounts[:len(e.pairBuf)]
-	e.store.CountPairsGoodWS(&e.countWS, e.pairBuf, e.pairCounts, e.countWorkers)
+	e.cols.CountPairsGood(e.pairBuf, e.pairCounts, e.countWorkers)
 	if len(e.pairs) >= maxPairEntries {
 		e.pairs = make(map[int64]float64)
 	}
@@ -555,13 +599,13 @@ func (e *Empirical) PrimePairs(pairs []Pair) {
 // which it was congested — the paper's E(YPi). The result is all-zero while
 // a streaming estimator is still empty.
 func (e *Empirical) PathCongestionFrequency() []float64 {
-	out := make([]float64, e.store.NumSeries())
-	n := float64(e.store.Snapshots())
+	out := make([]float64, e.cols.NumSeries())
+	n := float64(e.cols.Snapshots())
 	if n == 0 {
 		return out
 	}
 	for i := range out {
-		out[i] = float64(e.store.CongestedCount(i)) / n
+		out[i] = float64(e.cols.CongestedCount(i)) / n
 	}
 	return out
 }

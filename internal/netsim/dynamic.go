@@ -66,6 +66,27 @@ type DynamicConfig struct {
 // runner.DeriveSeed(seed, t), so records never depend on scheduling or
 // worker count. ctx is honoured between snapshots.
 func RunDynamic(ctx context.Context, cfg DynamicConfig) (*Record, error) {
+	return runDynamic(ctx, cfg, true)
+}
+
+// RunDynamicStream is RunDynamic without the record: every snapshot goes
+// only to cfg.OnSnapshot (required), nothing is materialized in RAM — the
+// generation mode for day-scale replays whose observations stream straight
+// into a spill-enabled window (segstore) instead of a record. The
+// OnSnapshot sequence is bit-identical to RunDynamic's under the same
+// configuration and seed.
+func RunDynamicStream(ctx context.Context, cfg DynamicConfig) error {
+	if cfg.OnSnapshot == nil {
+		return fmt.Errorf("netsim: RunDynamicStream requires an OnSnapshot tap (nothing else receives the snapshots)")
+	}
+	if cfg.RecordLinkStates {
+		return fmt.Errorf("netsim: RunDynamicStream records nothing; use RunDynamic for link states")
+	}
+	_, err := runDynamic(ctx, cfg, false)
+	return err
+}
+
+func runDynamic(ctx context.Context, cfg DynamicConfig, record bool) (*Record, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("netsim: nil topology")
 	}
@@ -94,9 +115,12 @@ func RunDynamic(ctx context.Context, cfg DynamicConfig) (*Record, error) {
 		return nil, fmt.Errorf("netsim: packets per path = %d", packets)
 	}
 
-	rec := &Record{Paths: snapstore.New(cfg.Topology.NumPaths())}
-	if cfg.RecordLinkStates {
-		rec.Links = snapstore.New(cfg.Topology.NumLinks())
+	var rec *Record
+	if record {
+		rec = &Record{Paths: snapstore.New(cfg.Topology.NumPaths())}
+		if cfg.RecordLinkStates {
+			rec.Links = snapstore.New(cfg.Topology.NumLinks())
+		}
 	}
 	run := cfg.Process.Start(cfg.Seed)
 	linkState := bitset.New(cfg.Topology.NumLinks())
@@ -119,9 +143,11 @@ func RunDynamic(ctx context.Context, cfg DynamicConfig) (*Record, error) {
 		// noise stays independent of the process realization.
 		rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Seed, t)))
 		observePaths(cfg.Topology, linkState, rng, cfg.Mode, tl, packets, pathState)
-		rec.Paths.Append(pathState)
-		if rec.Links != nil {
-			rec.Links.Append(linkState)
+		if rec != nil {
+			rec.Paths.Append(pathState)
+			if rec.Links != nil {
+				rec.Links.Append(linkState)
+			}
 		}
 		if cfg.OnSnapshot != nil {
 			cfg.OnSnapshot(t, pathState)
@@ -175,9 +201,11 @@ func runDynamicChunked(ctx context.Context, cfg DynamicConfig, rec *Record, run 
 			return nil, err
 		}
 		for i := 0; i < m; i++ {
-			rec.Paths.Append(pathStates[i])
-			if rec.Links != nil {
-				rec.Links.Append(linkStates[i])
+			if rec != nil {
+				rec.Paths.Append(pathStates[i])
+				if rec.Links != nil {
+					rec.Links.Append(linkStates[i])
+				}
 			}
 			if cfg.OnSnapshot != nil {
 				cfg.OnSnapshot(base+i, pathStates[i])

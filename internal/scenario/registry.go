@@ -256,4 +256,146 @@ func init() {
 			return dynamicScenario("link-flap", net.Topology, proc), nil
 		},
 	})
+	register(Spec{
+		Name:        "diurnal-week",
+		Description: "dynamic: a simulated week of day/night load on a PlanetLab-style mesh — slow diurnal modulators, fast flap modulators, and seven forced daily peaks (the day-scale replay workload)",
+		Dynamic:     true,
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := planetlab.Generate(planetlab.Config{
+				Routers: 64, VantagePoints: 24, Paths: 150, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			top := net.Topology
+			rng := rand.New(rand.NewSource(seed + 1))
+			// Split the multi-link correlation sets into two pools: even sets
+			// follow the slow diurnal cycle (bursts thousands of snapshots
+			// long), odd sets flap on top of it.
+			var groups []dynamics.Group
+			pool := 0
+			for p := 0; p < top.NumSets(); p++ {
+				set := top.CorrelationSet(p)
+				if set.Len() < 2 {
+					continue
+				}
+				chain := dynamics.Chain{POn: 0.0008, MeanBurst: 2000}
+				coupling := 0.6
+				if pool%2 == 1 {
+					chain = dynamics.Chain{POn: 0.05, MeanBurst: 4}
+					coupling = 0.2
+				}
+				pool++
+				links := set.Indices()
+				on := make([]float64, len(links))
+				off := make([]float64, len(links))
+				for i := range links {
+					on[i] = 0.5 + 0.4*rng.Float64()
+					off[i] = 0.03 * rng.Float64()
+				}
+				groups = append(groups, dynamics.Group{
+					Links: links, Chain: chain, OnProb: on, OffProb: off, Coupling: coupling,
+				})
+			}
+			if len(groups) == 0 {
+				return nil, fmt.Errorf("scenario: topology has no multi-link correlation sets to modulate")
+			}
+			// Seven deterministic daytime peaks: the global driver is forced
+			// on for the middle third of each 20000-snapshot "day", so a
+			// week-long replay (≥ 140000 snapshots) sees seven load waves at
+			// known positions.
+			const day = 20000
+			force := make([]dynamics.ForcedBurst, 7)
+			for d := range force {
+				force[d] = dynamics.ForcedBurst{Group: -1, Start: d*day + day/3, End: d*day + 2*day/3}
+			}
+			proc, err := dynamics.NewMarkovModulated(dynamics.Config{
+				NumLinks: top.NumLinks(),
+				Groups:   groups,
+				Global:   &dynamics.Chain{POn: 0.002, MeanBurst: 600},
+				Force:    force,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return dynamicScenario("diurnal-week", top, proc), nil
+		},
+	})
+	register(Spec{
+		Name:        "gray-failure",
+		Description: "dynamic: partial correlation-set degradation — only half of each afflicted set's links congest, at rates low enough to hide in the noise (long, weak bursts)",
+		Dynamic:     true,
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := registryBrite(seed)
+			if err != nil {
+				return nil, err
+			}
+			top := net.Topology
+			rng := rand.New(rand.NewSource(seed + 1))
+			// Gray failures afflict only part of a shared-fate set: take the
+			// first half of each multi-link set's links (at least one), so
+			// estimators see correlation structure that is real but weaker
+			// than the topology predicts.
+			var sets []int
+			for p := 0; p < top.NumSets(); p++ {
+				if top.CorrelationSet(p).Len() >= 2 {
+					sets = append(sets, p)
+				}
+			}
+			if len(sets) == 0 {
+				return nil, fmt.Errorf("scenario: topology has no multi-link correlation sets to modulate")
+			}
+			if len(sets) > 8 {
+				rng.Shuffle(len(sets), func(i, j int) { sets[i], sets[j] = sets[j], sets[i] })
+				sets = sets[:8]
+				sort.Ints(sets)
+			}
+			groups := make([]dynamics.Group, 0, len(sets))
+			for _, p := range sets {
+				links := top.CorrelationSet(p).Indices()
+				links = links[:(len(links)+1)/2]
+				on := make([]float64, len(links))
+				off := make([]float64, len(links))
+				for i := range links {
+					on[i] = 0.25 + 0.2*rng.Float64()
+					off[i] = 0.01 * rng.Float64()
+				}
+				groups = append(groups, dynamics.Group{
+					Links: links, Chain: dynamics.Chain{POn: 0.004, MeanBurst: 300},
+					OnProb: on, OffProb: off,
+				})
+			}
+			proc, err := dynamics.NewMarkovModulated(dynamics.Config{
+				NumLinks: top.NumLinks(),
+				Groups:   groups,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return dynamicScenario("gray-failure", top, proc), nil
+		},
+	})
+	register(Spec{
+		Name:        "adversarial-loss",
+		Description: "dynamic: rare but near-total loss storms striking many correlation sets at once (strongly coupled, high-amplitude short bursts)",
+		Dynamic:     true,
+		Build: func(seed int64) (*Scenario, error) {
+			net, err := registryBrite(seed)
+			if err != nil {
+				return nil, err
+			}
+			proc, err := markovOverSets(net.Topology, seed+1, markovConfig{
+				chain:    dynamics.Chain{POn: 0.001, MeanBurst: 4},
+				global:   &dynamics.Chain{POn: 0.01, MeanBurst: 5},
+				coupling: 0.95,
+				onLo:     0.85, onHi: 1.0,
+				offLo: 0.0, offHi: 0.005,
+				maxGroups: 12,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return dynamicScenario("adversarial-loss", net.Topology, proc), nil
+		},
+	})
 }

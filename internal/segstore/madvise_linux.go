@@ -1,0 +1,14 @@
+//go:build linux
+
+package segstore
+
+import "syscall"
+
+// releasePages drops the mapping's resident pages (MADV_DONTNEED); the
+// next touch faults them back in from the page cache or the file. Purely
+// an RSS hint — failure is harmless, so the error is ignored.
+func releasePages(b []byte) {
+	if len(b) > 0 {
+		syscall.Madvise(b, syscall.MADV_DONTNEED)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !linux
+
+package segstore
+
+func releasePages(b []byte) {}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package segstore
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package segstore
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps the first size bytes of f read-only and shared, so sealed
+// segment pages live in the page cache, not the Go heap — the kernel can
+// reclaim cold ones under memory pressure and the RSS of a day-scale
+// replay stays bounded by the hot window.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

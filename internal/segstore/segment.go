@@ -1,0 +1,250 @@
+package segstore
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+)
+
+// colMeta describes one column of a segment: the word span [lo, hi) that
+// holds its set bits, where that span starts in the segment's data area,
+// and the column's popcount. A column with pop == 0 stores no words at all
+// (lo == hi) — the zero-span compression that makes cold all-good columns
+// free to store and free to skip.
+type colMeta struct {
+	lo, hi int // word span [lo, hi) of the full column that is materialized
+	off    int // index of word lo in segment.data
+	pop    int // set bits in the whole column
+}
+
+// segment is one fixed-size block of rows, either sealed (data aliases a
+// mapped or heap-read file image; meta is immutable) or the tiered store's
+// active write buffer (data is heap words, every span dense over
+// [0, words), pops maintained incrementally by Append). The count kernels
+// below serve both.
+type segment struct {
+	base   int // absolute index of row 0
+	rows   int
+	words  int // rows / 64
+	meta   []colMeta
+	data   []uint64
+	mapped []byte // non-nil when data aliases an mmap'ed file image
+	path   string
+	crc    uint32 // data CRC of the sealed file (0 for the active buffer)
+}
+
+func (s *segment) close() {
+	if s.mapped != nil {
+		munmap(s.mapped)
+		s.mapped = nil
+	}
+	s.data = nil
+}
+
+// span returns the materialized words [lo, hi) of column m; callers must
+// keep lo ≥ m.lo and hi ≤ m.hi.
+func (s *segment) span(m *colMeta, lo, hi int) []uint64 {
+	return s.data[m.off+(lo-m.lo) : m.off+(hi-m.lo)]
+}
+
+// word returns word w of column m, materialized or not.
+func (s *segment) word(m *colMeta, w int) uint64 {
+	if w < m.lo || w >= m.hi {
+		return 0
+	}
+	return s.data[m.off+w-m.lo]
+}
+
+// rangeMasks resolves a row range [fromRow, toRow) to the word index of its
+// first and last partial word plus the masks that trim them. Either mask is
+// all-ones when the boundary is word-aligned; tailW is -1 then so it never
+// matches.
+func rangeMasks(fromRow, toRow int) (headW int, headMask uint64, tailW int, tailMask uint64) {
+	headW = fromRow / wordBits
+	headMask = ^uint64(0) << uint(fromRow%wordBits)
+	tailW, tailMask = -1, ^uint64(0)
+	if r := toRow % wordBits; r != 0 {
+		tailW = toRow / wordBits
+		tailMask = ^uint64(0) >> uint(wordBits-r)
+	}
+	return
+}
+
+// seriesCount returns the set bits of column i within rows [fromRow, toRow).
+func (s *segment) seriesCount(i, fromRow, toRow int) int {
+	m := &s.meta[i]
+	if m.pop == 0 || fromRow >= toRow {
+		return 0
+	}
+	if fromRow == 0 && toRow == s.rows {
+		return m.pop
+	}
+	wLo, wHi := fromRow/wordBits, (toRow+wordBits-1)/wordBits
+	if wLo < m.lo {
+		wLo = m.lo
+	}
+	if wHi > m.hi {
+		wHi = m.hi
+	}
+	headW, headMask, tailW, tailMask := rangeMasks(fromRow, toRow)
+	n := 0
+	for w := wLo; w < wHi; w++ {
+		v := s.data[m.off+w-m.lo]
+		if w == headW {
+			v &= headMask
+		}
+		if w == tailW {
+			v &= tailMask
+		}
+		n += bits.OnesCount64(v)
+	}
+	return n
+}
+
+// pairCount returns the rows in [fromRow, toRow) where column a OR column b
+// has a set bit. The full-segment call is the hot shape (every window
+// boundary except the oldest segment's is segment-aligned): it runs span
+// algebra on the directory — disjoint spans sum their popcounts without
+// touching a word, overlapping spans pay one fused OR+POPCNT sweep over the
+// overlap plus plain popcounts of the exclusive leads/tails.
+func (s *segment) pairCount(a, b, fromRow, toRow int) int {
+	if fromRow >= toRow {
+		return 0
+	}
+	am, bm := &s.meta[a], &s.meta[b]
+	if am.pop == 0 {
+		return s.seriesCount(b, fromRow, toRow)
+	}
+	if bm.pop == 0 {
+		return s.seriesCount(a, fromRow, toRow)
+	}
+	if fromRow == 0 && toRow == s.rows {
+		if am.hi <= bm.lo || bm.hi <= am.lo {
+			return am.pop + bm.pop
+		}
+		iLo, iHi := am.lo, am.hi
+		if bm.lo > iLo {
+			iLo = bm.lo
+		}
+		if bm.hi < iHi {
+			iHi = bm.hi
+		}
+		n := bitset.OrPopCountWords(s.span(am, iLo, iHi), s.span(bm, iLo, iHi))
+		if am.lo < iLo {
+			n += bitset.PopCountWords(s.span(am, am.lo, iLo))
+		}
+		if bm.lo < iLo {
+			n += bitset.PopCountWords(s.span(bm, bm.lo, iLo))
+		}
+		if am.hi > iHi {
+			n += bitset.PopCountWords(s.span(am, iHi, am.hi))
+		}
+		if bm.hi > iHi {
+			n += bitset.PopCountWords(s.span(bm, iHi, bm.hi))
+		}
+		return n
+	}
+	// Boundary range: masked word loop over the union of the two spans
+	// clipped to the row range.
+	wLo, wHi := fromRow/wordBits, (toRow+wordBits-1)/wordBits
+	uLo, uHi := am.lo, am.hi
+	if bm.lo < uLo {
+		uLo = bm.lo
+	}
+	if bm.hi > uHi {
+		uHi = bm.hi
+	}
+	if wLo < uLo {
+		wLo = uLo
+	}
+	if wHi > uHi {
+		wHi = uHi
+	}
+	headW, headMask, tailW, tailMask := rangeMasks(fromRow, toRow)
+	n := 0
+	for w := wLo; w < wHi; w++ {
+		v := s.word(am, w) | s.word(bm, w)
+		if w == headW {
+			v &= headMask
+		}
+		if w == tailW {
+			v &= tailMask
+		}
+		n += bits.OnesCount64(v)
+	}
+	return n
+}
+
+// anyCount returns the rows in [fromRow, toRow) where at least one of the
+// given columns has a set bit — the OR-reduction kernel behind
+// CountAllGood. Columns with pop == 0 cost one branch per word.
+func (s *segment) anyCount(series []int, fromRow, toRow int) int {
+	if fromRow >= toRow || len(series) == 0 {
+		return 0
+	}
+	if len(series) == 1 {
+		return s.seriesCount(series[0], fromRow, toRow)
+	}
+	wLo, wHi := fromRow/wordBits, (toRow+wordBits-1)/wordBits
+	uLo, uHi := s.words, 0
+	for _, i := range series {
+		m := &s.meta[i]
+		if m.pop == 0 {
+			continue
+		}
+		if m.lo < uLo {
+			uLo = m.lo
+		}
+		if m.hi > uHi {
+			uHi = m.hi
+		}
+	}
+	if wLo < uLo {
+		wLo = uLo
+	}
+	if wHi > uHi {
+		wHi = uHi
+	}
+	headW, headMask, tailW, tailMask := rangeMasks(fromRow, toRow)
+	n := 0
+	for w := wLo; w < wHi; w++ {
+		var v uint64
+		for _, i := range series {
+			m := &s.meta[i]
+			if m.pop != 0 && w >= m.lo && w < m.hi {
+				v |= s.data[m.off+w-m.lo]
+			}
+		}
+		if w == headW {
+			v &= headMask
+		}
+		if w == tailW {
+			v &= tailMask
+		}
+		n += bits.OnesCount64(v)
+	}
+	return n
+}
+
+// bit reports whether column i has row r set.
+func (s *segment) bit(i, r int) bool {
+	m := &s.meta[i]
+	w := r / wordBits
+	if m.pop == 0 || w < m.lo || w >= m.hi {
+		return false
+	}
+	return s.data[m.off+w-m.lo]&(1<<uint(r%wordBits)) != 0
+}
+
+// rowInto adds every column with row r set to dst (which the caller has
+// cleared).
+func (s *segment) rowInto(r int, dst *bitset.Set) {
+	w := r / wordBits
+	mask := uint64(1) << uint(r%wordBits)
+	for i := range s.meta {
+		m := &s.meta[i]
+		if m.pop != 0 && w >= m.lo && w < m.hi && s.data[m.off+w-m.lo]&mask != 0 {
+			dst.Add(i)
+		}
+	}
+}

@@ -93,7 +93,7 @@ func TestAPIErrorStrings(t *testing.T) {
 			name: "register with unknown scenario", method: http.MethodPost,
 			path: "/v1/tenants", body: mustJSON(TenantConfig{Name: "s", Scenario: "nope", Window: 10}),
 			wantStatus: http.StatusBadRequest,
-			wantErr:    `serve: register tenant "s": scenario: unknown scenario "nope" (registered: [diurnal flash-crowd link-flap planetlab-replay quickstart worm])`,
+			wantErr:    `serve: register tenant "s": scenario: unknown scenario "nope" (registered: [adversarial-loss diurnal diurnal-week flash-crowd gray-failure link-flap planetlab-replay quickstart worm])`,
 		},
 		{
 			name: "register with unknown estimator", method: http.MethodPost,

@@ -37,6 +37,16 @@ type Config struct {
 	// few tenants and idle cores can spend them here instead. Estimates
 	// are bit-identical for every setting.
 	CountWorkers int
+	// SpillDir, when non-empty, backs every tenant's window with the
+	// out-of-core segment store: sealed column segments land under
+	// SpillDir/<escaped tenant name> and counts run on the mapped files,
+	// so per-tenant RSS stays bounded by the segment size instead of the
+	// window size. Estimates are bit-identical to the in-RAM windows. Each
+	// tenant's subdirectory is reset at registration.
+	SpillDir string
+	// SpillSegmentRows overrides the rows per sealed segment when SpillDir
+	// is set (0 ⇒ the segstore default; must be a multiple of 64).
+	SpillSegmentRows int
 }
 
 // Daemon is the multi-tenant serving core: tenant registry, shard workers,
@@ -101,7 +111,7 @@ var errShuttingDown = errors.New("serve: daemon shutting down")
 // an inline document), compiled into a plan, and given an empty sliding
 // window on a round-robin-assigned shard. Duplicate names are rejected.
 func (d *Daemon) Register(cfg TenantConfig) (*Tenant, error) {
-	t, err := newTenant(cfg, d.cfg.CountWorkers)
+	t, err := newTenant(cfg, d.cfg.CountWorkers, d.cfg.SpillDir, d.cfg.SpillSegmentRows)
 	if err != nil {
 		return nil, err
 	}

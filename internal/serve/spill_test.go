@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	tomography "repro"
+	"repro/internal/bitset"
+)
+
+// TestSpillDaemonMatchesRAM pins the serving-layer half of the out-of-core
+// contract: a daemon whose tenant windows spill sealed column segments to
+// disk (Config.SpillDir) serves estimates bit-identical to a RAM-only
+// daemon fed the same probe stream, and each tenant's segments land in its
+// own escaped-name subdirectory — including a tenant named "../escape"
+// that must NOT climb out of the spill root.
+func TestSpillDaemonMatchesRAM(t *testing.T) {
+	const (
+		window = 120
+		stride = 40
+		snaps  = 360
+	)
+	scn, err := tomography.BuildScenario("quickstart", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tomography.Simulate(tomography.SimConfig{
+		Topology: scn.Topology, Model: scn.Model, Snapshots: snaps, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spillRoot := t.TempDir()
+	ram := New(Config{Shards: 1, QueueDepth: 64})
+	spill := New(Config{Shards: 1, QueueDepth: 64, SpillDir: spillRoot, SpillSegmentRows: 64})
+	ramSrv := httptest.NewServer(ram.Handler())
+	spillSrv := httptest.NewServer(spill.Handler())
+	defer ramSrv.Close()
+	defer spillSrv.Close()
+	defer ram.Shutdown(context.Background())
+	defer spill.Shutdown(context.Background())
+
+	const tenant = "../escape"
+	for _, d := range []*Daemon{ram, spill} {
+		if _, err := d.Register(TenantConfig{
+			Name: tenant, Scenario: "quickstart", Seed: 5, Window: window,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	row := bitset.New(scn.Topology.NumPaths())
+	checked := 0
+	for at := 0; at < snaps; at += stride {
+		sets := make([]*bitset.Set, 0, stride)
+		for s := at; s < at+stride && s < snaps; s++ {
+			rec.Paths.RowInto(s, row)
+			sets = append(sets, row.Clone())
+		}
+		batch, err := EncodeReports(sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, srv := range map[string]*httptest.Server{"RAM": ramSrv, "spill": spillSrv} {
+			if status, body := post(t, srv.URL+"/v1/ingest?tenant=../escape", batch); status != http.StatusAccepted {
+				t.Fatalf("%s: ingest at %d: status %d: %s", name, at, status, body)
+			}
+		}
+		if at+stride < window {
+			continue
+		}
+		var a, b EstimateResponse
+		if status, body := get(t, ramSrv.URL+"/v1/estimate?tenant=../escape", &a); status != http.StatusOK {
+			t.Fatalf("RAM estimate: status %d: %s", status, body)
+		}
+		if status, body := get(t, spillSrv.URL+"/v1/estimate?tenant=../escape", &b); status != http.StatusOK {
+			t.Fatalf("spill estimate: status %d: %s", status, body)
+		}
+		if a.SnapshotsSeen != b.SnapshotsSeen || a.WindowLen != b.WindowLen {
+			t.Fatalf("at %d: RAM covers %d/%d, spill %d/%d", at, a.SnapshotsSeen, a.WindowLen, b.SnapshotsSeen, b.WindowLen)
+		}
+		if !bitIdentical(a.CongestionProb, b.CongestionProb) {
+			t.Fatalf("at %d: spill daemon estimate differs from RAM\n RAM:   %v\n spill: %v", at, a.CongestionProb, b.CongestionProb)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no estimates compared")
+	}
+
+	// The hostile tenant name must have been confined to an escaped
+	// subdirectory of the spill root.
+	entries, err := os.ReadDir(spillRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !entries[0].IsDir() {
+		t.Fatalf("spill root holds %v, want exactly one tenant directory", entries)
+	}
+	sub := entries[0].Name()
+	if strings.Contains(sub, "..") || strings.ContainsAny(sub, "/\\") {
+		t.Fatalf("tenant subdirectory %q was not sanitized", sub)
+	}
+	if _, err := os.Stat(filepath.Join(spillRoot, sub, "MANIFEST.json")); err != nil {
+		t.Fatalf("tenant spill directory missing its manifest: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(spillRoot, sub, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("spill tenant never sealed a segment to disk")
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/url"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 
 	tomography "repro"
@@ -75,8 +78,10 @@ func (t *Tenant) syncStats() {
 
 // newTenant validates a TenantConfig and builds the tenant (plan compiled,
 // window empty). The shard index is assigned by the daemon, which also
-// passes its configured count-kernel worker fan-out down to the window.
-func newTenant(cfg TenantConfig, countWorkers int) (*Tenant, error) {
+// passes its configured count-kernel worker fan-out and spill directory
+// down to the window; a non-empty spillDir gives the tenant an out-of-core
+// window whose segments live under its own escaped-name subdirectory.
+func newTenant(cfg TenantConfig, countWorkers int, spillDir string, spillSegRows int) (*Tenant, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("serve: register: tenant name is empty")
 	}
@@ -106,11 +111,24 @@ func newTenant(cfg TenantConfig, countWorkers int) (*Tenant, error) {
 	if estimator == "" {
 		estimator = "correlation"
 	}
-	win, err := tomography.NewWindow(top, tomography.WindowConfig{
+	wcfg := tomography.WindowConfig{
 		Size:         cfg.Window,
 		Estimator:    estimator,
 		CountWorkers: countWorkers,
-	})
+	}
+	if spillDir != "" {
+		// url.PathEscape keeps arbitrary tenant names from escaping the
+		// spill root, except that it passes dots through — escape them too
+		// so "." and ".." stay inside. Still collision-free: a literal
+		// "%2E" in a name has its % escaped to %25 first.
+		sub := strings.ReplaceAll(url.PathEscape(cfg.Name), ".", "%2E")
+		wcfg.Spill = &tomography.SpillConfig{
+			Dir:         filepath.Join(spillDir, sub),
+			SegmentRows: spillSegRows,
+			Reset:       true,
+		}
+	}
+	win, err := tomography.NewWindow(top, wcfg)
 	if err != nil {
 		return nil, fmt.Errorf("serve: register tenant %q: %w", cfg.Name, err)
 	}

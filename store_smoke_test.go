@@ -1,0 +1,173 @@
+// Opt-in day-scale replay smoke: CI sets STORE_SMOKE=1 on a dedicated step
+// to drive the out-of-core segment store at the scale it exists for — a
+// day of snapshots at a deployment-sized path count — and assert the three
+// properties the ISSUE pins: the run spills (sealed segments on disk), peak
+// RSS stays under a fixed budget, and every probability surface sampled at
+// the checkpoints is bit-identical to a RAM-only window fed the same rows.
+// Unset, the test skips, so ordinary `go test ./...` stays fast.
+package tomography_test
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	tomography "repro"
+	"repro/internal/bitset"
+)
+
+// storeSmokeRow fills row with the synthetic bursty pattern of snapshot t:
+// a handful of rotating hot paths plus congestion waves, cheap enough to
+// generate 2M times yet dense enough that segments mix zero-span and
+// populated columns.
+func storeSmokeRow(t, paths int, row *bitset.Set) {
+	row.Clear()
+	for k := 0; k < 8; k++ {
+		row.Add((t*2654435761 + k*40503) % paths)
+	}
+	if t%977 < 60 { // periodic burst congesting a block of paths
+		base := (t / 977 * 131) % paths
+		for k := 0; k < 24; k++ {
+			row.Add((base + k) % paths)
+		}
+	}
+}
+
+// readVmHWM returns the process's peak resident set size in bytes from
+// /proc/self/status (0 where unavailable).
+func readVmHWM(t *testing.T) int64 {
+	t.Helper()
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if s, ok := strings.CutPrefix(sc.Text(), "VmHWM:"); ok {
+			kb, err := strconv.ParseInt(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "kB")), 10, 64)
+			if err != nil {
+				t.Fatalf("parsing VmHWM from %q: %v", sc.Text(), err)
+			}
+			return kb << 10
+		}
+	}
+	return 0
+}
+
+// storeSmokeSurface samples the estimator's probability surfaces at one
+// checkpoint: every 37th path's marginal, a band of pair probabilities, and
+// two set queries. Bit-patterns, so the comparison is exact.
+func storeSmokeSurface(e *tomography.Empirical, paths int) []uint64 {
+	var out []uint64
+	for i := 0; i < paths; i += 37 {
+		out = append(out, math.Float64bits(e.ProbPathGood(tomography.PathID(i))))
+	}
+	for i := 0; i < paths-5; i += 101 {
+		out = append(out, math.Float64bits(e.ProbPairGood(tomography.PathID(i), tomography.PathID(i+5))))
+	}
+	out = append(out,
+		math.Float64bits(e.ProbPathsGood(bitset.FromIndices(3, 99, 512))),
+		math.Float64bits(e.ProbPathsGood(bitset.FromIndices(7, 8, 9, 700))))
+	return out
+}
+
+// TestDayScaleReplayBoundedRSS is the acceptance run: ≥2M snapshots over
+// ≥1k paths stream through a spill-enabled window that must seal segments
+// to disk, with peak RSS under the budget, and a RAM-only window replaying
+// the same rows must agree on every sampled probability bit at every
+// checkpoint. The spill phase runs first so the recorded VmHWM belongs to
+// it, not to the RAM comparison window.
+func TestDayScaleReplayBoundedRSS(t *testing.T) {
+	if os.Getenv("STORE_SMOKE") == "" {
+		t.Skip("set STORE_SMOKE=1 to run the day-scale out-of-core replay")
+	}
+	const (
+		paths     = 1024
+		snapshots = 2_100_000
+		window    = 1 << 20
+		segRows   = 65536
+		rssBudget = int64(1) << 30 // 1 GiB — the run streams ~268 MB of history through a ~136 MB window
+	)
+	checkpoints := map[int]bool{
+		window:         true, // first warm snapshot
+		3 * window / 2: true, // head mid-segment, window spans sealed + active
+		snapshots - 1:  true,
+	}
+
+	dir := t.TempDir()
+	spill, err := tomography.NewSlidingWindowSpill(paths, window, tomography.SpillConfig{
+		Dir: dir, SegmentRows: segRows, Reset: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := bitset.New(paths)
+	spillSurfaces := map[int][]uint64{}
+	for ts := 0; ts < snapshots; ts++ {
+		storeSmokeRow(ts, paths, row)
+		spill.Append(row)
+		if checkpoints[ts] {
+			spillSurfaces[ts] = storeSmokeSurface(spill, paths)
+			spill.SpillStore().ReleaseMapped()
+		}
+	}
+	store := spill.SpillStore()
+	if store == nil || store.SealedSegments() == 0 {
+		t.Fatal("day-scale replay never sealed a segment — the run did not spill")
+	}
+	sealed, spilledBytes := store.SealedSegments(), store.SpilledBytes()
+	if spilledBytes == 0 {
+		t.Fatal("sealed segments reported zero spilled bytes")
+	}
+	spill.Close()
+	hwm := readVmHWM(t)
+	if hwm > 0 && hwm > rssBudget {
+		t.Fatalf("peak RSS %d MiB exceeds the %d MiB budget", hwm>>20, rssBudget>>20)
+	}
+	t.Logf("spill phase: %d snapshots, %d sealed segments, %.1f MiB spilled, peak RSS %d MiB (budget %d MiB)",
+		snapshots, sealed, float64(spilledBytes)/(1<<20), hwm>>20, rssBudget>>20)
+	runtime.GC()
+
+	ram, err := tomography.NewSlidingWindow(paths, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ram.Close()
+	for ts := 0; ts < snapshots; ts++ {
+		storeSmokeRow(ts, paths, row)
+		ram.Append(row)
+		if checkpoints[ts] {
+			want := storeSmokeSurface(ram, paths)
+			got := spillSurfaces[ts]
+			if len(got) != len(want) {
+				t.Fatalf("checkpoint %d: %d spill samples, %d RAM", ts, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("checkpoint %d sample %d: spill %s, RAM %s", ts, k,
+						formatBits(got[k]), formatBits(want[k]))
+				}
+			}
+		}
+	}
+	writeBenchJSONFile(t, "BENCH_store.json", "TestDayScaleReplayBoundedRSS", map[string]float64{
+		"paths":           paths,
+		"snapshots":       snapshots,
+		"window":          window,
+		"segment-rows":    segRows,
+		"sealed-segments": float64(sealed),
+		"spilled-bytes":   float64(spilledBytes),
+		"peak-rss-bytes":  float64(hwm),
+		"rss-budget":      float64(rssBudget),
+	})
+}
+
+func formatBits(b uint64) string {
+	return fmt.Sprintf("%v (0x%016x)", math.Float64frombits(b), b)
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/netsim"
 	"repro/internal/scenario"
+	"repro/internal/segstore"
 )
 
 // Time-evolving workloads: re-exports of the internal/dynamics process
@@ -57,6 +58,16 @@ func SimulateDynamic(cfg DynamicSimConfig) (*Record, error) {
 	return netsim.RunDynamic(context.Background(), cfg)
 }
 
+// SimulateDynamicStream is SimulateDynamic without the record: every
+// snapshot goes only to cfg.OnSnapshot (required) and nothing is
+// materialized in RAM — the generation mode for day-scale replays whose
+// observations stream straight into a spill-enabled window. The OnSnapshot
+// sequence is bit-identical to SimulateDynamic's under the same
+// configuration and seed.
+func SimulateDynamicStream(cfg DynamicSimConfig) error {
+	return netsim.RunDynamicStream(context.Background(), cfg)
+}
+
 // ScenarioSpec describes one named scenario in the registry.
 type ScenarioSpec = scenario.Spec
 
@@ -86,6 +97,22 @@ func NewSlidingWindow(numPaths, window int) (*Empirical, error) {
 	return measure.NewSlidingWindow(numPaths, window)
 }
 
+// SpillConfig configures the out-of-core backend of a spill-enabled sliding
+// window: sealed column segments land as checksummed files under Dir (see
+// internal/segstore), and counts run on the mapped segments zero-copy. It is
+// an alias of segstore.Options.
+type SpillConfig = segstore.Options
+
+// NewSlidingWindowSpill is NewSlidingWindow on the out-of-core tiered store:
+// the window's retained rows live in a RAM ring only until a segment's worth
+// has accumulated, then seal to disk under cfg.Dir. Estimates are
+// bit-identical to the RAM-only window over the same rows; memory stays
+// bounded by the segment size rather than the window size, so day-scale
+// windows run in a fixed RSS budget.
+func NewSlidingWindowSpill(numPaths, window int, cfg SpillConfig) (*Empirical, error) {
+	return measure.NewSlidingWindowSpill(numPaths, window, cfg)
+}
+
 // WindowConfig parameterizes NewWindow.
 type WindowConfig struct {
 	// Size is the sliding-window length in snapshots (> 0): estimates cover
@@ -107,6 +134,12 @@ type WindowConfig struct {
 	// bit-identical for every setting. A window that has estimated with
 	// CountWorkers > 1 holds parked pool goroutines until Close.
 	CountWorkers int
+	// Spill, when non-nil, backs the window with the out-of-core segment
+	// store: sealed column segments land under Spill.Dir and counts run on
+	// the mapped files. Estimates stay bit-identical to the RAM-only window;
+	// RSS stays bounded by the segment size instead of Size. CountWorkers is
+	// ignored for spill windows (the directory-skip kernels run serially).
+	Spill *SpillConfig
 }
 
 // Window is an online sliding-window inference session: feed it one
@@ -161,7 +194,13 @@ func NewWindow(top *Topology, cfg WindowConfig) (*Window, error) {
 	} else if p.Topology() != top {
 		return nil, fmt.Errorf("tomography: NewWindow: the supplied plan was compiled for a different topology")
 	}
-	src, err := measure.NewSlidingWindow(top.NumPaths(), cfg.Size)
+	var src *Empirical
+	var err error
+	if cfg.Spill != nil {
+		src, err = measure.NewSlidingWindowSpill(top.NumPaths(), cfg.Size, *cfg.Spill)
+	} else {
+		src, err = measure.NewSlidingWindow(top.NumPaths(), cfg.Size)
+	}
 	if err != nil {
 		return nil, err
 	}

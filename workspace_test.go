@@ -82,13 +82,14 @@ func figure1AWindowFixture(t testing.TB, snapshots int) (*tomography.Topology, [
 // windowed-inference step (Observe + EstimateShared) for an estimator after
 // a warm-up that has filled the window, grown every workspace buffer, and
 // seen every pattern the stream contains.
-func steadyStateAllocs(t *testing.T, top *tomography.Topology, rows []*tomography.PathSet, estimator string, window, countWorkers int) float64 {
+func steadyStateAllocs(t *testing.T, top *tomography.Topology, rows []*tomography.PathSet, estimator string, window, countWorkers int, spill *tomography.SpillConfig) float64 {
 	t.Helper()
 	w, err := tomography.NewWindow(top, tomography.WindowConfig{
 		Size:         window,
 		Estimator:    estimator,
 		Detector:     quietDetector(),
 		CountWorkers: countWorkers,
+		Spill:        spill,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -142,24 +143,36 @@ func TestWindowedInferenceSteadyStateAllocs(t *testing.T) {
 		rows      []*tomography.PathSet
 		window    int
 		workers   int
+		spill     bool
 		budget    float64
 	}{
-		{"correlation/brite", "correlation", scn.Topology, briteRows, 256, 0, 0},
-		{"independence/brite", "independence", scn.Topology, briteRows, 256, 0, 0},
-		{"correlation/toy", "correlation", toyTop, toyRows, 256, 0, 0},
-		{"theorem/toy", "theorem", toyTop, toyRows, 256, 0, 0},
+		{"correlation/brite", "correlation", scn.Topology, briteRows, 256, 0, false, 0},
+		{"independence/brite", "independence", scn.Topology, briteRows, 256, 0, false, 0},
+		{"correlation/toy", "correlation", toyTop, toyRows, 256, 0, false, 0},
+		{"theorem/toy", "theorem", toyTop, toyRows, 256, 0, false, 0},
 		// The MLE optimizer is allocation-free too; budget 0 documents it.
-		{"mle/toy", "mle", toyTop, toyRows, 256, 0, 0},
+		{"mle/toy", "mle", toyTop, toyRows, 256, 0, false, 0},
 		// The parallel count kernels share the budget: once the workspace
 		// pool is warm, dispatching estimate counts across 4 workers must
 		// not allocate either. The window spans multiple 512-word blocks so
 		// the fan-out actually engages (smaller windows clamp to serial).
-		{"correlation/toy/parallel-counts", "correlation", toyTop, toyRows, 64*512 + 300, 4, 0},
+		{"correlation/toy/parallel-counts", "correlation", toyTop, toyRows, 64*512 + 300, 4, false, 0},
+		// The segment-backed warm read path shares the budget too: the
+		// window spans sealed (mapped) segments, a mid-segment head
+		// boundary, and the active tail buffer, and every count query over
+		// them must stay garbage-free between seals (the seal itself — once
+		// per 512 appends, outside the measured steady state — is the only
+		// allocating event).
+		{"correlation/toy/spill", "correlation", toyTop, toyRows, 1536, 0, true, 0},
 	}
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			got := steadyStateAllocs(t, c.top, c.rows, c.estimator, c.window, c.workers)
+			var spill *tomography.SpillConfig
+			if c.spill {
+				spill = &tomography.SpillConfig{Dir: t.TempDir(), SegmentRows: 512}
+			}
+			got := steadyStateAllocs(t, c.top, c.rows, c.estimator, c.window, c.workers, spill)
 			if got > c.budget {
 				t.Fatalf("steady-state Observe+EstimateShared allocates %.2f objects/op, budget %v", got, c.budget)
 			}
