@@ -70,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		estEvery  = fs.Int("estimate-every", 4, "selftest: request an estimate after this many accepted batches")
 		benchOut  = fs.String("bench-out", "BENCH_serve.json", "selftest: write the firehose report to this file ('' = skip)")
 		countWork = fs.Int("count-workers", 0, "fan each tenant's batched pair-count kernel out across this many workers during estimates (0/1 = serial); estimates are bit-identical for every setting")
+		estWork   = fs.Int("estimate-workers", 0, "run estimates on this many read-replica workers against published window views (0/1 = one worker); estimates are bit-identical for every setting")
 		spillDir  = fs.String("spill-dir", "", "back every tenant window with the out-of-core segment store under this directory (per-tenant subdirectories, reset at registration); estimates are bit-identical to the in-RAM windows")
 		noTiming  = fs.Bool("no-timing", false, "suppress timing-dependent output (throughput, latency, 429 counts) for reproducible logs")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -95,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
-	d := serve.New(serve.Config{Shards: *shards, QueueDepth: *queue, CountWorkers: *countWork, SpillDir: *spillDir})
+	d := serve.New(serve.Config{Shards: *shards, QueueDepth: *queue, CountWorkers: *countWork, EstimateWorkers: *estWork, SpillDir: *spillDir})
 	cfg := d.Config()
 	fmt.Fprintf(stdout, "tomod: sharded multi-tenant inference daemon\n")
 	fmt.Fprintf(stdout, "  shards:      %d\n", cfg.Shards)
@@ -108,6 +109,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if cfg.CountWorkers > 1 {
 		// Printed only when enabled so default-config goldens are unchanged.
 		fmt.Fprintf(stdout, "  count workers: %d\n", cfg.CountWorkers)
+	}
+	if cfg.EstimateWorkers > 1 {
+		// Printed only when enabled so default-config goldens are unchanged.
+		fmt.Fprintf(stdout, "  estimate workers: %d\n", cfg.EstimateWorkers)
 	}
 	if cfg.SpillDir != "" {
 		fmt.Fprintf(stdout, "  spill dir:   %s\n", cfg.SpillDir)
@@ -272,6 +277,8 @@ func runSelftest(d *serve.Daemon, stdout io.Writer, cfg selftestConfig) error {
 	if !cfg.noTiming {
 		fmt.Fprintf(stdout, "selftest: throughput %.0f snapshots/sec, estimate latency p50 %.3f ms / p99 %.3f ms\n",
 			report.SnapshotsPerSec, report.EstimateP50Ms, report.EstimateP99Ms)
+		fmt.Fprintf(stdout, "selftest: under ingest load: %.0f estimates/sec, latency p50 %.3f ms / p99 %.3f ms\n",
+			report.EstimatesUnderLoadPerSec, report.EstimateUnderLoadP50Ms, report.EstimateUnderLoadP99Ms)
 		fmt.Fprintf(stdout, "selftest: backpressure rejections (429): %d\n", report.Rejected429)
 	}
 	if cfg.benchOut != "" {

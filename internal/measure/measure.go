@@ -102,6 +102,11 @@ type Empirical struct {
 	// Append would silently desync the record's link store — so only
 	// streaming estimators accept Append.
 	streaming bool
+	// view marks an immutable snapshot view built by SnapshotView: a frozen
+	// copy of another estimator's window that answers every query
+	// bit-identically but rejects all mutation. Views are what the serving
+	// layer's estimate replicas read while the source keeps appending.
+	view bool
 
 	mu     sync.Mutex
 	single []float64          // per-path P(good); NaN = not yet computed
@@ -229,6 +234,9 @@ func (e *Empirical) SpillStore() *segstore.TieredStore { return e.tiered }
 // a record-backed estimator (whose store is a read-only view of the record —
 // appending there would desync the record's link store).
 func (e *Empirical) Append(congested *bitset.Set) {
+	if e.view {
+		panic("measure: Append on an immutable snapshot view (SnapshotView)")
+	}
 	if !e.streaming {
 		panic("measure: Append requires a streaming estimator (NewStreaming); record-backed estimators are read-only views")
 	}
@@ -256,6 +264,9 @@ func (e *Empirical) Append(congested *bitset.Set) {
 // the whole batch instead of once per row. Like Append, it panics on a
 // record-backed estimator and must not run concurrently with queries.
 func (e *Empirical) AppendBatch(rows []*bitset.Set) {
+	if e.view {
+		panic("measure: AppendBatch on an immutable snapshot view (SnapshotView)")
+	}
 	if !e.streaming {
 		panic("measure: Append requires a streaming estimator (NewStreaming); record-backed estimators are read-only views")
 	}
@@ -327,6 +338,9 @@ func (e *Empirical) Close() {
 // on a non-windowed estimator. Like Append, it must not run concurrently
 // with queries.
 func (e *Empirical) Evict() bool {
+	if e.view {
+		panic("measure: Evict on an immutable snapshot view (SnapshotView)")
+	}
 	if e.cols.Capacity() == 0 {
 		panic("measure: Evict requires a sliding-window estimator (NewSlidingWindow)")
 	}
@@ -349,6 +363,96 @@ func (e *Empirical) Evict() bool {
 // Window returns the sliding-window capacity, or 0 for an unbounded
 // estimator.
 func (e *Empirical) Window() int { return e.cols.Capacity() }
+
+// IsView reports whether this estimator is an immutable snapshot view.
+func (e *Empirical) IsView() bool { return e.view }
+
+// SnapshotView freezes the estimator's current window into an immutable
+// copy-on-write view: a RAM ring's columns are cloned (reusing recycle's
+// backing, so a steady-state publisher allocates nothing), while a
+// spill-backed estimator shares its sealed mmap'd segments by reference —
+// each view holds a per-segment reference count, so seal, ReleaseMapped and
+// Close on the source can never unmap a page under the view's count sweeps
+// — and copies only the small active-buffer delta. Every probability the
+// view reports is bit-identical to what the source would have reported at
+// snapshot time, because both are pure functions of the same integer
+// counts. The source's pattern histogram, if materialized, is copied so a
+// theorem-estimator view never pays the O(window·paths) rebuild.
+//
+// recycle, when non-nil, must be a view from a previous SnapshotView on a
+// same-shaped estimator; it is closed and its storage reused. The returned
+// view rejects all mutation (Append/AppendBatch/Evict panic), answers
+// queries from any goroutine like its source, and must be Closed when the
+// last reader is done with it — for spill-backed sources that is what
+// releases the shared segment mappings. SnapshotView must be called by the
+// goroutine that owns the source's appends.
+func (e *Empirical) SnapshotView(recycle *Empirical) *Empirical {
+	if e.view {
+		panic("measure: SnapshotView of a snapshot view")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := recycle
+	if v != nil && !v.view {
+		panic("measure: SnapshotView recycle target is not a view")
+	}
+	if v == nil {
+		v = &Empirical{
+			view:  true,
+			pairs: make(map[int64]float64),
+			memo:  make(map[string]float64),
+		}
+	}
+	switch {
+	case e.ring != nil:
+		rc, _ := v.cols.(*ringColumns)
+		if rc == nil {
+			rc = &ringColumns{}
+		}
+		rc.store = e.ring.SnapshotInto(rc.store)
+		v.cols, v.ring = rc, rc.store
+	case e.tiered != nil:
+		tv, _ := v.cols.(*segstore.TieredView)
+		v.cols = e.tiered.SnapshotView(tv)
+		v.ring = nil
+	default:
+		panic("measure: SnapshotView requires a ring- or spill-backed estimator")
+	}
+	v.countWorkers = e.countWorkers
+	if len(v.single) != e.cols.NumSeries() {
+		v.single = nil
+	}
+	v.resetCaches()
+	if e.patterns != nil {
+		if v.patterns == nil {
+			v.patterns = make(map[string]*int, len(e.patterns))
+		} else {
+			clear(v.patterns)
+		}
+		for k, p := range e.patterns {
+			if *p > 0 {
+				n := *p
+				v.patterns[k] = &n
+			}
+		}
+	} else {
+		v.patterns = nil
+	}
+	v.deadPatterns = 0
+	return v
+}
+
+// PrimePatterns materializes the congested-pattern histogram now (a no-op
+// once materialized), so that it is maintained incrementally from this
+// point on and copied into every subsequent SnapshotView. Serving paths
+// that run the pattern-based (theorem) estimator on views call this at
+// registration time, while the window is still empty, making the
+// materialization free.
+func (e *Empirical) PrimePatterns() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializePatterns(e.cols.Snapshots())
+}
 
 // recordPattern bumps the appended row's histogram entry. A recurring
 // pattern is a map read plus a boxed increment; only a never-seen pattern

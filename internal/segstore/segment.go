@@ -2,6 +2,7 @@ package segstore
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 )
@@ -31,9 +32,38 @@ type segment struct {
 	mapped []byte // non-nil when data aliases an mmap'ed file image
 	path   string
 	crc    uint32 // data CRC of the sealed file (0 for the active buffer)
+
+	// refs counts owners of the mapping: 1 for the store (or Reader) that
+	// opened the segment, plus one per snapshot view holding it. The last
+	// release unmaps, so a view reader can never fault on a page its owner
+	// tore down — the lifetime half of the ReleaseMapped/Close-under-reader
+	// fix. Zero for the active write buffer, which is never shared.
+	refs atomic.Int32
 }
 
-func (s *segment) close() {
+// retain acquires one more reference to a sealed segment's mapping. It
+// fails once the last reference is gone (the mapping is already torn down);
+// callers that hold a live reference — the owning store, under its mutex —
+// may rely on success.
+func (s *segment) retain() bool {
+	for {
+		r := s.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference; the reference that hits zero unmaps the
+// segment. Callers must hold a reference (from openSegment or retain) and
+// must not touch the segment after releasing it.
+func (s *segment) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
 	if s.mapped != nil {
 		munmap(s.mapped)
 		s.mapped = nil

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/snapstore"
@@ -32,8 +33,12 @@ import (
 // error path worth threading one through. Decode-side errors (corrupt
 // files, bad manifests) are returned as errors by NewTiered/OpenReader.
 //
-// A TieredStore is not safe for concurrent use; like the measurement
-// windows it backs, one goroutine owns it.
+// A TieredStore's mutating and counting methods are owned by one goroutine,
+// like the measurement windows it backs. The exceptions, built for the
+// read-replica serving path, are SnapshotView (called by the owner; the
+// views it returns are read by other goroutines) and ReleaseMapped/Close,
+// which synchronize on mu + per-segment reference counts so a mapping is
+// never torn down or madvised away under a concurrent view reader.
 type TieredStore struct {
 	dir      string
 	series   int
@@ -44,6 +49,12 @@ type TieredStore struct {
 	n        int // snapshots appended over the lifetime
 	retained int // snapshots currently in the window
 
+	// mu guards the sealed slice and the segment reference counts against
+	// the cross-goroutine methods (SnapshotView retaining segments,
+	// ReleaseMapped deciding a mapping is safe to madvise, Close releasing
+	// the store's references). The owner's count sweeps read sealed without
+	// mu — only the owner appends to it.
+	mu      sync.Mutex
 	sealed  []*segment // sealed[i].base == i*segRows
 	active  segment    // dense write buffer for rows [active.base, active.base+segRows)
 	backing []uint64   // active's column words, one contiguous allocation
@@ -257,7 +268,9 @@ func (ts *TieredStore) seal() {
 	if err != nil {
 		panic(fmt.Sprintf("segstore: reading back %s: %v", name, err))
 	}
+	ts.mu.Lock()
 	ts.sealed = append(ts.sealed, seg)
+	ts.mu.Unlock()
 	ts.spilled += int64(len(buf))
 	bitset.ZeroWords(ts.backing)
 	for i := range ts.active.meta {
@@ -294,13 +307,19 @@ func openSegment(path string) (*segment, error) {
 			return nil, perr
 		}
 		seg.mapped = mapped
+		seg.refs.Store(1)
 		return seg, nil
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("segstore: %v", err)
 	}
-	return parseSegment(data, path)
+	seg, err := parseSegment(data, path)
+	if err != nil {
+		return nil, err
+	}
+	seg.refs.Store(1)
+	return seg, nil
 }
 
 // overlap clips the window [from, to) to segment s and returns the
@@ -470,27 +489,37 @@ func (ts *TieredStore) checkSeries(i int) {
 // ReleaseMapped hints the kernel to drop the resident pages of every
 // sealed mapping (they fault back in from the page cache on the next
 // query) — the RSS pressure valve for replay loops that only revisit old
-// segments at checkpoints.
+// segments at checkpoints. Segments a snapshot view currently holds a
+// reference to are skipped: madvising pages away under a concurrent count
+// sweep is exactly the use-while-released race the reference counts exist
+// to prevent, and a view's segments get their turn on the first
+// ReleaseMapped after the view closes. Safe to call from any goroutine.
 func (ts *TieredStore) ReleaseMapped() {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	for _, seg := range ts.sealed {
-		if seg.mapped != nil {
+		if seg.mapped != nil && seg.refs.Load() == 1 {
 			releasePages(seg.mapped)
 		}
 	}
 }
 
-// Close unmaps every sealed segment. The active buffer is deliberately not
-// sealed — only full segments ever reach disk, which keeps the format
-// fixed-size and recovery trivial; rows still in the buffer at Close are
-// gone, exactly as a RAM ring's rows are. Close is idempotent, and no
-// methods may be called after it.
+// Close releases the store's reference to every sealed segment; a segment
+// is unmapped as soon as the last snapshot view holding it closes (or
+// immediately, with no views outstanding). The active buffer is
+// deliberately not sealed — only full segments ever reach disk, which keeps
+// the format fixed-size and recovery trivial; rows still in the buffer at
+// Close are gone, exactly as a RAM ring's rows are. Close is idempotent,
+// and no methods may be called after it.
 func (ts *TieredStore) Close() {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	if ts.closed {
 		return
 	}
 	ts.closed = true
 	for _, seg := range ts.sealed {
-		seg.close()
+		seg.release()
 	}
 	ts.sealed = nil
 	ts.backing = nil
@@ -527,12 +556,12 @@ func OpenReader(dir string) (*Reader, error) {
 		}
 		if seg.crc != ent.CRC {
 			r.Close()
-			seg.close()
+			seg.release()
 			return nil, fmt.Errorf("segstore: %s: data CRC %08x, manifest says %08x", ent.File, seg.crc, ent.CRC)
 		}
 		if len(seg.meta) != man.Series || seg.rows != man.SegmentRows || seg.base != i*man.SegmentRows {
 			r.Close()
-			seg.close()
+			seg.release()
 			return nil, fmt.Errorf("segstore: %s: header (series %d, rows %d, base %d) disagrees with manifest (series %d, rows %d, base %d)",
 				ent.File, len(seg.meta), seg.rows, seg.base, man.Series, man.SegmentRows, i*man.SegmentRows)
 		}
@@ -582,7 +611,7 @@ func (r *Reader) CongestedCount(i int) int {
 // Close unmaps every segment. Idempotent.
 func (r *Reader) Close() {
 	for _, seg := range r.segs {
-		seg.close()
+		seg.release()
 	}
 	r.segs = nil
 }

@@ -28,6 +28,19 @@ import (
 // land on exactly the floats that Window.Observe + Window.Estimate produce
 // in a single-goroutine offline replay.
 func TestDaemonMatchesOfflineReplay(t *testing.T) {
+	runOfflineDifferential(t, Config{Shards: 2, QueueDepth: 64})
+}
+
+// TestDaemonMatchesOfflineReplayReplicas re-runs the differential replay
+// with a 4-worker estimate pool: estimates served off-worker from published
+// read-replica views must stay bit-identical to the offline replay for
+// every estimator — the read-your-accepted-writes bound makes each HTTP
+// estimate wait for a view covering everything that client had ingested.
+func TestDaemonMatchesOfflineReplayReplicas(t *testing.T) {
+	runOfflineDifferential(t, Config{Shards: 2, QueueDepth: 64, EstimateWorkers: 4})
+}
+
+func runOfflineDifferential(t *testing.T, cfg Config) {
 	const (
 		window = 120
 		stride = 40
@@ -39,7 +52,7 @@ func TestDaemonMatchesOfflineReplay(t *testing.T) {
 		t.Fatalf("estimator registry lists %v, want at least 4 for the concurrency guarantee", estimators)
 	}
 
-	d := New(Config{Shards: 2, QueueDepth: 64})
+	d := New(cfg)
 	srv := httptest.NewServer(d.Handler())
 	defer srv.Close()
 	defer d.Shutdown(context.Background())

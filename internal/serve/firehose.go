@@ -67,6 +67,14 @@ type FirehoseReport struct {
 	SnapshotsPerSec    float64           `json:"snapshots_per_sec"`
 	EstimateP50Ms      float64           `json:"estimate_p50_ms"`
 	EstimateP99Ms      float64           `json:"estimate_p99_ms"`
+	// The under-load block measures estimate throughput while every tenant
+	// stream is being replayed at full rate — the read-replica serving
+	// path's headline number: estimates served from published views while
+	// the ingest queues stay saturated.
+	EstimatesUnderLoad       int64   `json:"estimates_under_load"`
+	EstimatesUnderLoadPerSec float64 `json:"estimates_under_load_per_sec"`
+	EstimateUnderLoadP50Ms   float64 `json:"estimate_under_load_p50_ms"`
+	EstimateUnderLoadP99Ms   float64 `json:"estimate_under_load_p99_ms"`
 }
 
 // RunFirehose drives a daemon with synthetic probe traffic and returns the
@@ -188,7 +196,69 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 		return nil, fmt.Errorf("serve: firehose: %w", firstErr)
 	}
 
+	// Second measured phase: estimate throughput under ingest load. The
+	// tenant streams are replayed once more at full rate to keep every
+	// shard queue busy (the windows are rings, so re-ingesting is
+	// harmless) while a dedicated client loops over /v1/estimate
+	// round-robin across the now-warm tenants. Estimates are served from
+	// published read-replica views by the estimate pool, so their latency
+	// should not track the ingest backlog. Phase-2 traffic is accounted
+	// separately and does not perturb the phase-1 throughput numbers.
+	loadStart := time.Now()
+	stop := make(chan struct{})
+	var loadWG sync.WaitGroup
+	for i := 0; i < cfg.Tenants; i++ {
+		loadWG.Add(1)
+		go func(i int) {
+			defer loadWG.Done()
+			name := firehoseTenantName(i)
+			for _, body := range streams[i] {
+				if _, _, err := postBatch(ctx, cfg.Client, cfg.BaseURL, name, body); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(i)
+	}
+	go func() {
+		loadWG.Wait()
+		close(stop)
+	}()
+	var (
+		loadedLat []time.Duration
+		loadedEst int64
+	)
+estimateLoop:
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			break estimateLoop
+		default:
+		}
+		d, err := timeEstimate(ctx, cfg.Client, cfg.BaseURL, firehoseTenantName(i%cfg.Tenants))
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			break
+		}
+		loadedLat = append(loadedLat, d)
+		loadedEst++
+	}
+	loadWG.Wait()
+	loadElapsed := time.Since(loadStart)
+	if firstErr != nil {
+		return nil, fmt.Errorf("serve: firehose: %w", firstErr)
+	}
+
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sort.Slice(loadedLat, func(i, j int) bool { return loadedLat[i] < loadedLat[j] })
 	report := &FirehoseReport{
 		Machine:            benchmeta.Collect(),
 		Scenario:           cfg.Scenario,
@@ -204,6 +274,11 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 		SnapshotsPerSec:    float64(ingested) / elapsed.Seconds(),
 		EstimateP50Ms:      percentileMs(latencies, 0.50),
 		EstimateP99Ms:      percentileMs(latencies, 0.99),
+
+		EstimatesUnderLoad:       loadedEst,
+		EstimatesUnderLoadPerSec: float64(loadedEst) / loadElapsed.Seconds(),
+		EstimateUnderLoadP50Ms:   percentileMs(loadedLat, 0.50),
+		EstimateUnderLoadP99Ms:   percentileMs(loadedLat, 0.99),
 	}
 	return report, nil
 }

@@ -21,12 +21,14 @@ type metrics struct {
 	estimates       atomic.Int64 // estimates served
 	estimateErrors  atomic.Int64 // estimate requests that failed (incl. warming)
 	changePoints    atomic.Int64 // CUSUM change-point alerts across tenants
+	viewsPublished  atomic.Int64 // window views published to estimate replicas
 	estimateLatency histogram    // enqueue-to-reply estimate latency
 }
 
-// latencyBuckets is the number of exponential histogram buckets: bucket i
-// holds observations in (2^i-1, 2^i] microseconds, so the range spans 1µs
-// to ~67s with the last bucket catching everything beyond.
+// latencyBuckets is the number of exponential histogram buckets. Bucket 0
+// holds sub-microsecond observations (a measured 0µs); bucket b ≥ 1 holds
+// (2^(b-2), 2^(b-1)] microseconds — (0,1], (1,2], (2,4], … — and the last
+// bucket catches everything past 2^24µs (~16.8s).
 const latencyBuckets = 27
 
 // histogram is a fixed exponential-bucket latency histogram. observe is
@@ -38,13 +40,31 @@ type histogram struct {
 	sumNs   atomic.Int64
 }
 
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	b := 0
-	for b < latencyBuckets-1 && us > (int64(1)<<b) {
+// bucketOf maps a microsecond latency to its histogram bucket under the
+// bounds documented on latencyBuckets. Sub-microsecond observations get
+// their own bucket 0 instead of being lumped into (0,1].
+func bucketOf(us int64) int {
+	if us <= 0 {
+		return 0
+	}
+	b := 1
+	for b < latencyBuckets-1 && us > int64(1)<<uint(b-1) {
 		b++
 	}
-	h.buckets[b].Add(1)
+	return b
+}
+
+// bucketBound returns the inclusive upper bound of a bucket (a saturated
+// ceiling for the open-ended last bucket).
+func bucketBound(b int) time.Duration {
+	if b == 0 {
+		return 0
+	}
+	return time.Duration(int64(1)<<uint(b-1)) * time.Microsecond
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.buckets[bucketOf(d.Microseconds())].Add(1)
 	h.count.Add(1)
 	h.sumNs.Add(d.Nanoseconds())
 }
@@ -64,10 +84,10 @@ func (h *histogram) quantile(q float64) time.Duration {
 	for b := 0; b < latencyBuckets; b++ {
 		cum += h.buckets[b].Load()
 		if cum >= rank {
-			return time.Duration(int64(1)<<b) * time.Microsecond
+			return bucketBound(b)
 		}
 	}
-	return time.Duration(int64(1)<<(latencyBuckets-1)) * time.Microsecond
+	return bucketBound(latencyBuckets - 1)
 }
 
 // tenantStats is the per-tenant slice of /metrics, filled from the
@@ -77,11 +97,17 @@ type tenantStats struct {
 	seen      int64
 	occupancy int64
 	changes   int64
+	// viewAge is how long ago the tenant's current read-replica view was
+	// published; viewLag is how many accepted snapshots that view has not
+	// yet observed (accepted − view seen).
+	viewAge time.Duration
+	viewLag int64
 }
 
 // writeTo renders the metrics in the Prometheus text format. queueLens
-// carries the instantaneous per-shard queue depths.
-func (m *metrics) writeTo(w io.Writer, tenants []tenantStats, queueLens []int) {
+// carries the instantaneous per-shard queue depths, estQueueLen the
+// estimate pool's queue depth.
+func (m *metrics) writeTo(w io.Writer, tenants []tenantStats, queueLens []int, estQueueLen int) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -92,6 +118,7 @@ func (m *metrics) writeTo(w io.Writer, tenants []tenantStats, queueLens []int) {
 	counter("tomod_estimates_total", "Estimates served.", m.estimates.Load())
 	counter("tomod_estimate_errors_total", "Estimate requests that failed (including window warm-up).", m.estimateErrors.Load())
 	counter("tomod_change_points_total", "CUSUM change-point alerts across all tenants.", m.changePoints.Load())
+	counter("tomod_views_published_total", "Window views published to the estimate replicas.", m.viewsPublished.Load())
 
 	fmt.Fprintf(w, "# HELP tomod_estimate_latency_seconds Enqueue-to-reply estimate latency.\n")
 	fmt.Fprintf(w, "# TYPE tomod_estimate_latency_seconds summary\n")
@@ -116,9 +143,22 @@ func (m *metrics) writeTo(w io.Writer, tenants []tenantStats, queueLens []int) {
 	for _, t := range tenants {
 		fmt.Fprintf(w, "tomod_tenant_change_points{tenant=%q} %d\n", t.name, t.changes)
 	}
+	fmt.Fprintf(w, "# HELP tomod_view_age_seconds Age of each tenant's published read-replica view.\n")
+	fmt.Fprintf(w, "# TYPE tomod_view_age_seconds gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "tomod_view_age_seconds{tenant=%q} %g\n", t.name, t.viewAge.Seconds())
+	}
+	fmt.Fprintf(w, "# HELP tomod_replica_lag_snapshots Accepted snapshots each tenant's view has not yet observed.\n")
+	fmt.Fprintf(w, "# TYPE tomod_replica_lag_snapshots gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "tomod_replica_lag_snapshots{tenant=%q} %d\n", t.name, t.viewLag)
+	}
 	fmt.Fprintf(w, "# HELP tomod_shard_queue_depth Jobs waiting in each shard's ingest queue.\n")
 	fmt.Fprintf(w, "# TYPE tomod_shard_queue_depth gauge\n")
 	for i, n := range queueLens {
 		fmt.Fprintf(w, "tomod_shard_queue_depth{shard=\"%d\"} %d\n", i, n)
 	}
+	fmt.Fprintf(w, "# HELP tomod_estimate_queue_depth Estimate requests waiting for a replica worker.\n")
+	fmt.Fprintf(w, "# TYPE tomod_estimate_queue_depth gauge\n")
+	fmt.Fprintf(w, "tomod_estimate_queue_depth %d\n", estQueueLen)
 }

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestLatencyBuckets is the table-driven regression for the histogram
+// bucket-boundary bugfix: a measured 0µs gets its own bucket instead of
+// being lumped into (0,1], every bucket's upper bound is inclusive exactly
+// as documented, and over-range observations saturate into the last
+// bucket.
+func TestLatencyBuckets(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want int
+	}{
+		{0, 0},
+		{-1, 0}, // a clock gone backwards still lands somewhere sane
+		{1, 1},
+		{2, 2},
+		{3, 3},
+		{4, 3},
+		{5, 4},
+		{1 << 24, 25},
+		{1<<24 + 1, 26},
+		{1 << 26, 26},
+		{math.MaxInt64, 26},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.us); got != tc.want {
+			t.Errorf("bucketOf(%dµs) = %d, want %d", tc.us, got, tc.want)
+		}
+	}
+
+	// Bounds and placement must agree: bucketBound(b) is the largest
+	// latency that maps into bucket b, and one more microsecond spills into
+	// b+1 — the comment/bounds disagreement the old code shipped.
+	if bucketBound(0) != 0 {
+		t.Errorf("bucketBound(0) = %v, want 0", bucketBound(0))
+	}
+	for b := 1; b < latencyBuckets-1; b++ {
+		bound := bucketBound(b).Microseconds()
+		if got := bucketOf(bound); got != b {
+			t.Errorf("bucketOf(bound of %d = %dµs) = %d, want %d", b, bound, got, b)
+		}
+		if got := bucketOf(bound + 1); got != b+1 {
+			t.Errorf("bucketOf(%dµs) = %d, want %d (bound of %d is inclusive)", bound+1, got, b+1, b)
+		}
+	}
+
+	// A histogram of all-zero latencies must report a 0 quantile, not the
+	// old phantom 1µs.
+	var h histogram
+	for i := 0; i < 10; i++ {
+		h.observe(0)
+	}
+	if q := h.quantile(0.99); q != 0 {
+		t.Errorf("all-zero histogram p99 = %v, want 0", q)
+	}
+	h.observe(3 * time.Microsecond)
+	if q := h.quantile(1.0); q != 4*time.Microsecond {
+		t.Errorf("p100 = %v, want the 3µs observation's bucket bound 4µs", q)
+	}
+}

@@ -30,6 +30,12 @@ type Config struct {
 	// RetryAfter is the Retry-After hint on 429 responses, in seconds
 	// (0 ⇒ 1).
 	RetryAfter int
+	// EstimateWorkers sizes the estimate-side read-replica pool: estimates
+	// run against immutable copy-on-write window views on these workers,
+	// never occupying a shard's ingest queue, so a slow MLE estimate cannot
+	// stall probe ingestion (0 ⇒ 1). Each worker owns one evaluate
+	// workspace; estimates are bit-identical for every setting.
+	EstimateWorkers int
 	// CountWorkers, when > 1, fans each tenant window's batched pair-count
 	// kernel out across that many workers during estimates. Opt-in: the
 	// default (0 or 1) keeps estimates single-core per shard, which is
@@ -68,6 +74,14 @@ type Daemon struct {
 
 	shards []*shard
 	wg     sync.WaitGroup
+
+	// estQueue feeds the estimate-side replica pool; estWG tracks its
+	// workers. Senders follow the same RWMutex protocol as the shard
+	// queues, and Shutdown closes estQueue only after the shard workers
+	// have drained — so every queued estimate's target view is published
+	// before the pool is asked to finish.
+	estQueue chan estJob
+	estWG    sync.WaitGroup
 }
 
 // New starts a daemon's shard workers and returns it ready to serve.
@@ -90,12 +104,20 @@ func New(cfg Config) *Daemon {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 1
 	}
+	if cfg.EstimateWorkers <= 0 {
+		cfg.EstimateWorkers = 1
+	}
 	d := &Daemon{cfg: cfg, tenants: map[string]*Tenant{}}
 	d.shards = make([]*shard, cfg.Shards)
 	for i := range d.shards {
 		d.shards[i] = &shard{queue: make(chan job, cfg.QueueDepth)}
 		d.wg.Add(1)
 		go d.worker(d.shards[i])
+	}
+	d.estQueue = make(chan estJob, cfg.QueueDepth)
+	for i := 0; i < cfg.EstimateWorkers; i++ {
+		d.estWG.Add(1)
+		go d.estimateWorker()
 	}
 	return d
 }
@@ -109,18 +131,30 @@ var errShuttingDown = errors.New("serve: daemon shutting down")
 
 // Register adds a tenant: the topology is built (from a named scenario or
 // an inline document), compiled into a plan, and given an empty sliding
-// window on a round-robin-assigned shard. Duplicate names are rejected.
+// window on a round-robin-assigned shard. An initial (empty) read-replica
+// view is published so the estimate pool always has a view to answer from,
+// and pattern-based estimators get their histogram primed while the window
+// is still empty (free) so every published view carries it. Duplicate
+// names are rejected.
 func (d *Daemon) Register(cfg TenantConfig) (*Tenant, error) {
 	t, err := newTenant(cfg, d.cfg.CountWorkers, d.cfg.SpillDir, d.cfg.SpillSegmentRows)
 	if err != nil {
 		return nil, err
 	}
+	if t.estimator == "theorem" {
+		t.win.Source().PrimePatterns()
+	}
+	d.publishView(t)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.draining {
+		t.view.Load().view.Close()
+		t.win.Close()
 		return nil, errShuttingDown
 	}
 	if _, dup := d.tenants[cfg.Name]; dup {
+		t.view.Load().view.Close()
+		t.win.Close()
 		return nil, errDuplicateTenant{msg: fmt.Sprintf("serve: tenant %q already registered", cfg.Name)}
 	}
 	t.shard = d.nextShard
@@ -193,6 +227,10 @@ func (d *Daemon) Ingest(name string, body []byte) (accepted int, err error) {
 	}
 	select {
 	case d.shards[t.shard].queue <- job{tenant: t, reports: sets}:
+		// Count the batch as accepted before the 202 returns: an estimate
+		// the client sends afterwards reads this counter as its target and
+		// is served only from a view that has observed the batch.
+		t.accepted.Add(int64(len(sets)))
 		d.metrics.ingestBatches.Add(1)
 		return len(sets), nil
 	default:
@@ -212,12 +250,14 @@ type EstimateResponse struct {
 	ChangePoints   int       `json:"change_points"`
 }
 
-// Estimate runs the tenant's estimator over its current window. The
-// request is routed through the tenant's shard queue, so it observes every
-// previously accepted ingest batch and nothing newer; ctx bounds the wait
-// for both queue admission and the reply.
+// Estimate runs the tenant's estimator on the read-replica pool, against
+// the first published window view that has observed every ingest batch
+// accepted before this call — read-your-accepted-writes, the same ordering
+// clients relied on when estimates rode the shard queue, except that the
+// estimate itself never occupies the ingest queue: a saturated shard 429s
+// probes while estimates keep being served from the latest view. ctx
+// bounds queue admission, the view wait, and the reply.
 func (d *Daemon) Estimate(ctx context.Context, name string) (*EstimateResponse, error) {
-	call := &estimateCall{enqueued: time.Now(), done: make(chan estimateReply, 1)}
 	d.mu.RLock()
 	if d.draining {
 		d.mu.RUnlock()
@@ -228,15 +268,22 @@ func (d *Daemon) Estimate(ctx context.Context, name string) (*EstimateResponse, 
 		d.mu.RUnlock()
 		return nil, err
 	}
+	j := estJob{
+		tenant:   t,
+		target:   t.accepted.Load(),
+		enqueued: time.Now(),
+		ctx:      ctx,
+		done:     make(chan estimateReply, 1),
+	}
 	select {
-	case d.shards[t.shard].queue <- job{tenant: t, est: call}:
+	case d.estQueue <- j:
 		d.mu.RUnlock()
 	case <-ctx.Done():
 		d.mu.RUnlock()
 		return nil, fmt.Errorf("serve: estimate %q: %w", name, ctx.Err())
 	}
 	select {
-	case reply := <-call.done:
+	case reply := <-j.done:
 		return reply.res, reply.err
 	case <-ctx.Done():
 		return nil, fmt.Errorf("serve: estimate %q: %w", name, ctx.Err())
@@ -252,11 +299,14 @@ type FinalEstimate struct {
 }
 
 // Shutdown drains the daemon: new ingests, estimates and registrations are
-// rejected immediately, the shard workers finish every queued job and
-// exit, and one final estimate is flushed for every tenant whose window is
-// warm. It returns the final estimates sorted by tenant name. ctx bounds
-// the drain; on expiry the workers keep draining in the background but no
-// flush is attempted.
+// rejected immediately, the shard workers finish every queued batch (each
+// publishing its final view), the estimate pool serves every queued
+// estimate and exits — always possible, because every queued estimate's
+// target view is published by the drained shard workers — and one final
+// estimate is flushed for every tenant whose window is warm. It returns
+// the final estimates sorted by tenant name. ctx bounds the drain; on
+// expiry the workers keep draining in the background but no flush is
+// attempted.
 func (d *Daemon) Shutdown(ctx context.Context) ([]FinalEstimate, error) {
 	d.mu.Lock()
 	if d.draining {
@@ -271,7 +321,12 @@ func (d *Daemon) Shutdown(ctx context.Context) ([]FinalEstimate, error) {
 
 	done := make(chan struct{})
 	go func() {
+		// Shard workers first: once they exit, every accepted batch is
+		// applied and its view published, so the estimate pool can finish
+		// every queued job before its queue closes under it.
 		d.wg.Wait()
+		close(d.estQueue)
+		d.estWG.Wait()
 		close(done)
 	}()
 	select {
@@ -281,7 +336,8 @@ func (d *Daemon) Shutdown(ctx context.Context) ([]FinalEstimate, error) {
 	}
 
 	// All workers have exited, so this goroutine is now the sole owner of
-	// every tenant window: flush one final estimate per warm tenant.
+	// every tenant window and view: flush one final estimate per warm
+	// tenant, then release the windows and the last published views.
 	ws := tomography.NewWorkspace()
 	d.mu.RLock()
 	names := d.tenantNamesLocked()
@@ -290,8 +346,15 @@ func (d *Daemon) Shutdown(ctx context.Context) ([]FinalEstimate, error) {
 		t := d.tenants[name]
 		res, err := d.estimateTenant(ws, t)
 		out = append(out, FinalEstimate{Tenant: name, Response: res, Err: err})
-		// Release the window's count-kernel pool goroutines (a no-op for
-		// serial windows) so shutdown leaves none behind.
+		// Close the final published view (no readers remain) and the
+		// window — releasing segment mappings and count-kernel pool
+		// goroutines so shutdown leaves none behind.
+		if box := t.view.Load(); box != nil {
+			box.retired.Store(true)
+			if box.claim() {
+				box.view.Close()
+			}
+		}
 		t.win.Close()
 	}
 	d.mu.RUnlock()
@@ -438,18 +501,26 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := make([]tenantStats, 0, len(d.tenants))
 	for _, name := range d.tenantNamesLocked() {
 		t := d.tenants[name]
-		stats = append(stats, tenantStats{
+		st := tenantStats{
 			name:      t.name,
 			seen:      t.seen.Load(),
 			occupancy: t.occupancy.Load(),
 			changes:   t.changePoints.Load(),
-		})
+		}
+		if box := t.view.Load(); box != nil {
+			st.viewAge = time.Since(box.published)
+			if lag := t.accepted.Load() - int64(box.seen); lag > 0 {
+				st.viewLag = lag
+			}
+		}
+		stats = append(stats, st)
 	}
 	queueLens := make([]int, len(d.shards))
 	for i, s := range d.shards {
 		queueLens[i] = len(s.queue)
 	}
+	estQueueLen := len(d.estQueue)
 	d.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	d.metrics.writeTo(w, stats, queueLens)
+	d.metrics.writeTo(w, stats, queueLens, estQueueLen)
 }

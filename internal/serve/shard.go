@@ -2,55 +2,38 @@ package serve
 
 import (
 	"fmt"
-	"time"
 
 	tomography "repro"
 	"repro/internal/bitset"
 )
 
 // job is one unit of work on a shard queue. Exactly one of the payload
-// fields is set: reports applies an ingest batch to a tenant's window, est
-// runs an estimate and replies, block parks the worker until the channel
-// closes (a test hook for deterministic backpressure scenarios).
+// fields is set: reports applies an ingest batch to a tenant's window,
+// block parks the worker until the channel closes (a test hook for
+// deterministic backpressure scenarios). Estimates no longer ride the
+// shard queue — they run on the estimate pool against published window
+// views (see replica.go).
 type job struct {
 	tenant  *Tenant
 	reports []*bitset.Set
-	est     *estimateCall
 	block   <-chan struct{}
-}
-
-// estimateCall is a synchronous estimate request routed through the
-// tenant's shard queue: queueing it after an accepted ingest batch
-// guarantees the estimate observes that batch — the ordering the
-// differential replay tests rely on. The measured latency therefore
-// includes queue wait, which is the number an operator actually
-// experiences under load.
-type estimateCall struct {
-	enqueued time.Time
-	done     chan estimateReply
-}
-
-type estimateReply struct {
-	res *EstimateResponse
-	err error
 }
 
 // shard is one serving partition: a bounded job queue drained by a single
 // worker goroutine. Every tenant maps to exactly one shard, so the worker
 // is the sole writer of its tenants' windows — appends to the columnar
-// ring stores proceed without locks, and per-tenant operations are
+// ring stores proceed without locks, and per-tenant ingest batches are
 // totally ordered by queue position.
 type shard struct {
 	queue chan job
 }
 
-// worker drains one shard until its queue closes (daemon shutdown). It
-// owns a single evaluate workspace reused by every estimate it serves, so
-// the steady-state serving loop performs zero per-snapshot allocations —
-// the same pooled-workspace contract the offline replay path runs under.
+// worker drains one shard until its queue closes (daemon shutdown). After
+// applying each ingest batch it publishes a fresh read-replica view of the
+// tenant's window, so the estimate pool always serves from a view no older
+// than the last applied batch.
 func (d *Daemon) worker(s *shard) {
 	defer d.wg.Done()
-	ws := tomography.NewWorkspace()
 	for j := range s.queue {
 		switch {
 		case j.block != nil:
@@ -65,10 +48,7 @@ func (d *Daemon) worker(s *shard) {
 			}
 			t.syncStats()
 			d.metrics.ingestSnapshots.Add(int64(len(j.reports)))
-		case j.est != nil:
-			res, err := d.estimateTenant(ws, j.tenant)
-			d.metrics.estimateLatency.observe(time.Since(j.est.enqueued))
-			j.est.done <- estimateReply{res: res, err: err}
+			d.publishView(t)
 		}
 	}
 }

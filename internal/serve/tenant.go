@@ -58,6 +58,17 @@ type Tenant struct {
 	occupancy    atomic.Int64 // snapshots currently retained
 	changePoints atomic.Int64 // CUSUM alerts fired
 	estimates    atomic.Int64 // estimates served
+
+	// accepted counts snapshots accepted for ingest (incremented by Ingest
+	// before the 202 returns). An estimate enqueued afterwards waits for a
+	// view that has observed at least this many snapshots — the
+	// read-your-accepted-writes bound that keeps replica estimates
+	// bit-identical to the old through-the-shard-queue ordering.
+	accepted atomic.Int64
+	// view is the tenant's latest published read-replica view; the shard
+	// worker swaps in a fresh one after every applied batch, the estimate
+	// pool reads it. Never nil once the tenant is registered.
+	view atomic.Pointer[viewBox]
 }
 
 // Name returns the tenant's registry key.

@@ -470,6 +470,39 @@ func (s *Store) Rows() []*bitset.Set {
 	return out
 }
 
+// SnapshotInto clones the store's current contents into dst and returns
+// it: same series, same retained rows, same physical slot layout, so every
+// count kernel answers identically on the clone. dst's backing storage is
+// reused when its shape matches (the recycling path of copy-on-write view
+// publication — a steady-state publisher allocates nothing); a nil or
+// mismatched dst is reallocated. The clone is an independent Store: the
+// source may keep appending without affecting it. SnapshotInto must not run
+// concurrently with writes to either store, like every writer-side method.
+func (s *Store) SnapshotInto(dst *Store) *Store {
+	if dst == nil {
+		dst = &Store{}
+	}
+	words := s.Words()
+	fit := len(dst.cols) == len(s.cols)
+	for i := 0; fit && i < len(dst.cols); i++ {
+		fit = len(dst.cols[i]) == len(s.cols[i])
+	}
+	if !fit {
+		dst.cols = make([][]uint64, len(s.cols))
+		if words > 0 {
+			backing := make([]uint64, words*len(s.cols))
+			for i := range dst.cols {
+				dst.cols[i] = backing[i*words : (i+1)*words : (i+1)*words]
+			}
+		}
+	}
+	for i, col := range s.cols {
+		copy(dst.cols[i], col)
+	}
+	dst.n, dst.capacity, dst.retained = s.n, s.capacity, s.retained
+	return dst
+}
+
 // Equal reports whether the two stores hold identical retained
 // observations, in order. Ring stores compare logically: a rotated window
 // equals a fresh store over the same rows.

@@ -3,6 +3,7 @@ package tomography
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/dynamics"
 	"repro/internal/measure"
@@ -153,7 +154,10 @@ type WindowConfig struct {
 //
 // A frozen window estimates bit-identically to a one-shot batch over the
 // same rows (the windowed==batch equivalence guarantee). Window methods must
-// not be called concurrently.
+// not be called concurrently, with one deliberate exception: Close may race
+// an in-flight Estimate/EstimateShared/Observe — it waits for the call to
+// finish, then closes (see Close). Concurrent reads belong on the immutable
+// snapshots View produces, not on the window itself.
 type Window struct {
 	plan     *Plan
 	name     string
@@ -167,6 +171,13 @@ type Window struct {
 	// LP tableau, MLE optimizer state) lives here and is reused, so a
 	// steady-state EstimateShared allocates nothing.
 	ws *Workspace
+
+	// mu serializes the lifecycle against in-flight operations: Close takes
+	// it, so closing during an estimate drains rather than pulling the
+	// count-worker pool (or, for spill windows, the segment mappings) out
+	// from under the estimator mid-count.
+	mu     sync.Mutex
+	closed bool
 }
 
 // NewWindow opens a sliding-window inference session over a topology.
@@ -226,7 +237,14 @@ func NewWindow(top *Topology, cfg WindowConfig) (*Window, error) {
 // Observe feeds one snapshot's congested-path observation, evicting the
 // oldest retained snapshot once the window is full. It reports whether the
 // change-point detector flagged a congestion-state shift on this snapshot.
+// Observing a closed window panics: dropping observations silently would
+// desync every downstream consumer.
 func (w *Window) Observe(congested *PathSet) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		panic("tomography: Window.Observe on a closed window")
+	}
 	w.src.Append(congested)
 	w.seen++
 	return w.detector.Observe(float64(congested.Len()) / float64(w.numPaths))
@@ -239,6 +257,11 @@ func (w *Window) Observe(congested *PathSet) bool {
 // the batch's snapshots the change-point detector flagged. Rows may be
 // reused by the caller after the call returns.
 func (w *Window) ObserveBatch(rows []*PathSet) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		panic("tomography: Window.ObserveBatch on a closed window")
+	}
 	w.src.AppendBatch(rows)
 	w.seen += len(rows)
 	flagged := 0
@@ -250,17 +273,34 @@ func (w *Window) ObserveBatch(rows []*PathSet) int {
 	return flagged
 }
 
-// Close releases the pool goroutines behind a CountWorkers > 1 window. It
-// is idempotent, cheap for serial windows, and the window remains usable —
-// long-lived holders (the serving shards) close their windows on shutdown
-// so goroutine-leak fences stay quiet.
-func (w *Window) Close() { w.src.Close() }
+// Close releases the window's resources: the pool goroutines behind a
+// CountWorkers > 1 window, and — for spill windows — the window's reference
+// to its mapped segments. Close is idempotent, and safe against an
+// in-flight Estimate/EstimateShared/Observe from another goroutine: it
+// waits for the operation to finish rather than tearing resources out from
+// under it. After Close, estimates return an error and Observe panics;
+// snapshot views taken earlier (View) remain independently valid until
+// their own Close.
+func (w *Window) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.src.Close()
+}
 
 // Estimate runs the configured estimator over the current window contents
 // through the shared compiled plan. The result is independently allocated
 // and may be retained across estimates; for the allocation-free steady
 // state use EstimateShared.
 func (w *Window) Estimate() (*EstimateResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("tomography: Window.Estimate: window is closed")
+	}
 	if w.src.Snapshots() == 0 {
 		return nil, fmt.Errorf("tomography: Window.Estimate: no observations yet")
 	}
@@ -274,10 +314,98 @@ func (w *Window) Estimate() (*EstimateResult, error) {
 // read it (or copy what you keep) before the next EstimateShared on this
 // window.
 func (w *Window) EstimateShared() (*EstimateResult, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, fmt.Errorf("tomography: Window.EstimateShared: window is closed")
+	}
 	if w.src.Snapshots() == 0 {
 		return nil, fmt.Errorf("tomography: Window.EstimateShared: no observations yet")
 	}
 	return EstimateIn(w.ws, w.name, w.plan, w.src, w.opts)
+}
+
+// WindowView is an immutable snapshot of a Window at one instant: the
+// frozen measurement source (measure.Empirical.SnapshotView — sealed
+// mmap'd segments shared by reference, only the active-buffer delta
+// copied), the shared compiled plan, and the window's progress gauges.
+// Views are what estimate-side read replicas consume: any number of
+// goroutines may each hold a view and run EstimateIn against it with their
+// own Workspace while the window keeps observing, and every view estimate
+// is bit-identical to what Window.Estimate would have returned at the
+// moment View was called. Close releases the view's storage (for spill
+// windows, its segment-mapping references); a closed view may be passed
+// back to View as the recycle argument.
+type WindowView struct {
+	src          *Empirical
+	name         string
+	plan         *Plan
+	opts         EstimateOptions
+	seen         int
+	len          int
+	changePoints int
+}
+
+// View freezes the window's current contents into an immutable WindowView.
+// The cost is independent of the window size for spill windows (segments
+// are shared by reference) and one column copy for RAM windows; passing a
+// previously closed view as recycle reuses its storage, so a steady-state
+// publisher allocates nothing. View must be called by the goroutine that
+// owns the window's observations, and panics on a closed window.
+func (w *Window) View(recycle *WindowView) *WindowView {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		panic("tomography: Window.View on a closed window")
+	}
+	v := recycle
+	var src *Empirical
+	if v != nil {
+		src = v.src
+	} else {
+		v = &WindowView{}
+	}
+	v.src = w.src.SnapshotView(src)
+	v.name, v.plan, v.opts = w.name, w.plan, w.opts
+	v.seen = w.seen
+	v.len = v.src.Snapshots()
+	v.changePoints = len(w.detector.ChangePoints())
+	return v
+}
+
+// EstimateIn runs the view's configured estimator over the frozen window
+// contents on the caller's workspace — EstimateShared semantics for read
+// replicas: each replica goroutine owns one Workspace and reuses it across
+// views, so steady-state replica estimates allocate nothing. The result
+// aliases the workspace; read or detach it before the workspace's next
+// estimate.
+func (v *WindowView) EstimateIn(ws *Workspace) (*EstimateResult, error) {
+	if v.src.Snapshots() == 0 {
+		return nil, fmt.Errorf("tomography: WindowView.EstimateIn: no observations in view")
+	}
+	return EstimateIn(ws, v.name, v.plan, v.src, v.opts)
+}
+
+// Source exposes the view's frozen measurement source.
+func (v *WindowView) Source() *Empirical { return v.src }
+
+// Seen returns the window's lifetime observation count at snapshot time.
+func (v *WindowView) Seen() int { return v.seen }
+
+// Len returns the number of snapshots retained in the view.
+func (v *WindowView) Len() int { return v.len }
+
+// ChangePoints returns how many change-point alerts the window's detector
+// had fired at snapshot time.
+func (v *WindowView) ChangePoints() int { return v.changePoints }
+
+// Close releases the view's storage — for spill windows, the references
+// that keep shared segment mappings alive. Idempotent; a closed view may be
+// recycled through Window.View.
+func (v *WindowView) Close() {
+	if v.src != nil {
+		v.src.Close()
+	}
 }
 
 // Source exposes the window's measurement source (e.g. to run a second
