@@ -72,6 +72,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		countWork = fs.Int("count-workers", 0, "fan each tenant's batched pair-count kernel out across this many workers during estimates (0/1 = serial); estimates are bit-identical for every setting")
 		estWork   = fs.Int("estimate-workers", 0, "run estimates on this many read-replica workers against published window views (0/1 = one worker); estimates are bit-identical for every setting")
 		spillDir  = fs.String("spill-dir", "", "back every tenant window with the out-of-core segment store under this directory (per-tenant subdirectories, reset at registration); estimates are bit-identical to the in-RAM windows")
+		wire      = fs.String("wire", "json", "selftest: probe wire format the firehose POSTs: json | binary (TOMOW1 columnar)")
+		pubEvery  = fs.Int("publish-every", 0, "publish a read-replica view every this many applied batches instead of after each one (0/1 = every batch); estimates stay bit-identical")
+		pubMaxAge = fs.Duration("publish-max-age", 0, "with -publish-every: also publish once a tenant's view is this old (0 = no age bound)")
 		noTiming  = fs.Bool("no-timing", false, "suppress timing-dependent output (throughput, latency, 429 counts) for reproducible logs")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -85,6 +88,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *tenants <= 0 {
 		return fmt.Errorf("tenants = %d, want > 0", *tenants)
 	}
+	if *wire != "json" && *wire != "binary" {
+		return fmt.Errorf("wire = %q, want json or binary", *wire)
+	}
 
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -96,7 +102,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
-	d := serve.New(serve.Config{Shards: *shards, QueueDepth: *queue, CountWorkers: *countWork, EstimateWorkers: *estWork, SpillDir: *spillDir})
+	d := serve.New(serve.Config{
+		Shards: *shards, QueueDepth: *queue, CountWorkers: *countWork,
+		EstimateWorkers: *estWork, SpillDir: *spillDir,
+		PublishEveryBatches: *pubEvery, PublishMaxAge: *pubMaxAge,
+	})
 	cfg := d.Config()
 	fmt.Fprintf(stdout, "tomod: sharded multi-tenant inference daemon\n")
 	fmt.Fprintf(stdout, "  shards:      %d\n", cfg.Shards)
@@ -117,13 +127,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if cfg.SpillDir != "" {
 		fmt.Fprintf(stdout, "  spill dir:   %s\n", cfg.SpillDir)
 	}
+	if cfg.PublishEveryBatches > 1 {
+		// Printed only when enabled so default-config goldens are unchanged.
+		fmt.Fprintf(stdout, "  publish every: %d batches\n", cfg.PublishEveryBatches)
+	}
+	if cfg.PublishMaxAge > 0 {
+		// Printed only when enabled so default-config goldens are unchanged.
+		fmt.Fprintf(stdout, "  publish max age: %s\n", cfg.PublishMaxAge)
+	}
+	if *wire != "json" {
+		// Printed only when enabled so default-config goldens are unchanged.
+		fmt.Fprintf(stdout, "  wire:        %s\n", *wire)
+	}
 
 	if *selftest {
 		return runSelftest(d, stdout, selftestConfig{
 			scenario: *scenName, tenants: *tenants, window: *window,
 			estimator: *estimator, seed: *seed, snapshots: *snapshots,
 			batch: *batch, estimateEvery: *estEvery,
-			benchOut: *benchOut, noTiming: *noTiming,
+			benchOut: *benchOut, noTiming: *noTiming, wire: *wire,
 		})
 	}
 	return runServe(d, stdout, serveConfig{
@@ -229,6 +251,7 @@ type selftestConfig struct {
 	estimateEvery int
 	benchOut      string
 	noTiming      bool
+	wire          string
 }
 
 // runSelftest starts the daemon on an ephemeral port, replays the
@@ -254,6 +277,7 @@ func runSelftest(d *serve.Daemon, stdout io.Writer, cfg selftestConfig) error {
 		Window:        cfg.window,
 		Estimator:     cfg.estimator,
 		EstimateEvery: cfg.estimateEvery,
+		Wire:          cfg.wire,
 	})
 	if err != nil {
 		return err
@@ -280,6 +304,9 @@ func runSelftest(d *serve.Daemon, stdout io.Writer, cfg selftestConfig) error {
 		fmt.Fprintf(stdout, "selftest: under ingest load: %.0f estimates/sec, latency p50 %.3f ms / p99 %.3f ms\n",
 			report.EstimatesUnderLoadPerSec, report.EstimateUnderLoadP50Ms, report.EstimateUnderLoadP99Ms)
 		fmt.Fprintf(stdout, "selftest: backpressure rejections (429): %d\n", report.Rejected429)
+		fmt.Fprintf(stdout, "selftest: wire comparison: json %.0f snapshots/sec (%.1f MB/s), binary %.0f snapshots/sec (%.1f MB/s)\n",
+			report.JSONSnapshotsPerSec, report.JSONIngestMBPerSec,
+			report.BinarySnapshotsPerSec, report.BinaryIngestMBPerSec)
 	}
 	if cfg.benchOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

@@ -252,6 +252,52 @@ func TestSelftestWritesBench(t *testing.T) {
 	if report.EstimateP50Ms <= 0 || report.EstimateP99Ms < report.EstimateP50Ms {
 		t.Errorf("latency percentiles inconsistent: p50 %v, p99 %v", report.EstimateP50Ms, report.EstimateP99Ms)
 	}
+	if report.WireFormat != "json" {
+		t.Errorf("wire_format = %q, want json (the default)", report.WireFormat)
+	}
+	if report.JSONSnapshotsPerSec <= 0 || report.JSONIngestMBPerSec <= 0 ||
+		report.BinarySnapshotsPerSec <= 0 || report.BinaryIngestMBPerSec <= 0 {
+		t.Errorf("wire-comparison fields not populated: json %v snap/s %v MB/s, binary %v snap/s %v MB/s",
+			report.JSONSnapshotsPerSec, report.JSONIngestMBPerSec,
+			report.BinarySnapshotsPerSec, report.BinaryIngestMBPerSec)
+	}
+}
+
+// TestSelftestBinaryWire re-runs the bench selftest with -wire binary: the
+// measured phases POST TOMOW1 bodies instead of JSON, and the deterministic
+// counts must come out identical — the wire format changes the transport,
+// never what the daemon ingests.
+func TestSelftestBinaryWire(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-selftest", "-bench-out", benchPath, "-shards", "2", "-wire", "binary",
+		"-scenario", "quickstart", "-tenants", "2", "-window", "64",
+		"-snapshots", "256", "-batch", "32", "-estimate-every", "2", "-seed", "1",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("selftest: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "  wire:        binary\n") {
+		t.Errorf("config block missing the wire line:\n%s", out.String())
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report serve.FirehoseReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("BENCH_serve.json is not valid JSON: %v\n%s", err, data)
+	}
+	if report.WireFormat != "binary" {
+		t.Errorf("wire_format = %q, want binary", report.WireFormat)
+	}
+	if report.SnapshotsIngested != 512 {
+		t.Errorf("ingested %d snapshots, want 512", report.SnapshotsIngested)
+	}
+	if report.Estimates != 8 {
+		t.Errorf("estimates = %d, want 8 (same counts as the JSON wire)", report.Estimates)
+	}
 }
 
 // TestHelpIsNotAnError pins -h behavior: usage goes to the injected stderr
@@ -276,5 +322,9 @@ func TestInvalidFlags(t *testing.T) {
 	if err := run([]string{"-selftest", "-scenario", "nope", "-bench-out", ""}, &out, &errBuf); err == nil ||
 		!strings.Contains(err.Error(), `unknown scenario "nope"`) {
 		t.Fatalf("unknown scenario error = %v", err)
+	}
+	if err := run([]string{"-wire", "nope"}, &out, &errBuf); err == nil ||
+		!strings.Contains(err.Error(), `wire = "nope", want json or binary`) {
+		t.Fatalf("wire=nope error = %v", err)
 	}
 }

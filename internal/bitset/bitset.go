@@ -40,6 +40,15 @@ func FromIndices(indices ...int) *Set {
 	return s
 }
 
+// FromWords returns a set holding a copy of the packed words (bit i of
+// word w is element w*wordBits+i) — the inverse of Words, for decoders
+// that materialize sets from columnar word buffers.
+func FromWords(words []uint64) *Set {
+	s := &Set{words: make([]uint64, len(words))}
+	copy(s.words, words)
+	return s
+}
+
 func (s *Set) ensure(word int) {
 	for len(s.words) <= word {
 		s.words = append(s.words, 0)
@@ -294,13 +303,21 @@ func (s *Set) Key() string {
 // string-keyed maps with a reusable buffer (m[string(buf)] compiles to a
 // no-copy lookup). The bytes are identical to Key's.
 func (s *Set) AppendKey(dst []byte) []byte {
+	return AppendKeyWords(dst, s.words)
+}
+
+// AppendKeyWords is AppendKey over a raw packed word slice: it appends the
+// key a Set with exactly those words would produce. Trailing zero words are
+// trimmed first, so two slices that encode the same bits under different
+// strides (wire rows padded to a fixed words-per-row, say) key identically.
+func AppendKeyWords(dst []byte, words []uint64) []byte {
 	// Trim trailing zero words so capacity differences do not matter.
-	n := len(s.words)
-	for n > 0 && s.words[n-1] == 0 {
+	n := len(words)
+	for n > 0 && words[n-1] == 0 {
 		n--
 	}
 	for i := 0; i < n; i++ {
-		w := s.words[i]
+		w := words[i]
 		for shift := 60; shift >= 0; shift -= 4 {
 			dst = append(dst, hexDigits[(w>>uint(shift))&0xf])
 		}

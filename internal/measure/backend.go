@@ -23,6 +23,11 @@ type columnBackend interface {
 	// materializing the row (the out-of-core backend pays O(series) for
 	// it).
 	AppendEvict(congested, evicted *bitset.Set) bool
+	// AppendEvictWords is AppendEvict with the snapshot as packed words
+	// (bit i of word w ⇒ series w*64+i congested) — the wire-ingest path
+	// that appends straight from a decoded wire row without materializing
+	// a bitset per snapshot. Bit-identical to AppendEvict.
+	AppendEvictWords(rowWords []uint64, evicted *bitset.Set) bool
 	EvictOldest(evicted *bitset.Set) bool
 	DropOldest(k int) int
 	RowInto(t int, dst *bitset.Set)
@@ -52,6 +57,9 @@ func (rc *ringColumns) Capacity() int  { return rc.store.Capacity() }
 
 func (rc *ringColumns) AppendEvict(congested, evicted *bitset.Set) bool {
 	return rc.store.AppendEvict(congested, evicted)
+}
+func (rc *ringColumns) AppendEvictWords(rowWords []uint64, evicted *bitset.Set) bool {
+	return rc.store.AppendEvictWords(rowWords, evicted)
 }
 func (rc *ringColumns) EvictOldest(evicted *bitset.Set) bool { return rc.store.EvictOldest(evicted) }
 func (rc *ringColumns) DropOldest(k int) int                 { return rc.store.DropOldest(k) }

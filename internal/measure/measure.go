@@ -303,6 +303,60 @@ func (e *Empirical) AppendBatch(rows []*bitset.Set) {
 	e.resetCaches()
 }
 
+// AppendBatchWords is AppendBatch with the batch presented as packed
+// word-rows: rows snapshots, each wordsPerRow uint64 words (bit i of word
+// w ⇒ path w*64+i congested), laid out back to back in words — the layout
+// the binary probe wire format carries and the column stores append
+// directly, so wire ingest materializes no per-snapshot bitset.
+// Bit-identical to AppendBatch over equal rows: same batched-eviction
+// pre-pass, same histogram maintenance (a word row keys identically to its
+// set — AppendKeyWords trims the stride padding), one cache reset. Panics
+// like AppendBatch on views and record-backed estimators, and on a
+// stride/row-count mismatch. The words may be reused by the caller after
+// the call returns.
+func (e *Empirical) AppendBatchWords(words []uint64, wordsPerRow, rows int) {
+	if e.view {
+		panic("measure: AppendBatchWords on an immutable snapshot view (SnapshotView)")
+	}
+	if !e.streaming {
+		panic("measure: Append requires a streaming estimator (NewStreaming); record-backed estimators are read-only views")
+	}
+	if rows == 0 {
+		return
+	}
+	if want := (e.cols.NumSeries() + 63) / 64; wordsPerRow != want {
+		panic(fmt.Sprintf("measure: AppendBatchWords stride %d words, want %d for %d paths", wordsPerRow, want, e.cols.NumSeries()))
+	}
+	if rows*wordsPerRow > len(words) {
+		panic(fmt.Sprintf("measure: AppendBatchWords carries %d words, want %d for %d rows of %d", len(words), rows*wordsPerRow, rows, wordsPerRow))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.cols.Capacity()
+	if d := e.cols.Snapshots() + rows - c; c > 0 && d > 0 && d <= e.cols.Snapshots() {
+		// Same batched displacement pre-pass as AppendBatch.
+		if e.patterns != nil {
+			for t := 0; t < d; t++ {
+				e.cols.RowInto(t, e.evictScratch)
+				e.forgetPattern(e.evictScratch)
+			}
+		}
+		e.cols.DropOldest(d)
+	}
+	ev := e.evictScratch
+	if e.patterns == nil {
+		ev = nil
+	}
+	for r := 0; r < rows; r++ {
+		row := words[r*wordsPerRow : (r+1)*wordsPerRow]
+		if e.cols.AppendEvictWords(row, ev) && ev != nil {
+			e.forgetPattern(ev)
+		}
+		e.recordPatternWords(row)
+	}
+	e.resetCaches()
+}
+
 // SetCountWorkers sets how many workers the batched pair-count kernel
 // (PrimePairs) fans out across snapstore blocks. n ≤ 1 — and the default —
 // runs on the calling goroutine; results are bit-identical for every
@@ -462,6 +516,25 @@ func (e *Empirical) recordPattern(congested *bitset.Set) {
 		return
 	}
 	e.keyBuf = congested.AppendKey(e.keyBuf[:0])
+	if p, ok := e.patterns[string(e.keyBuf)]; ok {
+		if *p == 0 && e.deadPatterns > 0 {
+			e.deadPatterns--
+		}
+		*p++
+		return
+	}
+	n := 1
+	e.patterns[string(e.keyBuf)] = &n
+}
+
+// recordPatternWords is recordPattern over a packed word row: the key
+// bytes are identical to the equal set's (AppendKeyWords trims trailing
+// zero words, so stride padding does not matter). Caller holds e.mu.
+func (e *Empirical) recordPatternWords(row []uint64) {
+	if e.patterns == nil {
+		return
+	}
+	e.keyBuf = bitset.AppendKeyWords(e.keyBuf[:0], row)
 	if p, ok := e.patterns[string(e.keyBuf)]; ok {
 		if *p == 0 && e.deadPatterns > 0 {
 			e.deadPatterns--

@@ -12,3 +12,13 @@ func releasePages(b []byte) {
 		syscall.Madvise(b, syscall.MADV_DONTNEED)
 	}
 }
+
+// adviseSequential marks the mapping as about to be read front to back
+// (MADV_SEQUENTIAL): the kernel roughly doubles readahead and frees pages
+// soon after they are consumed. Advisory like releasePages — the error is
+// ignored.
+func adviseSequential(b []byte) {
+	if len(b) > 0 {
+		syscall.Madvise(b, syscall.MADV_SEQUENTIAL)
+	}
+}

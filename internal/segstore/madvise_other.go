@@ -3,3 +3,5 @@
 package segstore
 
 func releasePages(b []byte) {}
+
+func adviseSequential(b []byte) {}

@@ -2,6 +2,7 @@ package segstore
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"os"
 	"path/filepath"
 	"strings"
@@ -207,6 +208,44 @@ func (ts *TieredStore) AppendEvict(congested, evicted *bitset.Set) bool {
 		}
 		return true
 	})
+	ts.n++
+	ts.retained++
+	if r+1 == ts.segRows {
+		ts.seal()
+	}
+	return didEvict
+}
+
+// AppendEvictWords is AppendEvict with the snapshot presented as packed
+// words (bit i of word w ⇒ series w*64+i congested) — the wire-ingest fast
+// path, bit-identical to AppendEvict over an equal set. rowWords may carry
+// fewer than ⌈series/64⌉ words (missing words mean all-good); a bit at or
+// past the series count panics like AppendEvict's out-of-range series.
+func (ts *TieredStore) AppendEvictWords(rowWords []uint64, evicted *bitset.Set) bool {
+	didEvict := false
+	if ts.retained == ts.capacity {
+		didEvict = ts.EvictOldest(evicted)
+	} else if evicted != nil {
+		evicted.Clear()
+	}
+	r := ts.n - ts.active.base
+	w, mask := r/wordBits, uint64(1)<<uint(r%wordBits)
+	for wi, wv := range rowWords {
+		for wv != 0 {
+			b := mathbits.TrailingZeros64(wv)
+			wv &= wv - 1
+			i := wi*wordBits + b
+			if i >= ts.series {
+				panic(fmt.Sprintf("segstore: series %d out of range (%d series)", i, ts.series))
+			}
+			m := &ts.active.meta[i]
+			p := &ts.backing[m.off+w]
+			if *p&mask == 0 {
+				*p |= mask
+				m.pop++
+			}
+		}
+	}
 	ts.n++
 	ts.retained++
 	if r+1 == ts.segRows {
@@ -500,6 +539,24 @@ func (ts *TieredStore) ReleaseMapped() {
 	for _, seg := range ts.sealed {
 		if seg.mapped != nil && seg.refs.Load() == 1 {
 			releasePages(seg.mapped)
+		}
+	}
+}
+
+// AdviseSequential hints the kernel that the sealed mappings are about to
+// be swept front to back (MADV_SEQUENTIAL: doubled readahead, pages dropped
+// soon after use) — the replay-side counterpart of ReleaseMapped, for
+// checkpointed sweeps over cold history. Heap-fallback segments
+// (mapped == nil, the path openSegment takes where mmap is unavailable) are
+// untouched: the hint only means anything for a live mapping. Purely
+// advisory; unlike ReleaseMapped it does not skip segments held by views,
+// because a readahead hint never invalidates resident pages.
+func (ts *TieredStore) AdviseSequential() {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, seg := range ts.sealed {
+		if seg.mapped != nil {
+			adviseSequential(seg.mapped)
 		}
 	}
 }

@@ -108,6 +108,11 @@ func (v *TieredView) AppendEvict(congested, evicted *bitset.Set) bool {
 	panic("segstore: AppendEvict on an immutable snapshot view")
 }
 
+// AppendEvictWords panics: views are immutable.
+func (v *TieredView) AppendEvictWords(rowWords []uint64, evicted *bitset.Set) bool {
+	panic("segstore: AppendEvictWords on an immutable snapshot view")
+}
+
 // EvictOldest panics: views are immutable.
 func (v *TieredView) EvictOldest(evicted *bitset.Set) bool {
 	panic("segstore: EvictOldest on an immutable snapshot view")

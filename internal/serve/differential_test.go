@@ -40,7 +40,30 @@ func TestDaemonMatchesOfflineReplayReplicas(t *testing.T) {
 	runOfflineDifferential(t, Config{Shards: 2, QueueDepth: 64, EstimateWorkers: 4})
 }
 
+// TestDaemonMatchesOfflineReplayBinary re-runs the differential replay with
+// the probe stream carried on the TOMOW1 binary wire format: negotiation,
+// the binary decoder, and the batched word-append path must land on exactly
+// the floats of the offline replay — the binary wire is a transport change,
+// never a numeric one.
+func TestDaemonMatchesOfflineReplayBinary(t *testing.T) {
+	runOfflineDifferentialWire(t, Config{Shards: 2, QueueDepth: 64}, "binary")
+}
+
+// TestDaemonMatchesOfflineReplayBatchedPublication re-runs the binary-wire
+// differential replay with view publication batched (every 8 applied
+// batches instead of each one) on an off-worker estimate pool. The
+// queue-drain flush in the shard worker must keep every estimate answerable
+// and bit-identical — batched publication trades view freshness for
+// publication cost, never correctness.
+func TestDaemonMatchesOfflineReplayBatchedPublication(t *testing.T) {
+	runOfflineDifferentialWire(t, Config{Shards: 2, QueueDepth: 64, EstimateWorkers: 2, PublishEveryBatches: 8}, "binary")
+}
+
 func runOfflineDifferential(t *testing.T, cfg Config) {
+	runOfflineDifferentialWire(t, cfg, "json")
+}
+
+func runOfflineDifferentialWire(t *testing.T, cfg Config, wire string) {
 	const (
 		window = 120
 		stride = 40
@@ -108,12 +131,19 @@ func runOfflineDifferential(t *testing.T, cfg Config) {
 					rec.Paths.RowInto(s, row)
 					sets = append(sets, row.Clone())
 				}
-				batch, err := EncodeReports(sets)
+				var batch []byte
+				contentType := ContentTypeJSON
+				if wire == "binary" {
+					batch, err = EncodeReportsBinary(sets, scn.Topology.NumPaths())
+					contentType = ContentTypeBinary
+				} else {
+					batch, err = EncodeReports(sets)
+				}
 				if err != nil {
 					t.Errorf("%s: encoding batch: %v", tenant, err)
 					return
 				}
-				if status, body := post(t, srv.URL+"/v1/ingest?tenant="+tenant, batch); status != http.StatusAccepted {
+				if status, body := postCT(t, srv.URL+"/v1/ingest?tenant="+tenant, contentType, batch); status != http.StatusAccepted {
 					t.Errorf("%s: ingest at %d: status %d: %s", tenant, at, status, body)
 					return
 				}
@@ -168,8 +198,14 @@ func bitIdentical(a, b []float64) bool {
 
 // post issues a JSON POST and returns the status and body.
 func post(t *testing.T, url string, body []byte) (int, string) {
+	return postCT(t, url, "application/json", body)
+}
+
+// postCT issues a POST under an explicit Content-Type — the wire-format
+// negotiation header — and returns the status and body.
+func postCT(t *testing.T, url, contentType string, body []byte) (int, string) {
 	t.Helper()
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		t.Fatalf("POST %s: %v", url, err)
 	}

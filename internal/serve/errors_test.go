@@ -2,11 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"fmt"
+	"hash/crc32"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"repro/internal/bitset"
 )
 
 // Table-driven error-path tests for the tenant/admin API, pinning EXACT
@@ -138,6 +143,177 @@ func TestAPIErrorStrings(t *testing.T) {
 			}
 			assertError(t, status, body, tc.wantStatus, tc.wantErr)
 		})
+	}
+}
+
+// TestBinaryIngestErrorStrings pins the EXACT error string and status of
+// every rejection the TOMOW1 binary wire decoder can produce, in the same
+// style as TestAPIErrorStrings: the strings are operator-facing API
+// surface, so rewording one is a breaking change that must show up here.
+// The tenant is the quickstart topology (3 paths, one packed word per
+// row).
+func TestBinaryIngestErrorStrings(t *testing.T) {
+	d := New(Config{Shards: 1, QueueDepth: 64})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	defer d.Shutdown(context.Background())
+
+	regBody, _ := json.Marshal(TenantConfig{
+		Name: "alpha", Scenario: "quickstart", Seed: 1, Window: 100,
+	})
+	if status, body := post(t, srv.URL+"/v1/tenants", regBody); status != http.StatusCreated {
+		t.Fatalf("registering alpha: status %d: %s", status, body)
+	}
+
+	// mustBinary encodes a well-formed TOMOW1 body for the given path count.
+	mustBinary := func(numPaths int, reports ...[]int) []byte {
+		sets := make([]*bitset.Set, len(reports))
+		for i, r := range reports {
+			sets[i] = bitset.FromIndices(r...)
+		}
+		body, err := EncodeReportsBinary(sets, numPaths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	// rawBinary assembles a TOMOW1 body from parts, with a correct CRC — for
+	// structural corruptions the encoder refuses to produce.
+	rawBinary := func(flags byte, numPaths, snaps int, payload []byte) []byte {
+		out := make([]byte, binaryHeaderLen+len(payload))
+		copy(out, binaryMagic)
+		out[6] = binaryVersion
+		out[7] = flags
+		binary.LittleEndian.PutUint32(out[8:], uint32(numPaths))
+		binary.LittleEndian.PutUint32(out[12:], uint32(snaps))
+		binary.LittleEndian.PutUint32(out[16:], crc32.Checksum(payload, castagnoli))
+		copy(out[binaryHeaderLen:], payload)
+		return out
+	}
+	// fixCRC recomputes the header CRC after a structural corruption, so the
+	// test reaches the structural error rather than the CRC one.
+	fixCRC := func(body []byte) []byte {
+		binary.LittleEndian.PutUint32(body[16:20], crc32.Checksum(body[binaryHeaderLen:], castagnoli))
+		return body
+	}
+	corrupt := func(body []byte, at int, b byte) []byte {
+		c := append([]byte(nil), body...)
+		c[at] = b
+		return c
+	}
+	le16 := func(vals ...uint16) []byte {
+		out := make([]byte, 2*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint16(out[2*i:], v)
+		}
+		return out
+	}
+
+	// All-paths-congested rows make the encoder pick the dense payload (a
+	// tie goes dense); a single sparse row stays sparse.
+	dense := mustBinary(3, []int{0, 1, 2}, []int{0, 1, 2})
+	sparseRow := mustBinary(3, []int{0, 2})
+	crcFlip := corrupt(dense, len(dense)-1, dense[len(dense)-1]^0xFF)
+
+	cases := []struct {
+		name       string
+		body       []byte
+		wantStatus int
+		wantErr    string
+	}{
+		{
+			name: "truncated header", body: dense[:10],
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: 10-byte body, want at least the 20-byte header`,
+		},
+		{
+			name: "bad magic", body: corrupt(dense, 0, 'X'),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: bad magic "XOMOW1"`,
+		},
+		{
+			name: "unsupported version", body: corrupt(dense, 6, 2),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: unsupported version 2`,
+		},
+		{
+			name: "unknown flags", body: corrupt(dense, 7, 0x82),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: unknown flags 0x82`,
+		},
+		{
+			name: "path-count mismatch", body: mustBinary(5, []int{0, 4}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch encodes 5 paths, tenant has 3`,
+		},
+		{
+			name: "no reports", body: rawBinary(0, 3, 0, nil),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch carries no reports`,
+		},
+		{
+			name: "snapshots over limit", body: rawBinary(0, 3, 5000, nil),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch carries 5000 snapshots, limit 4096`,
+		},
+		{
+			name: "payload CRC mismatch", body: crcFlip,
+			wantStatus: http.StatusBadRequest,
+			wantErr: fmt.Sprintf(`serve: binary probe batch: payload CRC 0x%08x, header declares 0x%08x`,
+				crc32.Checksum(crcFlip[binaryHeaderLen:], castagnoli),
+				binary.LittleEndian.Uint32(crcFlip[16:20])),
+		},
+		{
+			name: "dense payload length mismatch", body: fixCRC(append([]byte(nil), dense[:len(dense)-8]...)),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: dense payload is 8 bytes, want 16 (2 snapshots x 1 words)`,
+		},
+		{
+			name: "dense stray tail bit", body: rawBinary(0, 3, 1, []byte{1 << 3, 0, 0, 0, 0, 0, 0, 0}),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: snapshot 0: path index 3 out of range for 3 paths`,
+		},
+		{
+			name: "sparse payload truncated", body: rawBinary(flagSparse, 3, 2, le16(1, 0)),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: sparse payload truncated in snapshot 1`,
+		},
+		{
+			name: "sparse index out of range", body: rawBinary(flagSparse, 3, 1, le16(1, 7)),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: snapshot 0: path index 7 out of range for 3 paths`,
+		},
+		{
+			name: "sparse indices not ascending", body: rawBinary(flagSparse, 3, 1, le16(2, 2, 1)),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: snapshot 0: path indices not strictly increasing`,
+		},
+		{
+			name: "trailing payload bytes", body: fixCRC(append(append([]byte(nil), sparseRow...), 0, 0)),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: 2 trailing payload bytes`,
+		},
+		{
+			name: "JSON posted as binary", body: []byte(`{"reports":[[0],[1],[2]]}`),
+			wantStatus: http.StatusBadRequest,
+			wantErr:    `serve: binary probe batch: bad magic "{\"repo"`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := postCT(t, srv.URL+"/v1/ingest?tenant=alpha", ContentTypeBinary, tc.body)
+			assertError(t, status, body, tc.wantStatus, tc.wantErr)
+		})
+	}
+
+	// And the happy path: a well-formed binary batch is accepted, under both
+	// the bare media type and one carrying parameters.
+	if status, body := postCT(t, srv.URL+"/v1/ingest?tenant=alpha", ContentTypeBinary, dense); status != http.StatusAccepted {
+		t.Fatalf("valid binary ingest: status %d: %s", status, body)
+	}
+	if status, body := postCT(t, srv.URL+"/v1/ingest?tenant=alpha", ContentTypeBinary+"; v=1", sparseRow); status != http.StatusAccepted {
+		t.Fatalf("valid binary ingest with media-type parameters: status %d: %s", status, body)
 	}
 }
 

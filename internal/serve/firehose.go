@@ -44,9 +44,19 @@ type FirehoseConfig struct {
 	// EstimateEvery requests an estimate after every EstimateEvery accepted
 	// batches, once the window is warm (0 ⇒ 4).
 	EstimateEvery int
+	// Wire selects the probe wire format the measured phases POST:
+	// "json" (the default, "" ⇒ "json") or "binary" (the TOMOW1 columnar
+	// format). The wire-comparison phase always measures both.
+	Wire string
 	// Client overrides the HTTP client (nil ⇒ http.DefaultClient).
 	Client *http.Client
 }
+
+// wireCompareBatch is the snapshots-per-POST the wire-comparison phase
+// replays with (when the configured Batch is smaller): large enough that
+// per-request HTTP overhead stops masking the decode-cost difference the
+// phase exists to measure.
+const wireCompareBatch = 512
 
 // FirehoseReport summarizes one firehose run — the content of
 // BENCH_serve.json. The count fields are deterministic functions of the
@@ -75,6 +85,17 @@ type FirehoseReport struct {
 	EstimatesUnderLoadPerSec float64 `json:"estimates_under_load_per_sec"`
 	EstimateUnderLoadP50Ms   float64 `json:"estimate_under_load_p50_ms"`
 	EstimateUnderLoadP99Ms   float64 `json:"estimate_under_load_p99_ms"`
+	// The wire block compares the two probe wire formats head to head on
+	// the same pre-simulated snapshot streams: each format's pure-ingest
+	// replay throughput in snapshots and request-body megabytes per second
+	// (batched at wireCompareBatch snapshots per POST so decode cost, not
+	// per-request HTTP overhead, dominates). WireFormat is the format the
+	// measured phases above used.
+	WireFormat            string  `json:"wire_format"`
+	JSONSnapshotsPerSec   float64 `json:"json_snapshots_per_sec"`
+	JSONIngestMBPerSec    float64 `json:"json_ingest_mb_per_sec"`
+	BinarySnapshotsPerSec float64 `json:"binary_snapshots_per_sec"`
+	BinaryIngestMBPerSec  float64 `json:"binary_ingest_mb_per_sec"`
 }
 
 // RunFirehose drives a daemon with synthetic probe traffic and returns the
@@ -100,6 +121,12 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 	if cfg.EstimateEvery <= 0 {
 		cfg.EstimateEvery = 4
 	}
+	if cfg.Wire == "" {
+		cfg.Wire = "json"
+	}
+	if cfg.Wire != "json" && cfg.Wire != "binary" {
+		return nil, fmt.Errorf("serve: firehose: wire = %q, want json or binary", cfg.Wire)
+	}
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
 	}
@@ -107,10 +134,25 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 		return nil, fmt.Errorf("serve: firehose: window %d exceeds stream length %d (no estimate would ever be warm)",
 			cfg.Window, cfg.Snapshots)
 	}
+	mainCT := ContentTypeJSON
+	if cfg.Wire == "binary" {
+		mainCT = ContentTypeBinary
+	}
+	cmpBatch := cfg.Batch
+	if cmpBatch < wireCompareBatch {
+		cmpBatch = wireCompareBatch
+	}
+	if cmpBatch > DefaultMaxBatch {
+		cmpBatch = DefaultMaxBatch
+	}
 
-	// Pre-simulate every tenant's probe stream so the measured loop is pure
-	// serving traffic, not simulation.
+	// Pre-simulate every tenant's probe stream so the measured loops are
+	// pure serving traffic, not simulation or encoding: the main phases'
+	// stream in the configured wire format, plus one stream per format
+	// (batched at cmpBatch) for the wire-comparison phase.
 	streams := make([][][]byte, cfg.Tenants) // per tenant, per batch: encoded wire body
+	cmpJSON := make([][][]byte, cfg.Tenants)
+	cmpBinary := make([][][]byte, cfg.Tenants)
 	for i := 0; i < cfg.Tenants; i++ {
 		scn, err := tomography.BuildScenario(cfg.Scenario, cfg.Seed+int64(i))
 		if err != nil {
@@ -120,8 +162,18 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 		if err != nil {
 			return nil, fmt.Errorf("serve: firehose: %w", err)
 		}
-		streams[i], err = encodeStream(rec, cfg.Batch)
+		if cfg.Wire == "binary" {
+			streams[i], err = encodeStreamBinary(rec, cfg.Batch)
+		} else {
+			streams[i], err = encodeStream(rec, cfg.Batch)
+		}
 		if err != nil {
+			return nil, fmt.Errorf("serve: firehose: %w", err)
+		}
+		if cmpJSON[i], err = encodeStream(rec, cmpBatch); err != nil {
+			return nil, fmt.Errorf("serve: firehose: %w", err)
+		}
+		if cmpBinary[i], err = encodeStreamBinary(rec, cmpBatch); err != nil {
 			return nil, fmt.Errorf("serve: firehose: %w", err)
 		}
 	}
@@ -157,7 +209,7 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 			name := firehoseTenantName(i)
 			snaps := 0
 			for b, body := range streams[i] {
-				n, rej, err := postBatch(ctx, cfg.Client, cfg.BaseURL, name, body)
+				n, rej, err := postBatch(ctx, cfg.Client, cfg.BaseURL, name, body, mainCT)
 				mu.Lock()
 				rejected += rej
 				ingested += int64(n)
@@ -213,7 +265,7 @@ func RunFirehose(ctx context.Context, cfg FirehoseConfig) (*FirehoseReport, erro
 			defer loadWG.Done()
 			name := firehoseTenantName(i)
 			for _, body := range streams[i] {
-				if _, _, err := postBatch(ctx, cfg.Client, cfg.BaseURL, name, body); err != nil {
+				if _, _, err := postBatch(ctx, cfg.Client, cfg.BaseURL, name, body, mainCT); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -257,6 +309,19 @@ estimateLoop:
 		return nil, fmt.Errorf("serve: firehose: %w", firstErr)
 	}
 
+	// Third measured phase: the wire-format comparison. Each format's
+	// pre-encoded stream is replayed once at full ingest rate with no
+	// estimate traffic — same simulated snapshots, same warm daemon, so
+	// the only variable is the wire decode path.
+	jsonSnaps, jsonBytes, jsonElapsed, err := replayStreams(ctx, &cfg, cmpJSON, ContentTypeJSON)
+	if err != nil {
+		return nil, fmt.Errorf("serve: firehose: wire comparison (json): %w", err)
+	}
+	binSnaps, binBytes, binElapsed, err := replayStreams(ctx, &cfg, cmpBinary, ContentTypeBinary)
+	if err != nil {
+		return nil, fmt.Errorf("serve: firehose: wire comparison (binary): %w", err)
+	}
+
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	sort.Slice(loadedLat, func(i, j int) bool { return loadedLat[i] < loadedLat[j] })
 	report := &FirehoseReport{
@@ -279,8 +344,49 @@ estimateLoop:
 		EstimatesUnderLoadPerSec: float64(loadedEst) / loadElapsed.Seconds(),
 		EstimateUnderLoadP50Ms:   percentileMs(loadedLat, 0.50),
 		EstimateUnderLoadP99Ms:   percentileMs(loadedLat, 0.99),
+
+		WireFormat:            cfg.Wire,
+		JSONSnapshotsPerSec:   float64(jsonSnaps) / jsonElapsed.Seconds(),
+		JSONIngestMBPerSec:    float64(jsonBytes) / 1e6 / jsonElapsed.Seconds(),
+		BinarySnapshotsPerSec: float64(binSnaps) / binElapsed.Seconds(),
+		BinaryIngestMBPerSec:  float64(binBytes) / 1e6 / binElapsed.Seconds(),
 	}
 	return report, nil
+}
+
+// replayStreams replays every tenant's pre-encoded stream concurrently
+// (one goroutine per tenant, 429s retried inside postBatch) and returns
+// the accepted snapshot count, the request-body bytes posted, and the
+// wall-clock elapsed — the wire-comparison measurement primitive.
+func replayStreams(ctx context.Context, cfg *FirehoseConfig, streams [][][]byte, contentType string) (snaps, bodyBytes int64, elapsed time.Duration, err error) {
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := firehoseTenantName(i)
+			for _, body := range streams[i] {
+				n, _, perr := postBatch(ctx, cfg.Client, cfg.BaseURL, name, body, contentType)
+				mu.Lock()
+				snaps += int64(n)
+				bodyBytes += int64(len(body))
+				if perr != nil && firstErr == nil {
+					firstErr = perr
+				}
+				mu.Unlock()
+				if perr != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return snaps, bodyBytes, time.Since(start), firstErr
 }
 
 func firehoseTenantName(i int) string { return fmt.Sprintf("t%d", i) }
@@ -323,16 +429,42 @@ func encodeStream(rec *tomography.Record, batch int) ([][]byte, error) {
 	return bodies, nil
 }
 
-// postBatch POSTs one ingest body, retrying on 429 with a short pause. It
+// encodeStreamBinary is encodeStream for the TOMOW1 binary wire format.
+func encodeStreamBinary(rec *tomography.Record, batch int) ([][]byte, error) {
+	n := rec.Snapshots()
+	numPaths := rec.Paths.NumSeries()
+	var bodies [][]byte
+	row := bitset.New(numPaths)
+	for at := 0; at < n; at += batch {
+		end := at + batch
+		if end > n {
+			end = n
+		}
+		sets := make([]*bitset.Set, 0, end-at)
+		for t := at; t < end; t++ {
+			rec.Paths.RowInto(t, row)
+			sets = append(sets, row.Clone())
+		}
+		body, err := EncodeReportsBinary(sets, numPaths)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// postBatch POSTs one ingest body under the given Content-Type (the wire
+// format negotiation header), retrying on 429 with a short pause. It
 // returns the accepted snapshot count and how many 429s it absorbed.
-func postBatch(ctx context.Context, client *http.Client, base, tenant string, body []byte) (accepted int, rejected int64, err error) {
+func postBatch(ctx context.Context, client *http.Client, base, tenant string, body []byte, contentType string) (accepted int, rejected int64, err error) {
 	url := fmt.Sprintf("%s/v1/ingest?tenant=%s", base, tenant)
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return 0, rejected, err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 		resp, err := client.Do(req)
 		if err != nil {
 			return 0, rejected, err

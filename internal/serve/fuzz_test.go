@@ -3,6 +3,8 @@ package serve
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/bitset"
 )
 
 // FuzzIngestDecode hardens the probe-report wire decoder, the one parser
@@ -80,6 +82,109 @@ func FuzzIngestDecode(f *testing.F) {
 		for i := range sets {
 			if !sets[i].Equal(again[i]) {
 				t.Fatalf("round trip changed set %d: %v -> %v", i, sets[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryIngestDecode hardens the TOMOW1 binary wire decoder the same
+// way FuzzIngestDecode hardens the JSON one: any byte sequence must either
+// decode into a well-formed word batch or fail with a descriptive
+// serve-prefixed error — never panic, and never hand back rows with bits
+// past the tenant's path count. Corpus seeds live under
+// testdata/fuzz/FuzzBinaryIngestDecode and are replayed by the CI fuzz
+// step.
+func FuzzBinaryIngestDecode(f *testing.F) {
+	mustEncode := func(numPaths int, reports ...[]int) []byte {
+		sets := make([]*bitset.Set, len(reports))
+		for i, r := range reports {
+			sets[i] = bitset.FromIndices(r...)
+		}
+		body, err := EncodeReportsBinary(sets, numPaths)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return body
+	}
+	corrupt := func(body []byte, at int, b byte) []byte {
+		c := append([]byte(nil), body...)
+		c[at] = b
+		return c
+	}
+	sparse := mustEncode(40, []int{0, 2}, []int{1}, nil)         // mostly-good rows pick the sparse payload
+	dense := mustEncode(8, []int{0, 1, 2, 3, 4}, []int{1, 5, 7}) // dense rows pick the packed-word payload
+	seeds := [][]byte{
+		sparse,
+		dense,
+		sparse[:binaryHeaderLen-1],                   // truncated header
+		corrupt(dense, 0, 'X'),                       // bad magic
+		corrupt(dense, 6, 9),                         // unsupported version
+		corrupt(dense, 7, 0x82),                      // unknown flag bits
+		corrupt(dense, 8, 99),                        // path-count mismatch
+		corrupt(dense, 12, 200),                      // snapshot count vs payload length
+		corrupt(dense, len(dense)-1, 0xFF),           // payload byte flip ⇒ CRC mismatch
+		corrupt(sparse, binaryHeaderLen, 0xEE),       // sparse count corrupted ⇒ CRC mismatch
+		append(append([]byte(nil), sparse...), 0, 0), // trailing bytes
+		dense[:len(dense)-3],                         // truncated payload
+		[]byte(binaryMagic),                          // magic alone
+		[]byte(``),
+		[]byte(`{"reports":[[0]]}`), // JSON posted as binary
+	}
+	for _, s := range seeds {
+		f.Add(s, 8)
+		f.Add(s, 40)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, numPaths int) {
+		if numPaths < 0 {
+			numPaths = -numPaths
+		}
+		numPaths %= 64
+		b := getWordBatch()
+		defer putWordBatch(b)
+		if err := decodeReportsBinaryInto(b, data, numPaths, 1024); err != nil {
+			if !strings.HasPrefix(err.Error(), "serve: ") {
+				t.Fatalf("error %q lacks the serve: prefix", err)
+			}
+			return
+		}
+		if b.rows < 1 || b.rows > 1024 {
+			t.Fatalf("decode succeeded with %d rows, want 1..1024", b.rows)
+		}
+		if b.wordsPerRow != rowWords(numPaths) {
+			t.Fatalf("decode produced %d words per row, want %d for %d paths", b.wordsPerRow, rowWords(numPaths), numPaths)
+		}
+		sets := make([]*bitset.Set, b.rows)
+		tailMask := uint64(0)
+		if tail := numPaths % 64; tail != 0 {
+			tailMask = ^uint64(0) << uint(tail)
+		}
+		for i := range sets {
+			row := b.row(i)
+			if tailMask != 0 && row[len(row)-1]&tailMask != 0 {
+				t.Fatalf("row %d carries bits past path %d: %#x", i, numPaths, row[len(row)-1])
+			}
+			sets[i] = bitset.FromWords(row)
+		}
+		// Round trip: re-encoding the decoded rows and decoding again must
+		// reproduce the word batch exactly.
+		encoded, err := EncodeReportsBinary(sets, numPaths)
+		if err != nil {
+			t.Fatalf("re-encoding valid rows: %v", err)
+		}
+		again := getWordBatch()
+		defer putWordBatch(again)
+		if err := decodeReportsBinaryInto(again, encoded, numPaths, 1024); err != nil {
+			t.Fatalf("re-decoding encoded rows: %v", err)
+		}
+		if again.rows != b.rows {
+			t.Fatalf("round trip changed batch length: %d -> %d", b.rows, again.rows)
+		}
+		for i := 0; i < b.rows; i++ {
+			orig, rt := b.row(i), again.row(i)
+			for w := range orig {
+				if orig[w] != rt[w] {
+					t.Fatalf("round trip changed row %d word %d: %#x -> %#x", i, w, orig[w], rt[w])
+				}
 			}
 		}
 	})

@@ -18,11 +18,18 @@ type metrics struct {
 	ingestSnapshots atomic.Int64 // snapshots applied to tenant windows
 	ingestRejected  atomic.Int64 // 429 backpressure rejections
 	ingestInvalid   atomic.Int64 // 4xx malformed/mismatched batches
-	estimates       atomic.Int64 // estimates served
-	estimateErrors  atomic.Int64 // estimate requests that failed (incl. warming)
-	changePoints    atomic.Int64 // CUSUM change-point alerts across tenants
-	viewsPublished  atomic.Int64 // window views published to estimate replicas
-	estimateLatency histogram    // enqueue-to-reply estimate latency
+
+	// Per-wire-format splits of the accepted traffic, so the payoff of
+	// switching probes to the binary format shows up on /metrics.
+	ingestBatchesJSON   atomic.Int64 // accepted batches, JSON wire format
+	ingestBatchesBinary atomic.Int64 // accepted batches, TOMOW1 binary wire format
+	ingestBytesJSON     atomic.Int64 // accepted request-body bytes, JSON
+	ingestBytesBinary   atomic.Int64 // accepted request-body bytes, binary
+	estimates           atomic.Int64 // estimates served
+	estimateErrors      atomic.Int64 // estimate requests that failed (incl. warming)
+	changePoints        atomic.Int64 // CUSUM change-point alerts across tenants
+	viewsPublished      atomic.Int64 // window views published to estimate replicas
+	estimateLatency     histogram    // enqueue-to-reply estimate latency
 }
 
 // latencyBuckets is the number of exponential histogram buckets. Bucket 0
@@ -115,6 +122,10 @@ func (m *metrics) writeTo(w io.Writer, tenants []tenantStats, queueLens []int, e
 	counter("tomod_ingest_snapshots_total", "Snapshots applied to tenant windows.", m.ingestSnapshots.Load())
 	counter("tomod_ingest_rejected_total", "Batches rejected with 429 backpressure.", m.ingestRejected.Load())
 	counter("tomod_ingest_invalid_total", "Batches rejected as malformed or mismatched (4xx).", m.ingestInvalid.Load())
+	counter("tomod_ingest_batches_json_total", "Accepted batches carried on the JSON wire format.", m.ingestBatchesJSON.Load())
+	counter("tomod_ingest_batches_binary_total", "Accepted batches carried on the TOMOW1 binary wire format.", m.ingestBatchesBinary.Load())
+	counter("tomod_ingest_bytes_json_total", "Accepted request-body bytes on the JSON wire format.", m.ingestBytesJSON.Load())
+	counter("tomod_ingest_bytes_binary_total", "Accepted request-body bytes on the TOMOW1 binary wire format.", m.ingestBytesBinary.Load())
 	counter("tomod_estimates_total", "Estimates served.", m.estimates.Load())
 	counter("tomod_estimate_errors_total", "Estimate requests that failed (including window warm-up).", m.estimateErrors.Load())
 	counter("tomod_change_points_total", "CUSUM change-point alerts across all tenants.", m.changePoints.Load())

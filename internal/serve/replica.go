@@ -33,8 +33,8 @@ type viewBox struct {
 	changePoints int
 	published    time.Time
 
-	readers atomic.Int32 // active readers; −1 once claimed
-	retired atomic.Bool  // a newer box has replaced this one
+	readers atomic.Int32  // active readers; −1 once claimed
+	retired atomic.Bool   // a newer box has replaced this one
 	changed chan struct{} // closed when a newer box is published
 }
 
@@ -59,10 +59,12 @@ func (b *viewBox) release() {
 }
 
 // publishView freezes the tenant's window into a new viewBox and swaps it
-// in as the latest. Called by the tenant's shard worker after each applied
-// batch (and once at registration, so warming tenants have a view to answer
-// from); the previous box is retired, and its view either recycled into the
-// new one (no readers) or closed by its last reader.
+// in as the latest. Called by the tenant's shard worker per the publication
+// policy — after each applied batch by default, every
+// Config.PublishEveryBatches batches (with the queue-drain flushes worker
+// documents) otherwise — and once at registration, so warming tenants have
+// a view to answer from. The previous box is retired, and its view either
+// recycled into the new one (no readers) or closed by its last reader.
 func (d *Daemon) publishView(t *Tenant) {
 	old := t.view.Load()
 	var recycle *tomography.WindowView
@@ -84,6 +86,10 @@ func (d *Daemon) publishView(t *Tenant) {
 	if old != nil {
 		close(old.changed)
 	}
+	// Publication-policy bookkeeping; same ownership as the caller (the
+	// tenant's shard worker, or Register before the tenant is visible).
+	t.pendingBatches = 0
+	t.lastPublished = box.published
 	d.metrics.viewsPublished.Add(1)
 }
 

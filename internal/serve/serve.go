@@ -53,6 +53,18 @@ type Config struct {
 	// SpillSegmentRows overrides the rows per sealed segment when SpillDir
 	// is set (0 ⇒ the segstore default; must be a multiple of 64).
 	SpillSegmentRows int
+	// PublishEveryBatches batches read-replica view publication: a shard
+	// worker publishes a fresh view for a tenant only every N applied
+	// batches (0 or 1 ⇒ after every batch, the default). Regardless of the
+	// setting, the worker publishes every tenant it has left unpublished
+	// whenever its queue is empty and when it drains on shutdown, so an
+	// estimate waiting for its read-your-accepted-writes target never
+	// waits on a view that will not come.
+	PublishEveryBatches int
+	// PublishMaxAge caps view staleness when PublishEveryBatches > 1: the
+	// worker also publishes on the next applied batch once the tenant's
+	// current view is at least this old (0 ⇒ no age trigger).
+	PublishMaxAge time.Duration
 }
 
 // Daemon is the multi-tenant serving core: tenant registry, shard workers,
@@ -211,6 +223,16 @@ func (d *Daemon) Tenants() []TenantInfo {
 var ErrBackpressure = errors.New("serve: shard queue full")
 
 func (d *Daemon) Ingest(name string, body []byte) (accepted int, err error) {
+	return d.IngestWire(name, body, ContentTypeJSON)
+}
+
+// IngestWire is Ingest with wire-format negotiation: contentType selects
+// the decoder (ContentTypeBinary ⇒ the TOMOW1 binary columnar format,
+// anything else ⇒ JSON, so JSON stays the default). Both decoders validate
+// into the same pooled word-batch buffers, and the shard worker appends
+// those words column-wise — an accepted batch costs O(1) allocations on
+// the daemon regardless of its snapshot count.
+func (d *Daemon) IngestWire(name string, body []byte, contentType string) (accepted int, err error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.draining {
@@ -220,20 +242,38 @@ func (d *Daemon) Ingest(name string, body []byte) (accepted int, err error) {
 	if err != nil {
 		return 0, err
 	}
-	sets, err := DecodeReports(body, t.numPaths, d.cfg.MaxBatch)
+	binaryWire := isBinaryContentType(contentType)
+	wb := getWordBatch()
+	if binaryWire {
+		err = decodeReportsBinaryInto(wb, body, t.numPaths, d.cfg.MaxBatch)
+	} else {
+		err = decodeReportsJSONInto(wb, body, t.numPaths, d.cfg.MaxBatch)
+	}
 	if err != nil {
+		putWordBatch(wb)
 		d.metrics.ingestInvalid.Add(1)
 		return 0, err
 	}
+	// The worker returns wb to the pool after applying it; read the row
+	// count before the send hands ownership over.
+	rows := wb.rows
 	select {
-	case d.shards[t.shard].queue <- job{tenant: t, reports: sets}:
+	case d.shards[t.shard].queue <- job{tenant: t, batch: wb}:
 		// Count the batch as accepted before the 202 returns: an estimate
 		// the client sends afterwards reads this counter as its target and
 		// is served only from a view that has observed the batch.
-		t.accepted.Add(int64(len(sets)))
+		t.accepted.Add(int64(rows))
 		d.metrics.ingestBatches.Add(1)
-		return len(sets), nil
+		if binaryWire {
+			d.metrics.ingestBatchesBinary.Add(1)
+			d.metrics.ingestBytesBinary.Add(int64(len(body)))
+		} else {
+			d.metrics.ingestBatchesJSON.Add(1)
+			d.metrics.ingestBytesJSON.Add(int64(len(body)))
+		}
+		return rows, nil
 	default:
+		putWordBatch(wb)
 		d.metrics.ingestRejected.Add(1)
 		return 0, ErrBackpressure
 	}
@@ -453,7 +493,7 @@ func (d *Daemon) handleIngest(w http.ResponseWriter, r *http.Request) {
 		d.writeError(w, fmt.Errorf("serve: decode probe batch: reading body: %w", err))
 		return
 	}
-	accepted, err := d.Ingest(r.URL.Query().Get("tenant"), body)
+	accepted, err := d.IngestWire(r.URL.Query().Get("tenant"), body, r.Header.Get("Content-Type"))
 	if err != nil {
 		d.writeError(w, err)
 		return

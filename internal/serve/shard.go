@@ -2,21 +2,22 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	tomography "repro"
-	"repro/internal/bitset"
 )
 
 // job is one unit of work on a shard queue. Exactly one of the payload
-// fields is set: reports applies an ingest batch to a tenant's window,
-// block parks the worker until the channel closes (a test hook for
-// deterministic backpressure scenarios). Estimates no longer ride the
-// shard queue — they run on the estimate pool against published window
-// views (see replica.go).
+// fields is set: batch applies a decoded ingest batch (pooled word rows,
+// returned to the pool by the worker) to a tenant's window, block parks
+// the worker until the channel closes (a test hook for deterministic
+// backpressure scenarios). Estimates no longer ride the shard queue — they
+// run on the estimate pool against published window views (see
+// replica.go).
 type job struct {
-	tenant  *Tenant
-	reports []*bitset.Set
-	block   <-chan struct{}
+	tenant *Tenant
+	batch  *wordBatch
+	block  <-chan struct{}
 }
 
 // shard is one serving partition: a bounded job queue drained by a single
@@ -28,28 +29,68 @@ type shard struct {
 	queue chan job
 }
 
-// worker drains one shard until its queue closes (daemon shutdown). After
-// applying each ingest batch it publishes a fresh read-replica view of the
-// tenant's window, so the estimate pool always serves from a view no older
-// than the last applied batch.
+// shouldPublish decides whether the worker publishes a fresh view after
+// the batch it just applied: always by default (PublishEveryBatches ≤ 1),
+// otherwise once the tenant has accumulated PublishEveryBatches applied
+// batches since its last view, or once that view is PublishMaxAge old.
+func (d *Daemon) shouldPublish(t *Tenant) bool {
+	if d.cfg.PublishEveryBatches <= 1 {
+		return true
+	}
+	if t.pendingBatches >= d.cfg.PublishEveryBatches {
+		return true
+	}
+	return d.cfg.PublishMaxAge > 0 && time.Since(t.lastPublished) >= d.cfg.PublishMaxAge
+}
+
+// worker drains one shard until its queue closes (daemon shutdown),
+// publishing read-replica views per the publication policy (shouldPublish).
+//
+// dirty tracks tenants with applied-but-unpublished batches. The liveness
+// invariant the estimate pool relies on — every accepted batch is
+// eventually covered by a published view — must survive batched
+// publication: a count/age threshold alone could leave tenant A's last
+// batch unpublished forever while later queue traffic belongs to tenant B,
+// deadlocking an estimate waiting on A's view. So whenever the queue is
+// observed empty after a job, and again when the queue closes on shutdown,
+// every dirty tenant is published. Under the default publish-per-batch
+// policy dirty stays empty and behavior is unchanged.
 func (d *Daemon) worker(s *shard) {
 	defer d.wg.Done()
+	dirty := make(map[*Tenant]struct{})
 	for j := range s.queue {
 		switch {
 		case j.block != nil:
 			<-j.block
-		case j.reports != nil:
+		case j.batch != nil:
 			t := j.tenant
+			rows := j.batch.rows
 			// Batched window maintenance: one blocked eviction pass and one
 			// cache reset for the whole ingest batch instead of per report.
-			if flagged := t.win.ObserveBatch(j.reports); flagged > 0 {
+			if flagged := t.win.ObserveBatchWords(j.batch.words, j.batch.wordsPerRow, rows); flagged > 0 {
 				t.changePoints.Add(int64(flagged))
 				d.metrics.changePoints.Add(int64(flagged))
 			}
+			putWordBatch(j.batch)
 			t.syncStats()
-			d.metrics.ingestSnapshots.Add(int64(len(j.reports)))
-			d.publishView(t)
+			d.metrics.ingestSnapshots.Add(int64(rows))
+			t.pendingBatches++
+			if d.shouldPublish(t) {
+				d.publishView(t)
+				delete(dirty, t)
+			} else {
+				dirty[t] = struct{}{}
+			}
 		}
+		if len(dirty) > 0 && len(s.queue) == 0 {
+			for t := range dirty {
+				d.publishView(t)
+				delete(dirty, t)
+			}
+		}
+	}
+	for t := range dirty {
+		d.publishView(t)
 	}
 }
 

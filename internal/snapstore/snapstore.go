@@ -31,6 +31,7 @@ package snapstore
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"repro/internal/bitset"
 )
@@ -248,6 +249,56 @@ func (s *Store) AppendEvict(congested, evicted *bitset.Set) bool {
 	s.n++
 	s.retained++
 	return didEvict
+}
+
+// AppendEvictWords is AppendEvict with the snapshot presented as packed
+// words (bit i of word w ⇒ series w*64+i congested) instead of a bitset —
+// the wire-ingest fast path: set bits are scattered straight from the wire
+// row into the column words, with no per-snapshot set materialized.
+// Results are bit-identical to AppendEvict over an equal set. rowWords may
+// carry fewer than ⌈NumSeries/64⌉ words (missing words mean all-good);
+// a bit at or past NumSeries panics like AppendEvict's out-of-range series.
+func (s *Store) AppendEvictWords(rowWords []uint64, evicted *bitset.Set) bool {
+	if s.capacity == 0 {
+		if evicted != nil {
+			evicted.Clear()
+		}
+		t := s.n
+		s.n++
+		if w := s.Words(); w > 0 && (len(s.cols) == 0 || len(s.cols[0]) < w) {
+			for i := range s.cols {
+				s.cols[i] = append(s.cols[i], 0)
+			}
+		}
+		s.scatterRow(rowWords, t/wordBits, uint64(1)<<uint(t%wordBits))
+		return false
+	}
+	didEvict := false
+	if s.retained == s.capacity {
+		didEvict = s.EvictOldest(evicted)
+	} else if evicted != nil {
+		evicted.Clear()
+	}
+	p := s.n % s.capacity
+	s.scatterRow(rowWords, p/wordBits, uint64(1)<<uint(p%wordBits))
+	s.n++
+	s.retained++
+	return didEvict
+}
+
+// scatterRow ORs mask into column word w of every series set in rowWords.
+func (s *Store) scatterRow(rowWords []uint64, w int, mask uint64) {
+	for wi, wv := range rowWords {
+		for wv != 0 {
+			b := mathbits.TrailingZeros64(wv)
+			wv &= wv - 1
+			i := wi*wordBits + b
+			if i >= len(s.cols) {
+				panic(fmt.Sprintf("snapstore: series %d out of range (%d series)", i, len(s.cols)))
+			}
+			s.cols[i][w] |= mask
+		}
+	}
 }
 
 // EvictOldest drops the oldest retained snapshot of a ring store, shrinking

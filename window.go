@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/dynamics"
 	"repro/internal/measure"
 	"repro/internal/netsim"
@@ -267,6 +268,33 @@ func (w *Window) ObserveBatch(rows []*PathSet) int {
 	flagged := 0
 	for _, row := range rows {
 		if w.detector.Observe(float64(row.Len()) / float64(w.numPaths)) {
+			flagged++
+		}
+	}
+	return flagged
+}
+
+// ObserveBatchWords is ObserveBatch with the batch presented as packed
+// word-rows: rows snapshots, each wordsPerRow uint64 words (bit i of word
+// w ⇒ path w*64+i congested), laid out back to back in words — the exact
+// layout the binary probe wire format carries and the window's columns
+// store, so wire ingest appends without materializing a PathSet per
+// snapshot. Results are bit-identical to ObserveBatch over equal rows:
+// same evictions, same detector observations (the congested fraction is a
+// popcount over each word row), same single cache reset. The words may be
+// reused by the caller after the call returns.
+func (w *Window) ObserveBatchWords(words []uint64, wordsPerRow, rows int) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		panic("tomography: Window.ObserveBatchWords on a closed window")
+	}
+	w.src.AppendBatchWords(words, wordsPerRow, rows)
+	w.seen += rows
+	flagged := 0
+	for r := 0; r < rows; r++ {
+		row := words[r*wordsPerRow : (r+1)*wordsPerRow]
+		if w.detector.Observe(float64(bitset.PopCountWords(row)) / float64(w.numPaths)) {
 			flagged++
 		}
 	}
